@@ -1,0 +1,216 @@
+// Package alm is a from-scratch Go reproduction of "Cracking Down
+// MapReduce Failure Amplification through Analytics Logging and
+// Migration" (Wang, Fu, Yu — IPPS 2015).
+//
+// It bundles a YARN-like MapReduce runtime running on a deterministic
+// discrete-event cluster simulator, the stock fault-handling baseline
+// whose failure amplifications the paper analyses, and the paper's ALM
+// framework (ALG analytics logging + SFM speculative fast migration with
+// FCM collective merging). The package is a facade: it re-exports the
+// stable public surface of the internal packages so applications need a
+// single import.
+//
+// Quick start:
+//
+//	spec := alm.JobSpec{
+//		Workload:   alm.Wordcount(),
+//		InputBytes: 10 << 30,
+//		NumReduces: 1,
+//		Mode:       alm.ModeALM,
+//	}
+//	res, err := alm.Run(spec, alm.DefaultClusterSpec(), nil)
+//
+// Inject the paper's failures with the fault helpers:
+//
+//	plan := alm.StopNodeOfTaskAtReduceProgress(alm.ReduceTask, 0, 0.5)
+//	res, err := alm.Run(spec, alm.DefaultClusterSpec(), plan)
+//
+// and reproduce any evaluation artifact via RunExperiment("fig8", ...).
+package alm
+
+import (
+	"alm/internal/core"
+	"alm/internal/engine"
+	"alm/internal/experiments"
+	"alm/internal/faults"
+	"alm/internal/mr"
+	"alm/internal/topology"
+	"alm/internal/trace"
+	"alm/internal/workloads"
+)
+
+// Core job types.
+type (
+	// JobSpec describes a MapReduce job: workload, input size, reducers,
+	// configuration and fault-tolerance mode.
+	JobSpec = engine.JobSpec
+	// Result is a completed job's outcome: duration, output records,
+	// failure accounting, counters and the event/timeline trace.
+	Result = engine.Result
+	// ClusterSpec describes the simulated testbed.
+	ClusterSpec = engine.ClusterSpec
+	// Mode selects the fault-tolerance framework.
+	Mode = engine.Mode
+	// Config is the job configuration (the paper's Table I parameters
+	// plus stock-YARN failure-handling constants).
+	Config = mr.Config
+	// CostModel holds per-task processing rates.
+	CostModel = mr.CostModel
+	// Workload bundles a benchmark's map/reduce functions and size model.
+	Workload = workloads.Workload
+	// Record is one key/value pair.
+	Record = mr.Record
+	// Hardware is a node's performance profile.
+	Hardware = topology.Hardware
+	// ALGOptions tunes analytics logging.
+	ALGOptions = core.ALGOptions
+	// SFMOptions tunes speculative fast migration.
+	SFMOptions = core.SFMOptions
+	// ReplicationLevel scopes ALG's HDFS replica placement.
+	ReplicationLevel = mr.ReplicationLevel
+	// FaultPlan is a set of fault injections for one run.
+	FaultPlan = faults.Plan
+	// TaskType selects map or reduce tasks in fault plans.
+	TaskType = faults.TaskType
+	// Trace is the per-run event log and timeline collector.
+	Trace = trace.Collector
+	// TraceEvent is one discrete trace event.
+	TraceEvent = trace.Event
+	// ExperimentTable is a reproduced figure or table.
+	ExperimentTable = experiments.Table
+	// ExperimentOptions scales and seeds experiment runs.
+	ExperimentOptions = experiments.Options
+	// ISSOptions enables related-work ISS semantics: MOFs replicated to
+	// HDFS at map commit.
+	ISSOptions = engine.ISSOptions
+	// CheckpointOptions enables the heavyweight full-image checkpointing
+	// the paper's Section III contrasts ALG against.
+	CheckpointOptions = engine.CheckpointOptions
+)
+
+// Fault-tolerance modes.
+const (
+	// ModeYARN is the stock baseline (task re-execution; amplification
+	// reproduces).
+	ModeYARN = engine.ModeYARN
+	// ModeALG adds analytics logging and log replay.
+	ModeALG = engine.ModeALG
+	// ModeSFM adds Algorithm 1 scheduling and FCM recovery.
+	ModeSFM = engine.ModeSFM
+	// ModeALM is the full framework (SFM + ALG).
+	ModeALM = engine.ModeALM
+)
+
+// Task types for fault plans.
+const (
+	MapTask    = faults.Map
+	ReduceTask = faults.Reduce
+)
+
+// Replication levels for ALG artifacts.
+const (
+	ReplicateNode    = mr.ReplicateNode
+	ReplicateRack    = mr.ReplicateRack
+	ReplicateCluster = mr.ReplicateCluster
+)
+
+// Run executes one job on a fresh simulated cluster.
+func Run(spec JobSpec, cs ClusterSpec, plan *FaultPlan) (Result, error) {
+	return engine.Run(spec, cs, plan)
+}
+
+// DefaultClusterSpec returns the paper's 20-worker testbed (SSD, 10 GbE,
+// two racks).
+func DefaultClusterSpec() ClusterSpec { return engine.DefaultClusterSpec() }
+
+// DefaultConfig returns the paper's Table I job configuration.
+func DefaultConfig() Config { return mr.DefaultConfig() }
+
+// DefaultALGOptions returns the paper's ALG settings (10 s interval,
+// rack-level replication).
+func DefaultALGOptions() ALGOptions { return core.DefaultALGOptions() }
+
+// DefaultSFMOptions returns the paper's SFM settings (FCM cap 10).
+func DefaultSFMOptions() SFMOptions { return core.DefaultSFMOptions() }
+
+// Terasort returns the paper's Terasort benchmark (100-byte records,
+// identity map/reduce, range-partitioned total order).
+func Terasort() *Workload { return workloads.Terasort() }
+
+// Wordcount returns the paper's Wordcount benchmark (skewed vocabulary,
+// map-side combiner, tiny output).
+func Wordcount() *Workload { return workloads.Wordcount() }
+
+// Secondarysort returns the paper's Secondarysort benchmark (composite
+// keys, grouping by primary key with secondary ordering).
+func Secondarysort() *Workload { return workloads.Secondarysort() }
+
+// WorkloadByName resolves "terasort", "wordcount" or "secondarysort".
+func WorkloadByName(name string) (*Workload, error) { return workloads.ByName(name) }
+
+// Fault-plan helpers mirroring the paper's injections.
+func FailTaskAtProgress(typ TaskType, idx int, frac float64) *FaultPlan {
+	return faults.FailTaskAtProgress(typ, idx, frac)
+}
+
+// FailTasksAtProgress fails the first n tasks of a type at the given
+// per-task progress (the paper's concurrent-failure experiments).
+func FailTasksAtProgress(typ TaskType, n int, frac float64) *FaultPlan {
+	return faults.FailTasksAtProgress(typ, n, frac)
+}
+
+// StopNodeOfTaskAtReduceProgress stops the network of the node hosting
+// the task when the job's reduce phase reaches the fraction.
+func StopNodeOfTaskAtReduceProgress(typ TaskType, idx int, frac float64) *FaultPlan {
+	return faults.StopNodeOfTaskAtReduceProgress(typ, idx, frac)
+}
+
+// StopMOFNodeAtJobProgress stops a node holding map output but no
+// ReduceTask when overall job progress reaches the fraction (the spatial
+// amplification scenario).
+func StopMOFNodeAtJobProgress(frac float64) *FaultPlan {
+	return faults.StopMOFNodeAtJobProgress(frac)
+}
+
+// SlowNodeOfTaskAtReduceProgress degrades the disks of the node hosting
+// the task to factor of their bandwidth — the paper's faulty-but-alive
+// node whose local relaunches straggle.
+func SlowNodeOfTaskAtReduceProgress(typ TaskType, idx int, frac, factor float64) *FaultPlan {
+	return faults.SlowNodeOfTaskAtReduceProgress(typ, idx, frac, factor)
+}
+
+// RunExperiment reproduces one paper artifact by ID (fig1, fig2, fig3,
+// fig4, fig8, fig9, fig10, table2, fig11, fig12, fig13, fig14, fig15, or
+// ablations).
+func RunExperiment(id string, opt ExperimentOptions) (*ExperimentTable, error) {
+	f, ok := experiments.ByID(id)
+	if !ok {
+		return nil, errUnknownExperiment(id)
+	}
+	return f(opt)
+}
+
+// ExperimentIDs lists the reproducible artifacts in paper order.
+func ExperimentIDs() []string {
+	out := make([]string, len(experiments.Registry))
+	for i, e := range experiments.Registry {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// ExperimentDescription returns the one-line description for an ID.
+func ExperimentDescription(id string) string {
+	for _, e := range experiments.Registry {
+		if e.ID == id {
+			return e.Desc
+		}
+	}
+	return ""
+}
+
+type errUnknownExperiment string
+
+func (e errUnknownExperiment) Error() string {
+	return "alm: unknown experiment " + string(e) + " (see ExperimentIDs)"
+}

@@ -1,0 +1,80 @@
+package alm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeQuickJob(t *testing.T) {
+	spec := JobSpec{
+		Workload:   Wordcount(),
+		InputBytes: 1 << 30,
+		NumReduces: 1,
+		Mode:       ModeALM,
+		Seed:       1,
+	}
+	res, err := Run(spec, DefaultClusterSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || len(res.Output) == 0 {
+		t.Fatalf("facade job failed: %+v", res.FailReason)
+	}
+}
+
+func TestFacadeFaultPlan(t *testing.T) {
+	spec := JobSpec{
+		Workload:   Terasort(),
+		InputBytes: 2 << 30,
+		NumReduces: 4,
+		Mode:       ModeSFM,
+		Seed:       1,
+	}
+	res, err := Run(spec, DefaultClusterSpec(), FailTaskAtProgress(ReduceTask, 0, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("job failed: %s", res.FailReason)
+	}
+	if res.ReduceAttemptFailures == 0 {
+		t.Fatal("fault plan did not inject a failure")
+	}
+}
+
+func TestExperimentRegistryFacade(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 15 {
+		t.Fatalf("ExperimentIDs = %d entries, want 15", len(ids))
+	}
+	if ExperimentDescription("fig8") == "" {
+		t.Fatal("missing description for fig8")
+	}
+	if _, err := RunExperiment("not-an-id", ExperimentOptions{}); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	} else if !strings.Contains(err.Error(), "not-an-id") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestRunExperimentQuick(t *testing.T) {
+	tbl, err := RunExperiment("fig12", ExperimentOptions{Scale: 1.0 / 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("experiment returned no rows")
+	}
+	if !strings.Contains(tbl.Render(), "fig12") {
+		t.Fatal("render missing experiment id")
+	}
+}
+
+func TestWorkloadByName(t *testing.T) {
+	if _, err := WorkloadByName("terasort"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WorkloadByName("bogus"); err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+}

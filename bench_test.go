@@ -1,0 +1,186 @@
+package alm
+
+import (
+	"testing"
+
+	"alm/internal/experiments"
+)
+
+// Each benchmark regenerates one of the paper's evaluation artifacts
+// (Section V figures and tables). The simulations are deterministic; the
+// benchmark time is the wall cost of reproducing the artifact, and key
+// reproduced quantities are attached as custom metrics so `go test
+// -bench` output doubles as a compact reproduction report.
+//
+// Benchmarks run at 1/8 of the paper's dataset sizes to keep `go test
+// -bench=.` practical; `cmd/almbench` (no -scale flag) reproduces the
+// full-scale numbers recorded in EXPERIMENTS.md.
+
+const benchScale = 1.0 / 8
+
+func benchExperiment(b *testing.B, id string, metrics func(*experiments.Table, *testing.B)) {
+	b.Helper()
+	f, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	var tbl *experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tbl, err = f(experiments.Options{Scale: benchScale})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if metrics != nil && tbl != nil {
+		metrics(tbl, b)
+	}
+}
+
+func metricFrom(tbl *experiments.Table, b *testing.B, label, column, name string) {
+	if v, ok := tbl.Value(label, column); ok {
+		b.ReportMetric(v, name)
+	}
+}
+
+// BenchmarkFig01RecoveryTime — Fig. 1: one ReduceTask failure vs many
+// MapTask failures.
+func BenchmarkFig01RecoveryTime(b *testing.B) {
+	benchExperiment(b, "fig1", func(t *experiments.Table, b *testing.B) {
+		metricFrom(t, b, "1 ReduceTask failure", "recovery_time_s", "reduce_recovery_s")
+		metricFrom(t, b, "200 MapTask failures", "recovery_time_s", "maps200_recovery_s")
+	})
+}
+
+// BenchmarkFig02DelayedExecution — Fig. 2: job delay from single task
+// failures.
+func BenchmarkFig02DelayedExecution(b *testing.B) {
+	benchExperiment(b, "fig2", func(t *experiments.Table, b *testing.B) {
+		metricFrom(t, b, "terasort 1 reduce failure @75%", "slowdown_pct", "terasort_reduce75_slowdown_pct")
+		metricFrom(t, b, "wordcount 1 reduce failure @75%", "slowdown_pct", "wordcount_reduce75_slowdown_pct")
+	})
+}
+
+// BenchmarkFig03TemporalAmplification — Fig. 3: the repeated failure of a
+// recovered ReduceTask under stock YARN.
+func BenchmarkFig03TemporalAmplification(b *testing.B) {
+	benchExperiment(b, "fig3", nil)
+}
+
+// BenchmarkFig04SpatialAmplification — Fig. 4: healthy reducers infected
+// by one node failure.
+func BenchmarkFig04SpatialAmplification(b *testing.B) {
+	benchExperiment(b, "fig4", nil)
+}
+
+// BenchmarkFig08ALGRecovery — Fig. 8: YARN vs ALG under single
+// ReduceTask failures at 10-90% progress.
+func BenchmarkFig08ALGRecovery(b *testing.B) {
+	benchExperiment(b, "fig8", func(t *experiments.Table, b *testing.B) {
+		metricFrom(t, b, "wordcount failure @90%", "alg_gain_pct", "wordcount90_alg_gain_pct")
+		metricFrom(t, b, "terasort failure @90%", "alg_gain_pct", "terasort90_alg_gain_pct")
+	})
+}
+
+// BenchmarkFig09SFMMigration — Fig. 9: node failures during the reduce
+// phase, YARN vs SFM.
+func BenchmarkFig09SFMMigration(b *testing.B) {
+	benchExperiment(b, "fig9", func(t *experiments.Table, b *testing.B) {
+		metricFrom(t, b, "wordcount node fail @90%", "sfm_gain_pct", "wordcount90_sfm_gain_pct")
+	})
+}
+
+// BenchmarkFig10SFMTimeline — Fig. 10: SFM eliminates the repeat failure.
+func BenchmarkFig10SFMTimeline(b *testing.B) {
+	benchExperiment(b, "fig10", nil)
+}
+
+// BenchmarkTable02SpatialCure — Table II: additional failures and
+// execution time, YARN vs SFM.
+func BenchmarkTable02SpatialCure(b *testing.B) {
+	benchExperiment(b, "table2", func(t *experiments.Table, b *testing.B) {
+		var yarn, sfm float64
+		for _, r := range t.Rows {
+			if len(r.Values) > 0 {
+				if r.Label[0] == 'y' {
+					yarn += r.Values[0]
+				} else {
+					sfm += r.Values[0]
+				}
+			}
+		}
+		b.ReportMetric(yarn, "yarn_additional_failures")
+		b.ReportMetric(sfm, "sfm_additional_failures")
+	})
+}
+
+// BenchmarkFig11ALGOverhead — Fig. 11: failure-free ALG overhead across
+// sizes.
+func BenchmarkFig11ALGOverhead(b *testing.B) {
+	benchExperiment(b, "fig11", func(t *experiments.Table, b *testing.B) {
+		metricFrom(t, b, "terasort 320 GB", "overhead_pct", "alg320_overhead_pct")
+	})
+}
+
+// BenchmarkFig12LoggingFrequency — Fig. 12: logging-interval sweep.
+func BenchmarkFig12LoggingFrequency(b *testing.B) {
+	benchExperiment(b, "fig12", nil)
+}
+
+// BenchmarkFig13ReplicationLevels — Fig. 13: node/rack/cluster ALG
+// replication cost on the reduce stage.
+func BenchmarkFig13ReplicationLevels(b *testing.B) {
+	benchExperiment(b, "fig13", func(t *experiments.Table, b *testing.B) {
+		metricFrom(t, b, "320 GB, rack-level", "vs_node_pct", "rack320_vs_node_pct")
+		metricFrom(t, b, "320 GB, cluster-level", "vs_node_pct", "cluster320_vs_node_pct")
+	})
+}
+
+// BenchmarkFig14ConcurrentFailures — Fig. 14: 1/5/10 concurrent reduce
+// failures with growing per-reducer data.
+func BenchmarkFig14ConcurrentFailures(b *testing.B) {
+	benchExperiment(b, "fig14", func(t *experiments.Table, b *testing.B) {
+		metricFrom(t, b, "5 failures, 32 GB/reducer", "sfm_gain_pct", "f5_32gb_sfm_gain_pct")
+	})
+}
+
+// BenchmarkFig15ALGplusSFM — Fig. 15: SFM vs SFM+ALG recovery.
+func BenchmarkFig15ALGplusSFM(b *testing.B) {
+	benchExperiment(b, "fig15", func(t *experiments.Table, b *testing.B) {
+		metricFrom(t, b, "secondarysort", "alg_extra_gain_pct", "secondarysort_alg_gain_pct")
+	})
+}
+
+// BenchmarkAblations — extension: per-mechanism contribution.
+func BenchmarkAblations(b *testing.B) {
+	benchExperiment(b, "ablations", nil)
+}
+
+// BenchmarkRelatedWork — extension: ALM vs heavyweight checkpointing and
+// ISS intermediate-data replication.
+func BenchmarkRelatedWork(b *testing.B) {
+	benchExperiment(b, "related", func(t *experiments.Table, b *testing.B) {
+		metricFrom(t, b, "heavyweight checkpointing (Sec. III strawman)", "overhead_pct", "ckpt_overhead_pct")
+	})
+}
+
+// BenchmarkSingleJob measures the raw simulation throughput of one
+// paper-scale job end to end (Terasort 100 GB, 20 reducers, ALM).
+func BenchmarkSingleJob(b *testing.B) {
+	spec := JobSpec{
+		Workload:   Terasort(),
+		InputBytes: 100 << 30,
+		NumReduces: 20,
+		Mode:       ModeALM,
+		Seed:       11,
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := Run(spec, DefaultClusterSpec(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Completed {
+			b.Fatalf("job failed: %s", res.FailReason)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Command almbench regenerates the paper's evaluation: every figure and
+// table from Section V of "Cracking Down MapReduce Failure Amplification
+// through Analytics Logging and Migration" (IPPS 2015), plus the
+// design-choice ablations.
+//
+// Usage:
+//
+//	almbench                  # run everything at paper scale
+//	almbench -exp fig8,fig9   # run selected experiments
+//	almbench -scale 0.125     # 1/8-size datasets for a quick pass
+//	almbench -list            # list experiment IDs
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"alm"
+)
+
+func main() {
+	var (
+		expFlag  = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+		scale    = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = paper sizes)")
+		seed     = flag.Int64("seed", 11, "simulation seed")
+		listFlag = flag.Bool("list", false, "list experiment IDs and exit")
+		workers  = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+		format   = flag.String("format", "text", "output format: text | json | csv")
+	)
+	flag.Parse()
+
+	if *listFlag {
+		for _, id := range alm.ExperimentIDs() {
+			fmt.Printf("%-10s %s\n", id, alm.ExperimentDescription(id))
+		}
+		return
+	}
+
+	ids := alm.ExperimentIDs()
+	if *expFlag != "" {
+		ids = strings.Split(*expFlag, ",")
+	}
+	opt := alm.ExperimentOptions{Scale: *scale, Seed: *seed, Workers: *workers}
+
+	failed := 0
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		tbl, err := alm.RunExperiment(id, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
+			failed++
+			continue
+		}
+		switch *format {
+		case "json":
+			data, err := json.MarshalIndent(tbl, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiment %s: %v\n", id, err)
+				failed++
+				continue
+			}
+			fmt.Println(string(data))
+		case "csv":
+			fmt.Printf("# %s: %s\n%s\n", tbl.ID, tbl.Title, tbl.RenderCSV())
+		default:
+			fmt.Print(tbl.Render())
+			fmt.Printf("(%s computed in %v wall time)\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

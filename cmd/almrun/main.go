@@ -1,0 +1,128 @@
+// Command almrun executes a single MapReduce job on the simulated
+// cluster under a chosen fault-tolerance mode and fault scenario, and
+// prints the outcome — the fastest way to poke at the system.
+//
+// Examples:
+//
+//	almrun -workload wordcount -size-gb 10 -reduces 1 -mode yarn \
+//	       -fail node-of-reduce -at 0.5 -timeline
+//	almrun -workload terasort -size-gb 100 -reduces 20 -mode alm \
+//	       -fail mof-node -at 0.55 -events
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"alm"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "wordcount", "terasort | wordcount | secondarysort")
+		sizeGB   = flag.Float64("size-gb", 10, "input size in GB (logical, paper scale)")
+		reduces  = flag.Int("reduces", 1, "number of ReduceTasks")
+		modeStr  = flag.String("mode", "yarn", "yarn | alg | sfm | alm")
+		failKind = flag.String("fail", "none", "none | reduce-task | map-task | node-of-reduce | mof-node | concurrent-reduces | slow-node")
+		at       = flag.Float64("at", 0.5, "progress fraction at which the fault fires")
+		count    = flag.Int("count", 1, "task count for concurrent-reduces")
+		seed     = flag.Int64("seed", 11, "simulation seed")
+		events   = flag.Bool("events", false, "dump the failure/recovery event trace")
+		timeline = flag.Bool("timeline", false, "dump the reduce-progress timeline")
+		iss      = flag.Bool("iss", false, "enable ISS intermediate-data replication (related work)")
+		ckpt     = flag.Bool("checkpoint", false, "enable heavyweight full-image checkpointing (related work)")
+		slow     = flag.Float64("slow-factor", 0, "with -fail slow-node: disk bandwidth multiplier (e.g. 0.05)")
+	)
+	flag.Parse()
+
+	w, err := alm.WorkloadByName(*workload)
+	if err != nil {
+		fatal(err)
+	}
+	var mode alm.Mode
+	switch *modeStr {
+	case "yarn":
+		mode = alm.ModeYARN
+	case "alg":
+		mode = alm.ModeALG
+	case "sfm":
+		mode = alm.ModeSFM
+	case "alm":
+		mode = alm.ModeALM
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *modeStr))
+	}
+	var plan *alm.FaultPlan
+	switch *failKind {
+	case "none":
+	case "reduce-task":
+		plan = alm.FailTaskAtProgress(alm.ReduceTask, 0, *at)
+	case "map-task":
+		plan = alm.FailTaskAtProgress(alm.MapTask, 0, *at)
+	case "node-of-reduce":
+		plan = alm.StopNodeOfTaskAtReduceProgress(alm.ReduceTask, 0, *at)
+	case "mof-node":
+		plan = alm.StopMOFNodeAtJobProgress(*at)
+	case "concurrent-reduces":
+		plan = alm.FailTasksAtProgress(alm.ReduceTask, *count, *at)
+	case "slow-node":
+		factor := *slow
+		if factor <= 0 {
+			factor = 0.05
+		}
+		plan = alm.SlowNodeOfTaskAtReduceProgress(alm.ReduceTask, 0, *at, factor)
+	default:
+		fatal(fmt.Errorf("unknown fault kind %q", *failKind))
+	}
+
+	spec := alm.JobSpec{
+		Workload:   w,
+		InputBytes: int64(*sizeGB * float64(1<<30)),
+		NumReduces: *reduces,
+		Mode:       mode,
+		Seed:       *seed,
+	}
+	if *iss {
+		spec.ISS = alm.ISSOptions{Enabled: true}
+	}
+	if *ckpt {
+		spec.Checkpoint = alm.CheckpointOptions{Enabled: true}
+	}
+	res, err := alm.Run(spec, alm.DefaultClusterSpec(), plan)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("workload        %s (%.1f GB, %d reducers, mode %v)\n", *workload, *sizeGB, *reduces, mode)
+	if res.Completed {
+		fmt.Printf("status          completed in %v (virtual time)\n", res.Duration)
+	} else {
+		fmt.Printf("status          FAILED: %s\n", res.FailReason)
+	}
+	fmt.Printf("map phase       done at %v\n", res.MapPhaseDone)
+	fmt.Printf("output          %d records, %d logical bytes\n", len(res.Output), res.OutputLogicalBytes)
+	fmt.Printf("failures        map attempts %d, reduce attempts %d (additional on healthy nodes: %d)\n",
+		res.MapAttemptFailures, res.ReduceAttemptFailures, res.AdditionalReduceFailures)
+	if len(res.Counters) > 0 {
+		fmt.Printf("counters        %v\n", res.Counters)
+	}
+	if *events {
+		fmt.Println("\nevents:")
+		fmt.Print(res.Trace.Dump())
+	}
+	if *timeline {
+		fmt.Println("\nreduce-progress timeline:")
+		for _, p := range res.Trace.Series("reduce-progress") {
+			fmt.Printf("  %7.1fs %6.1f%%\n", p.At.Seconds(), p.Value*100)
+		}
+	}
+	if !res.Completed {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "almrun:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,66 @@
+package alm_test
+
+import (
+	"fmt"
+
+	"alm"
+)
+
+// ExampleRun executes a small Wordcount job with the full ALM framework
+// on the simulated paper testbed.
+func ExampleRun() {
+	spec := alm.JobSpec{
+		Workload:   alm.Wordcount(),
+		InputBytes: 1 << 30,
+		NumReduces: 1,
+		Mode:       alm.ModeALM,
+		Seed:       7,
+	}
+	res, err := alm.Run(spec, alm.DefaultClusterSpec(), nil)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("completed:", res.Completed)
+	fmt.Println("words counted:", len(res.Output))
+	// Output:
+	// completed: true
+	// words counted: 34
+}
+
+// ExampleRun_faultInjection injects the paper's node failure and shows
+// that SFM recovers without infecting healthy tasks.
+func ExampleRun_faultInjection() {
+	spec := alm.JobSpec{
+		Workload:   alm.Wordcount(),
+		InputBytes: 2 << 30,
+		NumReduces: 1,
+		Mode:       alm.ModeSFM,
+		Seed:       7,
+	}
+	plan := alm.StopNodeOfTaskAtReduceProgress(alm.ReduceTask, 0, 0.5)
+	res, err := alm.Run(spec, alm.DefaultClusterSpec(), plan)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("completed:", res.Completed)
+	fmt.Println("healthy tasks infected:", res.AdditionalReduceFailures)
+	// Output:
+	// completed: true
+	// healthy tasks infected: 0
+}
+
+// ExampleRunExperiment regenerates one paper artifact at reduced scale.
+func ExampleRunExperiment() {
+	tbl, err := alm.RunExperiment("fig15", alm.ExperimentOptions{Scale: 1.0 / 16})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("id:", tbl.ID)
+	fmt.Println("rows:", len(tbl.Rows))
+	// Output:
+	// id: fig15
+	// rows: 3
+}

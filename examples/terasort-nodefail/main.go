@@ -1,0 +1,69 @@
+// Terasort-nodefail replays the paper's spatial-amplification story
+// (Fig. 4 and Table II): stopping one node that holds only map output
+// files — no ReduceTask runs there — starves healthy ReduceTasks on other
+// nodes until the stock scheduler kills them. SFM regenerates the lost
+// map output proactively and advises waiting reducers, so no healthy task
+// is infected.
+//
+//	go run ./examples/terasort-nodefail
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"alm"
+)
+
+func main() {
+	spec := func(mode alm.Mode) alm.JobSpec {
+		return alm.JobSpec{
+			Workload:   alm.Terasort(),
+			InputBytes: 100 << 30,
+			NumReduces: 20,
+			Mode:       mode,
+			Seed:       11,
+		}
+	}
+	plan := func() *alm.FaultPlan { return alm.StopMOFNodeAtJobProgress(0.55) }
+
+	type outcome struct {
+		name string
+		res  alm.Result
+	}
+	var outcomes []outcome
+	for _, m := range []struct {
+		name string
+		mode alm.Mode
+	}{{"stock YARN", alm.ModeYARN}, {"SFM", alm.ModeSFM}} {
+		res, err := alm.Run(spec(m.mode), alm.DefaultClusterSpec(), plan())
+		if err != nil {
+			log.Fatal(err)
+		}
+		outcomes = append(outcomes, outcome{m.name, res})
+	}
+
+	fmt.Printf("%-12s %14s %20s %24s\n", "scheduler", "job time", "reduce failures", "healthy tasks infected")
+	for _, o := range outcomes {
+		fmt.Printf("%-12s %14v %20d %24d\n",
+			o.name, o.res.Duration.Round(1e8), o.res.ReduceAttemptFailures, o.res.AdditionalReduceFailures)
+	}
+
+	fmt.Println("\nhow the infection unfolds under stock YARN:")
+	for _, e := range outcomes[0].res.Trace.Events {
+		switch string(e.Kind) {
+		case "node-crashed", "node-failure-detected", "task-failed", "map-rescheduled":
+			if e.Task == "" || e.Task[0] == 'r' || e.Kind == "map-rescheduled" {
+				fmt.Printf("  %7.1fs %-24s %-10s %s %s\n", e.At.Seconds(), e.Kind, e.Task, e.Node, e.Detail)
+			}
+		}
+	}
+
+	fmt.Println("\nand under SFM (wait advisory + proactive regeneration):")
+	for _, e := range outcomes[1].res.Trace.Events {
+		switch string(e.Kind) {
+		case "node-crashed", "node-failure-detected", "map-rescheduled", "fcm-started", "wait-advisory":
+			fmt.Printf("  %7.1fs %-24s %-10s %s %s\n", e.At.Seconds(), e.Kind, e.Task, e.Node, e.Detail)
+		}
+	}
+}

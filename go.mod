@@ -1,0 +1,3 @@
+module alm
+
+go 1.22

@@ -1,0 +1,340 @@
+// Package cluster implements the YARN control plane of the simulation:
+// NodeManagers that heartbeat to a ResourceManager, memory-based
+// container allocation with locality and priority, node-liveness expiry,
+// and the node-level fault hooks (crash, network stop) the paper injects.
+package cluster
+
+import (
+	"container/heap"
+	"fmt"
+
+	"alm/internal/dfs"
+	"alm/internal/sim"
+	"alm/internal/simdisk"
+	"alm/internal/simnet"
+	"alm/internal/topology"
+)
+
+// Container is a granted resource lease on a node.
+type Container struct {
+	ID    int
+	Node  topology.NodeID
+	MemMB int
+	// OnKill is invoked when the container is killed because its node was
+	// lost. It is set by the task runtime after the grant.
+	OnKill func(reason string)
+
+	released bool
+}
+
+// Request asks for one container.
+type Request struct {
+	MemMB     int
+	Preferred []topology.NodeID // locality hints, best effort
+	Priority  int               // higher is served first
+	Grant     func(*Container)
+
+	seq   uint64
+	index int
+}
+
+// requestQueue is a priority queue: higher Priority first, FIFO within a
+// priority level.
+type requestQueue []*Request
+
+func (q requestQueue) Len() int { return len(q) }
+func (q requestQueue) Less(i, j int) bool {
+	if q[i].Priority != q[j].Priority {
+		return q[i].Priority > q[j].Priority
+	}
+	return q[i].seq < q[j].seq
+}
+func (q requestQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index, q[j].index = i, j
+}
+func (q *requestQueue) Push(x interface{}) {
+	r := x.(*Request)
+	r.index = len(*q)
+	*q = append(*q, r)
+}
+func (q *requestQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	r := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return r
+}
+
+// nodeState is the RM's view of one node.
+type nodeState struct {
+	id            topology.NodeID
+	alive         bool // process liveness (false after Crash)
+	networkUp     bool
+	freeMemMB     int
+	containers    map[*Container]struct{}
+	lastHeartbeat sim.Time
+	declaredLost  bool
+}
+
+// Options configures the control plane.
+type Options struct {
+	HeartbeatInterval sim.Time
+	NodeExpiry        sim.Time
+}
+
+// Cluster bundles the substrate models with the YARN control plane.
+type Cluster struct {
+	Eng   *sim.Engine
+	Topo  *topology.Topology
+	Net   *simnet.Network
+	Disks *simdisk.Disks
+	DFS   *dfs.DFS
+
+	opt    Options
+	nodes  []*nodeState
+	queue  requestQueue
+	seq    uint64
+	nextID int
+	rrNext int // round-robin cursor for spreading allocations
+
+	// OnNodeLost is invoked once when the RM declares a node lost (after
+	// NodeExpiry without heartbeats). The MapReduce AppMaster subscribes.
+	// Deprecated in favour of AddNodeLostListener, kept for single-job
+	// call sites.
+	OnNodeLost func(id topology.NodeID)
+
+	lostListeners []func(topology.NodeID)
+}
+
+// AddNodeLostListener subscribes an additional node-loss observer (several
+// AppMasters can share one cluster).
+func (c *Cluster) AddNodeLostListener(fn func(topology.NodeID)) {
+	c.lostListeners = append(c.lostListeners, fn)
+}
+
+// New builds a cluster over a fresh substrate for the given topology.
+func New(e *sim.Engine, topo *topology.Topology, opt Options) *Cluster {
+	net := simnet.New(e, topo)
+	disks := simdisk.New(e, topo, net.System())
+	c := &Cluster{
+		Eng:   e,
+		Topo:  topo,
+		Net:   net,
+		Disks: disks,
+		DFS:   dfs.New(e, topo, net, disks),
+		opt:   opt,
+	}
+	for _, n := range topo.Nodes() {
+		c.nodes = append(c.nodes, &nodeState{
+			id:         n.ID,
+			alive:      true,
+			networkUp:  true,
+			freeMemMB:  n.HW.MemoryMB,
+			containers: make(map[*Container]struct{}),
+		})
+	}
+	if opt.HeartbeatInterval > 0 && opt.NodeExpiry > 0 {
+		e.Schedule(opt.HeartbeatInterval, c.heartbeatTick)
+	}
+	return c
+}
+
+// heartbeatTick simulates the RM's liveness monitor: nodes whose network
+// is up refresh their heartbeat; nodes silent for NodeExpiry are declared
+// lost exactly once.
+func (c *Cluster) heartbeatTick() {
+	now := c.Eng.Now()
+	for _, n := range c.nodes {
+		if n.alive && n.networkUp {
+			n.lastHeartbeat = now
+			continue
+		}
+		if !n.declaredLost && now-n.lastHeartbeat >= c.opt.NodeExpiry {
+			c.declareLost(n)
+		}
+	}
+	c.Eng.Schedule(c.opt.HeartbeatInterval, c.heartbeatTick)
+}
+
+func (c *Cluster) declareLost(n *nodeState) {
+	n.declaredLost = true
+	// Kill every container on the node; their resources return to the
+	// node's (now unusable) pool.
+	for ct := range n.containers {
+		ct.released = true
+		if ct.OnKill != nil {
+			ct.OnKill("node lost")
+		}
+	}
+	n.containers = make(map[*Container]struct{})
+	if c.OnNodeLost != nil {
+		c.OnNodeLost(n.id)
+	}
+	for _, fn := range c.lostListeners {
+		fn(n.id)
+	}
+}
+
+// NodeUsable reports whether the RM will place containers on the node.
+func (c *Cluster) NodeUsable(id topology.NodeID) bool {
+	n := c.nodes[id]
+	return n.alive && n.networkUp && !n.declaredLost
+}
+
+// NodeReachable reports whether the node can communicate (its process may
+// still be running even when unreachable).
+func (c *Cluster) NodeReachable(id topology.NodeID) bool {
+	return c.nodes[id].alive && c.nodes[id].networkUp
+}
+
+// NodeAlive reports process liveness: false only after Crash.
+func (c *Cluster) NodeAlive(id topology.NodeID) bool { return c.nodes[id].alive }
+
+// StopNetwork makes the node unreachable ("stop the network services on a
+// node", the paper's node-failure injection): heartbeats cease, in-flight
+// transfers stall, local disk contents survive but cannot be served.
+func (c *Cluster) StopNetwork(id topology.NodeID) {
+	n := c.nodes[id]
+	if !n.networkUp {
+		return
+	}
+	n.networkUp = false
+	c.Net.SetNodeDown(id)
+}
+
+// Crash kills the node process outright: unreachable, and its DFS
+// replicas and local files are gone.
+func (c *Cluster) Crash(id topology.NodeID) {
+	c.StopNetwork(id)
+	n := c.nodes[id]
+	if !n.alive {
+		return
+	}
+	n.alive = false
+	c.DFS.NodeLost(id)
+}
+
+// SlowDisks degrades a node's disk bandwidth by the factor (a faulty but
+// responsive node). The node keeps heartbeating and hosting containers;
+// only its I/O suffers.
+func (c *Cluster) SlowDisks(id topology.NodeID, factor float64) {
+	if factor <= 0 {
+		factor = 0.01
+	}
+	hw := c.Topo.Node(id).HW
+	c.Disks.ReadPort(id).SetCapacity(hw.DiskReadBW * factor)
+	c.Disks.WritePort(id).SetCapacity(hw.DiskWriteBW * factor)
+}
+
+// Restore brings a stopped node back (not used by the paper's scenarios,
+// but needed for long-running harness tests).
+func (c *Cluster) Restore(id topology.NodeID) {
+	n := c.nodes[id]
+	n.alive = true
+	n.networkUp = true
+	n.declaredLost = false
+	n.lastHeartbeat = c.Eng.Now()
+	n.freeMemMB = c.Topo.Node(id).HW.MemoryMB
+	c.Net.SetNodeUp(id)
+	c.DFS.NodeRecovered(id)
+}
+
+// Allocate submits a container request; Grant is called (possibly at a
+// later virtual time) when capacity is found. Returns a cancel function.
+func (c *Cluster) Allocate(req *Request) (cancel func()) {
+	if req.MemMB <= 0 || req.Grant == nil {
+		panic("cluster: malformed container request")
+	}
+	c.seq++
+	req.seq = c.seq
+	heap.Push(&c.queue, req)
+	// Serve asynchronously so the grant never re-enters the caller's
+	// stack frame.
+	c.Eng.Schedule(0, c.serve)
+	canceled := false
+	return func() {
+		if canceled || req.index < 0 {
+			return
+		}
+		canceled = true
+		for i, r := range c.queue {
+			if r == req {
+				heap.Remove(&c.queue, i)
+				return
+			}
+		}
+	}
+}
+
+// serve grants as many queued requests as capacity allows, in priority
+// order.
+func (c *Cluster) serve() {
+	for c.queue.Len() > 0 {
+		req := c.queue[0]
+		node, ok := c.pickNode(req)
+		if !ok {
+			return // head-of-line blocks: strict priority order
+		}
+		heap.Pop(&c.queue)
+		req.index = -1
+		n := c.nodes[node]
+		n.freeMemMB -= req.MemMB
+		c.nextID++
+		ct := &Container{ID: c.nextID, Node: node, MemMB: req.MemMB}
+		n.containers[ct] = struct{}{}
+		req.Grant(ct)
+	}
+}
+
+// pickNode chooses a usable node with capacity, honouring preferences,
+// then spreading round-robin.
+func (c *Cluster) pickNode(req *Request) (topology.NodeID, bool) {
+	for _, p := range req.Preferred {
+		if c.NodeUsable(p) && c.nodes[p].freeMemMB >= req.MemMB {
+			return p, true
+		}
+	}
+	total := len(c.nodes)
+	for i := 0; i < total; i++ {
+		id := topology.NodeID((c.rrNext + i) % total)
+		if c.NodeUsable(id) && c.nodes[id].freeMemMB >= req.MemMB {
+			c.rrNext = (int(id) + 1) % total
+			return id, true
+		}
+	}
+	return topology.Invalid, false
+}
+
+// Release returns a container's resources and retries queued requests.
+func (c *Cluster) Release(ct *Container) {
+	if ct.released {
+		return
+	}
+	ct.released = true
+	n := c.nodes[ct.Node]
+	delete(n.containers, ct)
+	n.freeMemMB += ct.MemMB
+	c.Eng.Schedule(0, c.serve)
+}
+
+// FreeMemMB reports a node's unallocated memory (test/diagnostic hook).
+func (c *Cluster) FreeMemMB(id topology.NodeID) int { return c.nodes[id].freeMemMB }
+
+// ContainersOn reports how many containers run on a node.
+func (c *Cluster) ContainersOn(id topology.NodeID) int { return len(c.nodes[id].containers) }
+
+// QueueLen reports pending container requests.
+func (c *Cluster) QueueLen() int { return c.queue.Len() }
+
+// String summarises cluster state for debugging.
+func (c *Cluster) String() string {
+	up := 0
+	for _, n := range c.nodes {
+		if n.alive && n.networkUp {
+			up++
+		}
+	}
+	return fmt.Sprintf("cluster{nodes=%d up=%d queued=%d}", len(c.nodes), up, c.queue.Len())
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"time"
+
+	"alm/internal/mr"
+)
+
+// ALGOptions are the tunables of Analytics LogGing. The booleans exist
+// for ablations; the paper's system has both enabled.
+type ALGOptions struct {
+	// Interval between periodic snapshots (paper Fig. 12 sweeps this).
+	Interval time.Duration
+	// Replication is the placement scope of reduce-stage HDFS artifacts
+	// (paper Fig. 13; rack is the paper's choice).
+	Replication mr.ReplicationLevel
+	// HDFSReplicas is the replica count for logs and flushed output.
+	HDFSReplicas int
+	// FlushReduceOutput asynchronously replicates completed reduce output
+	// during the reduce stage so a migrated attempt can skip it.
+	FlushReduceOutput bool
+	// LogToHDFS stores reduce-stage log records on HDFS (in addition to
+	// the local FS) so migration across nodes can use them.
+	LogToHDFS bool
+}
+
+// DefaultALGOptions returns the paper's settings.
+func DefaultALGOptions() ALGOptions {
+	return ALGOptions{
+		Interval:          10 * time.Second,
+		Replication:       mr.ReplicateRack,
+		HDFSReplicas:      2,
+		FlushReduceOutput: true,
+		LogToHDFS:         true,
+	}
+}
+
+// ReduceView is what ALG observes of a running ReduceTask when taking a
+// snapshot. The engine's reduce attempt implements it.
+type ReduceView interface {
+	Stage() Stage
+	// FetchedMOFIDs lists map IDs whose partitions have been fully
+	// shuffled in.
+	FetchedMOFIDs() []int
+	ShuffledLogicalBytes() int64
+	// SegmentPaths lists on-disk intermediate files. During the reduce
+	// stage its order must match ReducePositions.
+	SegmentPaths() []string
+	ReducePositions() []int
+	ProcessedLogicalBytes() int64
+	ProcessedRealRecords() int
+	ProcessedGroups() int
+	FlushedOutputLogical() int64
+	FlushedOutputRecords() int
+}
+
+// Snapshot builds the stage-appropriate log record from a live view
+// (Fig. 6): shuffle records carry MOF IDs + paths, merge records paths
+// only, reduce records the MPQ structure and output watermark.
+func Snapshot(v ReduceView, taskIdx int, attemptID string, seq int) *LogRecord {
+	rec := &LogRecord{
+		TaskIdx:   taskIdx,
+		AttemptID: attemptID,
+		Seq:       seq,
+		Stage:     v.Stage(),
+	}
+	switch v.Stage() {
+	case StageShuffle:
+		rec.FetchedMOFs = append([]int(nil), v.FetchedMOFIDs()...)
+		rec.ShuffledLogicalBytes = v.ShuffledLogicalBytes()
+		rec.SegmentPaths = append([]string(nil), v.SegmentPaths()...)
+	case StageMerge:
+		rec.SegmentPaths = append([]string(nil), v.SegmentPaths()...)
+	case StageReduce:
+		rec.SegmentPaths = append([]string(nil), v.SegmentPaths()...)
+		rec.Positions = append([]int(nil), v.ReducePositions()...)
+		rec.ProcessedLogicalBytes = v.ProcessedLogicalBytes()
+		rec.ProcessedRealRecords = v.ProcessedRealRecords()
+		rec.ProcessedGroups = v.ProcessedGroups()
+		rec.FlushedOutputLogical = v.FlushedOutputLogical()
+		rec.FlushedOutputRecords = v.FlushedOutputRecords()
+	}
+	return rec
+}

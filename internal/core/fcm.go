@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"alm/internal/merge"
+	"alm/internal/mr"
+	"alm/internal/topology"
+)
+
+// FCMSource is one participant node's contribution to an FCM recovery:
+// its pre-merged Local-MPQ output for the recovering reducer's partition.
+type FCMSource struct {
+	Node topology.NodeID
+	// LogicalBytes the node will supply (the sum of its local MOF
+	// partitions for this reducer).
+	LogicalBytes int64
+	// LocalMPQ is the pre-merged segment the node streams: one sorted
+	// run, exactly what the paper's Local-MPQ produces.
+	LocalMPQ *merge.Segment
+	// MapIDs are the maps whose output this source covers (bookkeeping
+	// for tear-down and tests).
+	MapIDs []int
+}
+
+// PartitionInput is one map's output partition destined to the recovering
+// reducer, annotated with where it lives.
+type PartitionInput struct {
+	MapID   int
+	Node    topology.NodeID
+	Segment *merge.Segment
+}
+
+// PlanFCM groups the reducer's input partitions by host node and builds
+// each host's Local-MPQ by pre-merging its local segments (paper Section
+// IV-A: "ask each node to merge local intermediate data before supplying
+// them to the recovering ReduceTask"). Sources are returned in node
+// order for determinism. The recovering reducer then merges one stream
+// per source through its Global-MPQ, so its queue width equals the number
+// of participant nodes rather than the number of maps.
+func PlanFCM(cmp mr.KeyComparator, inputs []PartitionInput) []*FCMSource {
+	byNode := make(map[topology.NodeID][]PartitionInput)
+	for _, in := range inputs {
+		byNode[in.Node] = append(byNode[in.Node], in)
+	}
+	nodes := make([]topology.NodeID, 0, len(byNode))
+	for n := range byNode {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	sources := make([]*FCMSource, 0, len(nodes))
+	for _, n := range nodes {
+		ins := byNode[n]
+		segs := make([]*merge.Segment, 0, len(ins))
+		ids := make([]int, 0, len(ins))
+		for _, in := range ins {
+			segs = append(segs, in.Segment)
+			ids = append(ids, in.MapID)
+		}
+		sort.Ints(ids)
+		local := merge.MergeSegments(fmt.Sprintf("fcm-local-%d", n), cmp, segs)
+		sources = append(sources, &FCMSource{
+			Node:         n,
+			LogicalBytes: local.LogicalBytes,
+			LocalMPQ:     local,
+			MapIDs:       ids,
+		})
+	}
+	return sources
+}
+
+// GlobalMPQSegments extracts the segment list for the recovering
+// reducer's Global-MPQ from the planned sources.
+func GlobalMPQSegments(sources []*FCMSource) []*merge.Segment {
+	segs := make([]*merge.Segment, len(sources))
+	for i, s := range sources {
+		segs[i] = s.LocalMPQ
+	}
+	return segs
+}
+
+// TotalLogicalBytes sums the bytes all sources supply.
+func TotalLogicalBytes(sources []*FCMSource) int64 {
+	var n int64
+	for _, s := range sources {
+		n += s.LogicalBytes
+	}
+	return n
+}

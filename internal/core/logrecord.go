@@ -1,0 +1,146 @@
+// Package core implements the paper's contribution, the ALM framework:
+//
+//   - ALG (Analytics LogGing): the per-stage log-record formats of Fig. 6,
+//     their serialization, and snapshot/replay helpers;
+//   - SFM (Speculative Fast Migration): the enhanced failure-recovery
+//     scheduling policy of Algorithm 1, expressed as a pure decision
+//     function over a scheduler view;
+//   - FCM (Fast Collective Merging): planning of the Local-MPQ /
+//     Global-MPQ recovery pipeline.
+//
+// The package holds policy and data formats only; the runtime mechanism
+// (containers, flows, timers) lives in internal/engine, which consumes
+// these types.
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"alm/internal/merge"
+)
+
+// Stage identifies which ReduceTask stage a log record was taken in.
+type Stage int
+
+// ReduceTask stages, in execution order.
+const (
+	StageShuffle Stage = iota
+	StageMerge
+	StageReduce
+	StageDone
+)
+
+func (s Stage) String() string {
+	switch s {
+	case StageShuffle:
+		return "shuffle"
+	case StageMerge:
+		return "merge"
+	case StageReduce:
+		return "reduce"
+	case StageDone:
+		return "done"
+	default:
+		return fmt.Sprintf("Stage(%d)", int(s))
+	}
+}
+
+// LogRecord is one ALG analytics-progress snapshot. Field presence
+// follows Fig. 6: shuffle-stage records carry fetched MOF IDs and
+// intermediate file paths; merge-stage records carry paths only; reduce-
+// stage records carry the MPQ structure (paths + per-file offsets of the
+// next unprocessed pair) plus the safely-flushed output watermark.
+type LogRecord struct {
+	TaskIdx   int    `json:"task"`
+	AttemptID string `json:"attempt"`
+	Seq       int    `json:"seq"`
+	Stage     Stage  `json:"stage"`
+
+	// Shuffle-stage statistics (Fig. 6, left column).
+	FetchedMOFs          []int `json:"fetched_mofs,omitempty"`
+	ShuffledLogicalBytes int64 `json:"shuffled_bytes,omitempty"`
+
+	// Intermediate file paths (all stages).
+	SegmentPaths []string `json:"segment_paths,omitempty"`
+
+	// Reduce-stage MPQ structure (Fig. 6, right column). Positions[i] is
+	// the offset of the next <k',v'> pair in SegmentPaths[i].
+	Positions             merge.Positions `json:"positions,omitempty"`
+	ProcessedLogicalBytes int64           `json:"processed_bytes,omitempty"`
+	ProcessedRealRecords  int             `json:"processed_records,omitempty"`
+	ProcessedGroups       int             `json:"processed_groups,omitempty"`
+
+	// Output safely flushed to HDFS as of this snapshot.
+	FlushedOutputLogical int64  `json:"flushed_output_bytes,omitempty"`
+	FlushedOutputRecords int    `json:"flushed_output_records,omitempty"`
+	HDFSOutputPath       string `json:"hdfs_output_path,omitempty"`
+}
+
+// Marshal serializes the record (the bytes ALG writes to the local FS or
+// HDFS).
+func (r *LogRecord) Marshal() ([]byte, error) { return json.Marshal(r) }
+
+// UnmarshalRecord parses a serialized log record.
+func UnmarshalRecord(data []byte) (*LogRecord, error) {
+	var r LogRecord
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("core: corrupt log record: %w", err)
+	}
+	return &r, nil
+}
+
+// Validate checks internal consistency of a record.
+func (r *LogRecord) Validate() error {
+	switch r.Stage {
+	case StageShuffle, StageMerge, StageReduce:
+	default:
+		return fmt.Errorf("core: log record with invalid stage %d", r.Stage)
+	}
+	if r.Stage == StageReduce && len(r.Positions) != len(r.SegmentPaths) {
+		return fmt.Errorf("core: reduce log record has %d positions for %d segments",
+			len(r.Positions), len(r.SegmentPaths))
+	}
+	if r.Stage == StageShuffle && r.ShuffledLogicalBytes < 0 {
+		return fmt.Errorf("core: negative shuffled bytes")
+	}
+	return nil
+}
+
+// Newer reports whether r supersedes other (nil other is always
+// superseded). Later stages beat earlier ones; within a stage, higher
+// sequence numbers win.
+func (r *LogRecord) Newer(other *LogRecord) bool {
+	if other == nil {
+		return true
+	}
+	if r.Stage != other.Stage {
+		return r.Stage > other.Stage
+	}
+	return r.Seq > other.Seq
+}
+
+// LogPathLocal returns the conventional local-FS path for a task's ALG
+// log.
+func LogPathLocal(taskIdx int, seq int) string {
+	return fmt.Sprintf("alg/r%03d/log-%05d", taskIdx, seq)
+}
+
+// LogPathHDFS returns the conventional HDFS path for a reduce-stage ALG
+// log record.
+func LogPathHDFS(jobID string, taskIdx, seq int) string {
+	return fmt.Sprintf("hdfs://%s/alg/r%03d/log-%05d", jobID, taskIdx, seq)
+}
+
+// FlushPathHDFS returns the conventional HDFS path for the flushed
+// partial reduce output as of snapshot seq.
+func FlushPathHDFS(jobID string, taskIdx, seq int) string {
+	return fmt.Sprintf("hdfs://%s/alg/r%03d/out-%05d", jobID, taskIdx, seq)
+}
+
+// EstimateSizeBytes returns the logical serialized size of a record as
+// stored; log records are small (the paper's "light-weight" property) —
+// a few bytes per referenced file plus a fixed header.
+func (r *LogRecord) EstimateSizeBytes() int64 {
+	return int64(256 + 16*len(r.FetchedMOFs) + 64*len(r.SegmentPaths) + 8*len(r.Positions))
+}

@@ -1,0 +1,270 @@
+package dfs
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"alm/internal/mr"
+	"alm/internal/sim"
+	"alm/internal/simdisk"
+	"alm/internal/simnet"
+	"alm/internal/topology"
+)
+
+// small uniform hardware so expected times are easy to compute.
+func rig(racks, perRack int) (*sim.Engine, *topology.Topology, *simnet.Network, *simdisk.Disks, *DFS) {
+	hw := topology.Hardware{NICBandwidth: 100, DiskReadBW: 200, DiskWriteBW: 50, MemoryMB: 1024, Cores: 4}
+	topo := topology.MustNew(topology.Options{Racks: racks, NodesPerRack: perRack, HW: hw, Oversubscription: 1})
+	e := sim.NewEngine(1)
+	net := simnet.New(e, topo)
+	disks := simdisk.New(e, topo, net.System())
+	return e, topo, net, disks, New(e, topo, net, disks)
+}
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestAddFileBlocksAndReplicas(t *testing.T) {
+	_, _, _, _, d := rig(2, 4)
+	f, err := d.AddFile("input", 1000, 300, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4 (300+300+300+100)", len(f.Blocks))
+	}
+	if f.Blocks[3].Bytes != 100 {
+		t.Fatalf("tail block = %d bytes, want 100", f.Blocks[3].Bytes)
+	}
+	if f.Bytes() != 1000 {
+		t.Fatalf("file bytes = %d, want 1000", f.Bytes())
+	}
+	for _, b := range f.Blocks {
+		if len(b.Replicas) != 2 {
+			t.Fatalf("block %d has %d replicas, want 2", b.Index, len(b.Replicas))
+		}
+		if b.Replicas[0] == b.Replicas[1] {
+			t.Fatalf("block %d replicas not distinct", b.Index)
+		}
+	}
+}
+
+func TestAddFileRejectsDuplicatesAndBadSizes(t *testing.T) {
+	_, _, _, _, d := rig(1, 2)
+	if _, err := d.AddFile("f", 100, 50, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddFile("f", 100, 50, 1); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate AddFile err = %v, want ErrExists", err)
+	}
+	if _, err := d.AddFile("g", 0, 50, 1); err == nil {
+		t.Fatal("expected error for zero-byte file")
+	}
+}
+
+func TestHDFSPlacementSecondReplicaOffRack(t *testing.T) {
+	_, topo, _, _, d := rig(2, 4)
+	f, err := d.AddFile("input", 8*100, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range f.Blocks {
+		if topo.SameRack(b.Replicas[0], b.Replicas[1]) {
+			t.Fatalf("block %d: both replicas in rack %d (HDFS default places the second off-rack)",
+				b.Index, topo.RackOf(b.Replicas[0]))
+		}
+	}
+}
+
+func TestLocalReadCostsDiskOnly(t *testing.T) {
+	e, _, _, _, d := rig(1, 2)
+	f, _ := d.AddFile("input", 1000, 1000, 1)
+	reader := f.Blocks[0].Replicas[0]
+	var doneAt sim.Time = -1
+	if _, err := d.ReadBlock(f.Blocks[0], reader, func(error) { doneAt = e.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	e.RunAll()
+	if !almostEqual(doneAt.Seconds(), 5, 0.05) { // 1000 B / 200 B/s disk read
+		t.Fatalf("local read at %v, want ~5s (disk-bound)", doneAt)
+	}
+}
+
+func TestRemoteReadCostsNetwork(t *testing.T) {
+	e, _, _, _, d := rig(1, 3)
+	f, _ := d.AddFile("input", 1000, 1000, 1)
+	src := f.Blocks[0].Replicas[0]
+	reader := topology.NodeID((int(src) + 1) % 3)
+	var doneAt sim.Time = -1
+	if _, err := d.ReadBlock(f.Blocks[0], reader, func(error) { doneAt = e.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	e.RunAll()
+	if !almostEqual(doneAt.Seconds(), 10, 0.05) { // NIC 100 B/s is the bottleneck
+		t.Fatalf("remote read at %v, want ~10s (NIC-bound)", doneAt)
+	}
+}
+
+func TestReadPrefersLocalReplica(t *testing.T) {
+	e, _, _, _, d := rig(1, 4)
+	f, _ := d.AddFile("input", 1000, 1000, 2)
+	local := f.Blocks[0].Replicas[1]
+	var doneAt sim.Time = -1
+	_, _ = d.ReadBlock(f.Blocks[0], local, func(error) { doneAt = e.Now() })
+	e.RunAll()
+	if !almostEqual(doneAt.Seconds(), 5, 0.05) {
+		t.Fatalf("read with a local replica at %v, want ~5s (disk only)", doneAt)
+	}
+}
+
+func TestNodeLostDropsReplicasAndFailsRead(t *testing.T) {
+	_, _, _, _, d := rig(1, 3)
+	f, _ := d.AddFile("input", 100, 100, 1)
+	only := f.Blocks[0].Replicas[0]
+	d.NodeLost(only)
+	if len(f.Blocks[0].Replicas) != 0 {
+		t.Fatalf("replicas after crash = %v, want none", f.Blocks[0].Replicas)
+	}
+	_, err := d.ReadBlock(f.Blocks[0], (only+1)%3, func(error) {})
+	if !errors.Is(err, ErrNoReplica) {
+		t.Fatalf("read err = %v, want ErrNoReplica", err)
+	}
+}
+
+func TestReadSurvivesOneReplicaLoss(t *testing.T) {
+	e, _, _, _, d := rig(2, 2)
+	f, _ := d.AddFile("input", 100, 100, 2)
+	d.NodeLost(f.Blocks[0].Replicas[0])
+	ok := false
+	if _, err := d.ReadBlock(f.Blocks[0], 0, func(error) { ok = true }); err != nil {
+		t.Fatal(err)
+	}
+	e.RunAll()
+	if !ok {
+		t.Fatal("read via surviving replica never completed")
+	}
+}
+
+func TestWritePipelineRackScope(t *testing.T) {
+	e, topo, _, _, d := rig(2, 3)
+	var doneAt sim.Time = -1
+	replicas, err := d.Write("out", 0, 1000, WriteOptions{Replication: 2, Scope: mr.ReplicateRack}, func(err error) {
+		if err != nil {
+			t.Errorf("write failed: %v", err)
+		}
+		doneAt = e.Now()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replicas) != 2 || !topo.SameRack(replicas[0], replicas[1]) {
+		t.Fatalf("rack-scoped replicas = %v, want two nodes in one rack", replicas)
+	}
+	e.RunAll()
+	// Pipeline bottleneck: disk write 50 B/s -> 20 s.
+	if !almostEqual(doneAt.Seconds(), 20, 0.1) {
+		t.Fatalf("write committed at %v, want ~20s", doneAt)
+	}
+	if !d.Exists("out") {
+		t.Fatal("file not committed")
+	}
+	if d.BytesWritten != 2000 {
+		t.Fatalf("BytesWritten = %d, want 2000 (2 replicas)", d.BytesWritten)
+	}
+}
+
+func TestWriteClusterScopeCrossesRack(t *testing.T) {
+	_, topo, _, _, d := rig(2, 3)
+	replicas, err := d.Write("out", 0, 100, WriteOptions{Replication: 2, Scope: mr.ReplicateCluster}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.SameRack(replicas[0], replicas[1]) {
+		t.Fatalf("cluster-scoped second replica should be off-rack: %v", replicas)
+	}
+}
+
+func TestWriteNodeScopeSingleReplica(t *testing.T) {
+	_, _, _, _, d := rig(2, 3)
+	replicas, err := d.Write("out", 4, 100, WriteOptions{Replication: 3, Scope: mr.ReplicateNode}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replicas) != 1 || replicas[0] != 4 {
+		t.Fatalf("node-scoped replicas = %v, want [4]", replicas)
+	}
+}
+
+func TestWriteFromDeadNodeFails(t *testing.T) {
+	_, _, net, _, d := rig(1, 2)
+	net.SetNodeDown(0)
+	if _, err := d.Write("out", 0, 100, WriteOptions{Replication: 1}, nil); !errors.Is(err, ErrWriterDown) {
+		t.Fatalf("err = %v, want ErrWriterDown", err)
+	}
+}
+
+func TestWholeFileRead(t *testing.T) {
+	e, _, _, _, d := rig(1, 2)
+	d.AddFile("input", 400, 100, 1)
+	done := false
+	if err := d.Read("input", 0, func(err error) {
+		if err != nil {
+			t.Errorf("read err: %v", err)
+		}
+		done = true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e.RunAll()
+	if !done {
+		t.Fatal("whole-file read never completed")
+	}
+	if err := d.Read("missing", 0, nil); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing read err = %v, want ErrNotFound", err)
+	}
+}
+
+// Property: replica sets never contain duplicates, never exceed the
+// requested count, and respect rack scope.
+func TestQuickPlacementInvariants(t *testing.T) {
+	f := func(seed int64, repl uint8) bool {
+		e := sim.NewEngine(seed)
+		hw := topology.Hardware{NICBandwidth: 100, DiskReadBW: 100, DiskWriteBW: 100, MemoryMB: 1024, Cores: 4}
+		topo := topology.MustNew(topology.Options{Racks: 3, NodesPerRack: 4, HW: hw})
+		net := simnet.New(e, topo)
+		disks := simdisk.New(e, topo, net.System())
+		d := New(e, topo, net, disks)
+		n := int(repl%4) + 1
+		for _, scope := range []mr.ReplicationLevel{mr.ReplicateNode, mr.ReplicateRack, mr.ReplicateCluster} {
+			writer := topology.NodeID(int(seed%12+12) % 12)
+			name := scope.String()
+			replicas, err := d.Write(name, writer, 10, WriteOptions{Replication: n, Scope: scope}, nil)
+			if err != nil {
+				return false
+			}
+			seen := map[topology.NodeID]bool{}
+			for _, r := range replicas {
+				if seen[r] {
+					return false
+				}
+				seen[r] = true
+				if scope == mr.ReplicateRack && !topo.SameRack(r, writer) {
+					return false
+				}
+			}
+			if scope == mr.ReplicateNode && len(replicas) != 1 {
+				return false
+			}
+			if len(replicas) > n {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(6))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

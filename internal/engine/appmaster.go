@@ -1,0 +1,862 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"alm/internal/cluster"
+	"alm/internal/core"
+	"alm/internal/dfs"
+	"alm/internal/faults"
+	"alm/internal/merge"
+	"alm/internal/mr"
+	"alm/internal/sim"
+	"alm/internal/topology"
+	"alm/internal/trace"
+)
+
+// attemptState tracks an attempt through its lifecycle.
+type attemptState int
+
+const (
+	attemptPending attemptState = iota // waiting for a container
+	attemptRunning
+	attemptSucceeded
+	attemptFailed
+	attemptKilled
+)
+
+// executor is the running body of an attempt (map, reduce or FCM reduce).
+type executor interface {
+	// kill tears the execution down: cancel flows and timers. The AM has
+	// already accounted the attempt's fate.
+	kill(reason string)
+}
+
+// attempt is one execution attempt of a task.
+type attempt struct {
+	typ       faults.TaskType
+	taskIdx   int
+	attemptNo int
+	id        string
+	node      topology.NodeID
+	container *cluster.Container
+	fcm       bool
+	// localResume marks an SFM local relaunch that may use local logs.
+	localResume bool
+	// highPrio propagates SFM's map-regeneration priority.
+	highPrio bool
+	prefer   []topology.NodeID
+	avoid    topology.NodeID
+
+	state        attemptState
+	progress     float64
+	lastProgress sim.Time
+	exec         executor
+	cancelReq    func()
+
+	// Reduce results, filled by the executor on success. prefixOutput is
+	// the ALG-flushed prefix this attempt resumed from (already durable
+	// on HDFS when the attempt started); output is what it computed.
+	output            []mr.Record
+	outputLogical     int64
+	prefixOutput      []mr.Record
+	prefixLogical     int64
+	usedFlushedPrefix bool
+}
+
+func (a *attempt) nodeName(j *Job) string {
+	if a.state == attemptPending || a.node == topology.Invalid {
+		return "-"
+	}
+	return j.Cluster.Topo.Node(a.node).Name
+}
+
+// taskState is the AM's view of one task.
+type taskState struct {
+	typ      faults.TaskType
+	idx      int
+	attempts []*attempt
+	failures int
+	done     bool
+	winner   *attempt
+	// rerunInFlight marks a map being regenerated after its MOF was lost.
+	rerunInFlight bool
+	// split metadata for maps.
+	block *dfs.Block
+}
+
+func (t *taskState) runningAttempt() *attempt {
+	for _, a := range t.attempts {
+		if a.state == attemptRunning {
+			return a
+		}
+	}
+	return nil
+}
+
+func (t *taskState) liveAttempts() int {
+	n := 0
+	for _, a := range t.attempts {
+		if a.state == attemptRunning || a.state == attemptPending {
+			n++
+		}
+	}
+	return n
+}
+
+func (t *taskState) bestProgress() float64 {
+	if t.done {
+		return 1
+	}
+	best := 0.0
+	for _, a := range t.attempts {
+		if a.state == attemptRunning && a.progress > best {
+			best = a.progress
+		}
+	}
+	return best
+}
+
+// mofEntry is the AM's registry entry for a map's output file.
+type mofEntry struct {
+	node  topology.NodeID
+	parts []*merge.Segment
+	gen   int
+	// issReplicas are HDFS replica locations when ISS is enabled.
+	issReplicas []topology.NodeID
+}
+
+// appMaster is the per-job MRAppMaster.
+type appMaster struct {
+	job  *Job
+	conf mr.Config
+
+	maps    []*taskState
+	reduces []*taskState
+	mofs    []*mofEntry
+
+	completedMaps   int
+	reducesLaunched bool
+
+	fetchReports   map[int]int
+	rerunScheduled map[int]bool
+
+	// reduceExecs holds running reduce executors in registration order
+	// (a slice, not a map, so MOF-availability notifications are
+	// deterministic).
+	reduceExecs []mapAvailListener
+	fcmRunning  int
+
+	// Straggler-speculation bookkeeping (speculation.go).
+	launchTimes         map[*attempt]sim.Time
+	speculativeLaunched int
+
+	jobDone bool
+}
+
+func newAppMaster(j *Job, inputName string) *appMaster {
+	am := &appMaster{
+		job:            j,
+		conf:           j.Spec.Conf,
+		fetchReports:   make(map[int]int),
+		rerunScheduled: make(map[int]bool),
+		launchTimes:    make(map[*attempt]sim.Time),
+	}
+	f, err := j.Cluster.DFS.Lookup(inputName)
+	if err != nil {
+		panic("engine: input file must exist: " + err.Error())
+	}
+	for i, b := range f.Blocks {
+		am.maps = append(am.maps, &taskState{typ: faults.Map, idx: i, block: b})
+	}
+	am.mofs = make([]*mofEntry, len(am.maps))
+	for i := 0; i < j.Spec.NumReduces; i++ {
+		am.reduces = append(am.reduces, &taskState{typ: faults.Reduce, idx: i})
+	}
+	j.Cluster.AddNodeLostListener(am.onNodeLost)
+	return am
+}
+
+func (am *appMaster) start() {
+	for _, t := range am.maps {
+		am.launchMap(t, false, topology.Invalid)
+	}
+	am.job.Eng.Schedule(am.conf.HeartbeatInterval, am.monitorTick)
+}
+
+func (am *appMaster) task(typ faults.TaskType, idx int) *taskState {
+	var list []*taskState
+	if typ == faults.Map {
+		list = am.maps
+	} else {
+		list = am.reduces
+	}
+	if idx < 0 || idx >= len(list) {
+		return nil
+	}
+	return list[idx]
+}
+
+// ---- launching ----
+
+func (am *appMaster) launchMap(t *taskState, highPrio bool, avoid topology.NodeID) {
+	a := &attempt{
+		typ: faults.Map, taskIdx: t.idx, attemptNo: len(t.attempts),
+		node: topology.Invalid, highPrio: highPrio, avoid: avoid,
+	}
+	a.id = attemptID(faults.Map, t.idx, a.attemptNo)
+	// Locality: prefer nodes holding a replica of the split.
+	for _, r := range t.block.Replicas {
+		if r != avoid {
+			a.prefer = append(a.prefer, r)
+		}
+	}
+	t.attempts = append(t.attempts, a)
+	prio := 0
+	if highPrio {
+		prio = 10
+	}
+	a.cancelReq = am.job.Cluster.Allocate(&cluster.Request{
+		MemMB:     am.conf.MapMemoryMB,
+		Preferred: a.prefer,
+		Priority:  prio,
+		Grant:     func(ct *cluster.Container) { am.startMapAttempt(t, a, ct) },
+	})
+}
+
+func (am *appMaster) startMapAttempt(t *taskState, a *attempt, ct *cluster.Container) {
+	if am.jobDone || a.state != attemptPending || (t.done && !t.rerunInFlight) {
+		am.job.Cluster.Release(ct)
+		if a.state == attemptPending {
+			a.state = attemptKilled
+		}
+		return
+	}
+	a.state = attemptRunning
+	a.node = ct.Node
+	a.container = ct
+	a.lastProgress = am.job.Eng.Now()
+	am.launchTimes[a] = am.job.Eng.Now()
+	ct.OnKill = func(string) { /* handled via onNodeLost */ }
+	am.job.Tracer.Emit(am.job.Eng.Now(), trace.KindTaskLaunched, a.id, a.nodeName(am.job), "map")
+	ex := newMapExec(am.job, t, a)
+	a.exec = ex
+	ex.start()
+}
+
+// reduceLaunchOpts configures a reduce attempt launch.
+type reduceLaunchOpts struct {
+	fcm         bool
+	localResume bool
+	prefer      topology.NodeID
+	avoid       topology.NodeID
+}
+
+func (am *appMaster) launchReduce(t *taskState, opt reduceLaunchOpts) {
+	a := &attempt{
+		typ: faults.Reduce, taskIdx: t.idx, attemptNo: len(t.attempts),
+		node: topology.Invalid, fcm: opt.fcm, localResume: opt.localResume, avoid: opt.avoid,
+	}
+	a.id = attemptID(faults.Reduce, t.idx, a.attemptNo)
+	if opt.prefer != topology.Invalid {
+		a.prefer = []topology.NodeID{opt.prefer}
+	}
+	t.attempts = append(t.attempts, a)
+	if opt.fcm {
+		am.fcmRunning++
+	}
+	a.cancelReq = am.job.Cluster.Allocate(&cluster.Request{
+		MemMB:     am.conf.ReduceMemoryMB,
+		Preferred: a.prefer,
+		Priority:  5,
+		Grant:     func(ct *cluster.Container) { am.startReduceAttempt(t, a, ct) },
+	})
+}
+
+func (am *appMaster) startReduceAttempt(t *taskState, a *attempt, ct *cluster.Container) {
+	if am.jobDone || a.state != attemptPending || t.done {
+		am.job.Cluster.Release(ct)
+		if a.state == attemptPending {
+			am.dropAttempt(a)
+		}
+		return
+	}
+	if a.avoid != topology.Invalid && ct.Node == a.avoid {
+		// The RM handed us the node we must avoid (it may still look
+		// usable); re-request.
+		am.job.Cluster.Release(ct)
+		a.cancelReq = am.job.Cluster.Allocate(&cluster.Request{
+			MemMB:    am.conf.ReduceMemoryMB,
+			Priority: 5,
+			Grant:    func(c2 *cluster.Container) { am.startReduceAttempt(t, a, c2) },
+		})
+		return
+	}
+	a.state = attemptRunning
+	a.node = ct.Node
+	a.container = ct
+	a.lastProgress = am.job.Eng.Now()
+	am.launchTimes[a] = am.job.Eng.Now()
+	ct.OnKill = func(string) { /* handled via onNodeLost */ }
+	kind := "reduce"
+	if a.fcm {
+		kind = "reduce-fcm"
+		am.job.Tracer.Emit(am.job.Eng.Now(), trace.KindFCMStarted, a.id, a.nodeName(am.job), "")
+	}
+	am.job.Tracer.Emit(am.job.Eng.Now(), trace.KindTaskLaunched, a.id, a.nodeName(am.job), kind)
+	var ex executor
+	if a.fcm {
+		ex = newFCMExec(am.job, t, a)
+	} else {
+		ex = newReduceExec(am.job, t, a)
+	}
+	a.exec = ex
+	if s, ok := ex.(interface{ start() }); ok {
+		s.start()
+	}
+}
+
+// dropAttempt marks a pending/running attempt killed without counting it
+// as a failure (e.g., speculative sibling lost the race).
+func (am *appMaster) dropAttempt(a *attempt) {
+	if a.state == attemptSucceeded || a.state == attemptFailed || a.state == attemptKilled {
+		return
+	}
+	prev := a.state
+	a.state = attemptKilled
+	if a.cancelReq != nil {
+		a.cancelReq()
+	}
+	if a.fcm {
+		am.fcmRunning--
+	}
+	if prev == attemptRunning {
+		if a.exec != nil {
+			a.exec.kill("superseded")
+		}
+		if a.container != nil {
+			am.job.Cluster.Release(a.container)
+		}
+		am.job.Tracer.Emit(am.job.Eng.Now(), trace.KindTaskKilled, a.id, a.nodeName(am.job), "superseded")
+	}
+}
+
+// ---- completion ----
+
+func (am *appMaster) mapFinished(t *taskState, a *attempt, parts []*merge.Segment) {
+	am.mapFinishedISS(t, a, parts, nil)
+}
+
+// mapFinishedISS registers a completed map with optional ISS replica
+// locations.
+func (am *appMaster) mapFinishedISS(t *taskState, a *attempt, parts []*merge.Segment, issReplicas []topology.NodeID) {
+	if am.jobDone || a.state != attemptRunning {
+		return
+	}
+	a.state = attemptSucceeded
+	a.progress = 1
+	am.job.Cluster.Release(a.container)
+	am.job.Tracer.Emit(am.job.Eng.Now(), trace.KindTaskFinished, a.id, a.nodeName(am.job), "map")
+	prev := am.mofs[t.idx]
+	gen := 1
+	if prev != nil {
+		gen = prev.gen + 1
+	}
+	am.mofs[t.idx] = &mofEntry{node: a.node, parts: parts, gen: gen, issReplicas: issReplicas}
+	t.rerunInFlight = false
+	am.rerunScheduled[t.idx] = false
+	if !t.done {
+		t.done = true
+		t.winner = a
+		am.completedMaps++
+		if am.completedMaps == len(am.maps) {
+			am.job.result.MapPhaseDone = am.job.Eng.Now() - am.job.startAt
+		}
+		am.maybeLaunchReduces()
+	}
+	// Wake shufflers waiting for this MOF (first generation or regen).
+	for _, ex := range am.reduceExecs {
+		ex.onMapAvailable(t.idx)
+	}
+	am.job.checkInjections()
+}
+
+// reduceOutcome carries a successful reduce attempt's results.
+type reduceOutcome struct {
+	output        []mr.Record
+	outputLogical int64
+	prefix        []mr.Record
+	prefixLogical int64
+	usedFlushed   bool
+}
+
+func (am *appMaster) reduceFinished(t *taskState, a *attempt, out reduceOutcome) {
+	if am.jobDone || a.state != attemptRunning {
+		return
+	}
+	if t.done {
+		// Lost the commit race; discard.
+		am.dropAttempt(a)
+		return
+	}
+	a.state = attemptSucceeded
+	a.progress = 1
+	a.output = out.output
+	a.outputLogical = out.outputLogical
+	a.prefixOutput = out.prefix
+	a.prefixLogical = out.prefixLogical
+	a.usedFlushedPrefix = out.usedFlushed
+	if a.fcm {
+		am.fcmRunning--
+	}
+	am.job.Cluster.Release(a.container)
+	am.job.Tracer.Emit(am.job.Eng.Now(), trace.KindTaskFinished, a.id, a.nodeName(am.job), "reduce")
+	t.done = true
+	t.winner = a
+	// Kill speculative siblings.
+	for _, sib := range t.attempts {
+		if sib != a {
+			am.dropAttempt(sib)
+		}
+	}
+	for _, rt := range am.reduces {
+		if !rt.done {
+			return
+		}
+	}
+	am.jobDone = true
+	am.job.finish(false, "")
+}
+
+// ---- failure handling ----
+
+// attemptFailed is the single entry point for every attempt death that
+// counts as a failure (injected error, fetch starvation, timeout, node
+// loss).
+func (am *appMaster) attemptFailed(a *attempt, reason string) {
+	if am.jobDone || (a.state != attemptRunning && a.state != attemptPending) {
+		return
+	}
+	t := am.task(a.typ, a.taskIdx)
+	wasRunning := a.state == attemptRunning
+	a.state = attemptFailed
+	if a.cancelReq != nil {
+		a.cancelReq()
+	}
+	if a.fcm {
+		am.fcmRunning--
+	}
+	if wasRunning {
+		if a.exec != nil {
+			a.exec.kill(reason)
+		}
+		if a.container != nil {
+			am.job.Cluster.Release(a.container)
+		}
+	}
+	am.job.Tracer.Emit(am.job.Eng.Now(), trace.KindTaskFailed, a.id, a.nodeName(am.job), reason)
+	t.failures++
+	if a.typ == faults.Map {
+		am.job.result.MapAttemptFailures++
+	} else {
+		am.job.result.ReduceAttemptFailures++
+		// "Additional" failures are the paper's infected healthy tasks:
+		// reducers killed by fetch starvation or progress stalls while
+		// their own node was fine — not directly injected task faults.
+		if wasRunning && am.job.Cluster.NodeReachable(a.node) &&
+			(reason == "too many fetch failures" || reason == "progress timeout") {
+			am.job.result.AdditionalReduceFailures++
+		}
+	}
+	if t.failures >= am.conf.MaxTaskAttempts {
+		am.jobDone = true
+		am.job.finish(true, fmt.Sprintf("task %s failed %d times (last: %s)",
+			attemptID(a.typ, a.taskIdx, 0)[:5], t.failures, reason))
+		return
+	}
+	am.recover(a, t)
+}
+
+// recover applies the mode's recovery policy to one failed attempt.
+func (am *appMaster) recover(a *attempt, t *taskState) {
+	if a.typ == faults.Map {
+		// Maps are short: both baseline and SFM re-execute on a healthy
+		// node (SFM at high priority).
+		if t.done && !t.rerunInFlight {
+			return // output already available from an earlier attempt
+		}
+		if t.done {
+			t.rerunInFlight = true
+		}
+		am.launchMap(t, am.job.Spec.Mode.SFMEnabled() || a.highPrio, a.node)
+		return
+	}
+	if t.done || t.liveAttempts() > 0 && !am.job.Spec.Mode.SFMEnabled() {
+		return // a sibling attempt is still running (baseline speculation)
+	}
+	if !am.job.Spec.Mode.SFMEnabled() {
+		// Stock YARN: re-launch the reduce from scratch anywhere. ALG
+		// prefers the original node so its local logs can be replayed.
+		opt := reduceLaunchOpts{}
+		if am.job.Spec.Mode.ALGEnabled() && am.job.Cluster.NodeUsable(a.node) {
+			opt.prefer = a.node
+			opt.localResume = true
+		} else {
+			opt.prefer = topology.Invalid
+			if !am.job.Cluster.NodeUsable(a.node) {
+				opt.avoid = a.node
+			}
+		}
+		am.launchReduce(t, opt)
+		return
+	}
+	// SFM: Algorithm 1 for this failure report.
+	report := core.FailureReport{
+		SourceNode:    a.node,
+		NodeAlive:     a.node != topology.Invalid && am.job.Cluster.NodeReachable(a.node),
+		FailedReduces: []int{t.idx},
+	}
+	am.runAlgorithm1(report)
+	// SFM enhances — never removes — the stock re-execution guarantee:
+	// if the policy produced no recovery attempt (ablated speculation,
+	// exhausted local limit on a dead node), fall back to a baseline
+	// relaunch so the task is never orphaned.
+	if !t.done && t.liveAttempts() == 0 {
+		opt := reduceLaunchOpts{prefer: topology.Invalid}
+		if !am.job.Cluster.NodeUsable(a.node) {
+			opt.avoid = a.node
+		}
+		am.launchReduce(t, opt)
+	}
+}
+
+// runAlgorithm1 executes the SFM policy decisions.
+func (am *appMaster) runAlgorithm1(report core.FailureReport) {
+	actions := core.Algorithm1(report, am, am.job.Spec.SFM)
+	for _, act := range actions {
+		switch act.Kind {
+		case core.ActionRerunMap:
+			mt := am.maps[act.TaskIdx]
+			if am.rerunScheduled[act.TaskIdx] || (mt.done && am.mofAvailable(act.TaskIdx)) {
+				continue
+			}
+			am.rerunScheduled[act.TaskIdx] = true
+			if mt.done {
+				mt.rerunInFlight = true
+			}
+			am.job.Tracer.Emit(am.job.Eng.Now(), trace.KindMapRescheduled, attemptID(faults.Map, act.TaskIdx, 0), "", "sfm proactive regen")
+			am.launchMap(mt, act.HighPrio, act.AvoidNode)
+		case core.ActionRelaunchLocal:
+			am.launchReduce(am.reduces[act.TaskIdx], reduceLaunchOpts{prefer: act.Node, localResume: true})
+		case core.ActionSpeculativeFCM:
+			am.launchReduce(am.reduces[act.TaskIdx], reduceLaunchOpts{fcm: true, prefer: topology.Invalid, avoid: act.AvoidNode})
+		case core.ActionSpeculativeRegular:
+			am.launchReduce(am.reduces[act.TaskIdx], reduceLaunchOpts{prefer: topology.Invalid, avoid: act.AvoidNode})
+		}
+	}
+}
+
+// SchedulerView implementation for core.Algorithm1.
+func (am *appMaster) AttemptsOnNode(reduceIdx int, node topology.NodeID) int {
+	n := 0
+	for _, a := range am.reduces[reduceIdx].attempts {
+		if a.node == node {
+			n++
+		}
+	}
+	return n
+}
+
+func (am *appMaster) RunningAttempts(reduceIdx int) int {
+	return am.reduces[reduceIdx].liveAttempts()
+}
+
+func (am *appMaster) FCMTasksInJob() int { return am.fcmRunning }
+
+// ---- node loss & fetch failures ----
+
+// nodeWentDark is invoked by the fault injector the instant a node's
+// network stops. The AM itself learns of the loss only via heartbeat
+// expiry or fetch-failure reports; this hook exists for bookkeeping.
+func (am *appMaster) nodeWentDark(topology.NodeID) {}
+
+func (am *appMaster) onNodeLost(node topology.NodeID) {
+	if am.jobDone {
+		return
+	}
+	am.job.Tracer.Emit(am.job.Eng.Now(), trace.KindNodeDetected, "", am.job.Cluster.Topo.Node(node).Name, "heartbeat expiry")
+	// Kill attempts running there.
+	var failedReduces []int
+	for _, lists := range [][]*taskState{am.maps, am.reduces} {
+		for _, t := range lists {
+			for _, a := range t.attempts {
+				if a.state == attemptRunning && a.node == node {
+					if am.job.Spec.Mode.SFMEnabled() && a.typ == faults.Reduce {
+						// Batch into one Algorithm 1 report below.
+						failedReduces = append(failedReduces, t.idx)
+						am.markFailedNoRecover(a, "node lost")
+					} else {
+						am.attemptFailed(a, "node lost")
+					}
+					if am.jobDone {
+						return
+					}
+				}
+			}
+		}
+	}
+	if am.job.Spec.Mode.SFMEnabled() {
+		report := core.FailureReport{
+			SourceNode:    node,
+			NodeAlive:     false,
+			LostMOFMaps:   am.mapsWithMOFOn(node),
+			FailedReduces: failedReduces,
+		}
+		am.runAlgorithm1(report)
+		// Never orphan a reduce: if the (possibly ablated) policy left a
+		// failed task with no attempt, fall back to a stock relaunch.
+		for _, idx := range failedReduces {
+			t := am.reduces[idx]
+			if !t.done && t.liveAttempts() == 0 && !am.jobDone {
+				am.launchReduce(t, reduceLaunchOpts{prefer: topology.Invalid, avoid: node})
+			}
+		}
+	}
+	// Baseline: lost MOFs are rediscovered by reducers' fetch failures.
+}
+
+// markFailedNoRecover accounts an attempt failure without triggering the
+// per-attempt recovery policy (used when a batch report follows).
+func (am *appMaster) markFailedNoRecover(a *attempt, reason string) {
+	if a.state != attemptRunning && a.state != attemptPending {
+		return
+	}
+	t := am.task(a.typ, a.taskIdx)
+	wasRunning := a.state == attemptRunning
+	a.state = attemptFailed
+	if a.cancelReq != nil {
+		a.cancelReq()
+	}
+	if a.fcm {
+		am.fcmRunning--
+	}
+	if wasRunning {
+		if a.exec != nil {
+			a.exec.kill(reason)
+		}
+		if a.container != nil {
+			am.job.Cluster.Release(a.container)
+		}
+	}
+	am.job.Tracer.Emit(am.job.Eng.Now(), trace.KindTaskFailed, a.id, a.nodeName(am.job), reason)
+	t.failures++
+	if a.typ == faults.Map {
+		am.job.result.MapAttemptFailures++
+	} else {
+		am.job.result.ReduceAttemptFailures++
+	}
+	if t.failures >= am.conf.MaxTaskAttempts {
+		am.jobDone = true
+		am.job.finish(true, fmt.Sprintf("task failed %d times (last: %s)", t.failures, reason))
+	}
+}
+
+func (am *appMaster) mapsWithMOFOn(node topology.NodeID) []int {
+	var out []int
+	for i, m := range am.mofs {
+		if m != nil && m.node == node && !am.rerunScheduled[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// mofHost resolves where a map's output can currently be fetched from:
+// the producing node, or (under ISS) a reachable HDFS replica.
+func (am *appMaster) mofHost(mapIdx int) (topology.NodeID, bool) {
+	m := am.mofs[mapIdx]
+	if m == nil {
+		return topology.Invalid, false
+	}
+	if am.job.Cluster.NodeReachable(m.node) {
+		return m.node, true
+	}
+	for _, r := range m.issReplicas {
+		if am.job.Cluster.NodeReachable(r) {
+			return r, true
+		}
+	}
+	return topology.Invalid, false
+}
+
+func (am *appMaster) mofAvailable(mapIdx int) bool {
+	_, ok := am.mofHost(mapIdx)
+	return ok
+}
+
+
+// onFetchFailureReport handles a reducer's report that maps on a host
+// could not be fetched.
+func (am *appMaster) onFetchFailureReport(reduceIdx int, host topology.NodeID, mapIdxs []int) {
+	if am.jobDone {
+		return
+	}
+	am.job.Tracer.Emit(am.job.Eng.Now(), trace.KindFetchFailure,
+		attemptID(faults.Reduce, reduceIdx, 0), am.job.Cluster.Topo.Node(host).Name,
+		fmt.Sprintf("%d maps", len(mapIdxs)))
+	if am.job.Spec.Mode.SFMEnabled() && am.job.Spec.SFM.ProactiveMapRegen && !am.job.Cluster.NodeReachable(host) {
+		// SFM is aware of the cause: regenerate all of the host's MOFs
+		// proactively; reducers get the wait advisory meanwhile.
+		lost := am.mapsWithMOFOn(host)
+		if len(lost) > 0 {
+			if am.job.Spec.SFM.WaitAdvisory {
+				am.job.Tracer.Emit(am.job.Eng.Now(), trace.KindWaitAdvisory,
+					attemptID(faults.Reduce, reduceIdx, 0), am.job.Cluster.Topo.Node(host).Name,
+					fmt.Sprintf("wait for regeneration of %d maps", len(lost)))
+			}
+			am.runAlgorithm1(core.FailureReport{SourceNode: host, NodeAlive: false, LostMOFMaps: lost})
+		}
+		return
+	}
+	// Stock behaviour: count reports per map; re-execute after threshold.
+	for _, m := range mapIdxs {
+		am.fetchReports[m]++
+		if am.fetchReports[m] >= am.conf.MapRerunFetchReports && !am.mofAvailable(m) && !am.rerunScheduled[m] {
+			am.rerunScheduled[m] = true
+			mt := am.maps[m]
+			if mt.done {
+				mt.rerunInFlight = true
+			}
+			am.job.Tracer.Emit(am.job.Eng.Now(), trace.KindMapRescheduled, attemptID(faults.Map, m, 0), "", "fetch-failure threshold")
+			am.launchMap(mt, false, host)
+		}
+	}
+}
+
+// registerExec / unregisterExec maintain the deterministic listener list.
+func (am *appMaster) registerExec(ex mapAvailListener) {
+	am.reduceExecs = append(am.reduceExecs, ex)
+}
+
+func (am *appMaster) unregisterExec(ex mapAvailListener) {
+	for i, e := range am.reduceExecs {
+		if e == ex {
+			am.reduceExecs = append(am.reduceExecs[:i], am.reduceExecs[i+1:]...)
+			return
+		}
+	}
+}
+
+// onFetchStarvationDeath implements Hadoop's TooManyFetchFailureTransition:
+// when a reducer dies of fetch starvation, the AM re-executes the maps it
+// was blocked on (their output is evidently gone), in every mode.
+func (am *appMaster) onFetchStarvationDeath(blockedMaps []int) {
+	for _, m := range blockedMaps {
+		if am.mofAvailable(m) || am.rerunScheduled[m] {
+			continue
+		}
+		am.rerunScheduled[m] = true
+		mt := am.maps[m]
+		if mt.done {
+			mt.rerunInFlight = true
+		}
+		am.job.Tracer.Emit(am.job.Eng.Now(), trace.KindMapRescheduled,
+			attemptID(faults.Map, m, 0), "", "reducer starvation death")
+		am.launchMap(mt, am.job.Spec.Mode.SFMEnabled(), topology.Invalid)
+	}
+}
+
+// shouldWait reports whether a reducer blocked on this map should wait
+// (SFM wait advisory) instead of accumulating failures.
+func (am *appMaster) shouldWait(mapIdx int) bool {
+	if !am.job.Spec.Mode.SFMEnabled() || !am.job.Spec.SFM.WaitAdvisory {
+		return false
+	}
+	return !am.mofAvailable(mapIdx) && am.rerunScheduled[mapIdx]
+}
+
+// ---- reduce launch gating ----
+
+func (am *appMaster) maybeLaunchReduces() {
+	if am.reducesLaunched {
+		return
+	}
+	need := int(math.Ceil(am.conf.SlowStartFraction * float64(len(am.maps))))
+	if need < 1 {
+		need = 1
+	}
+	if am.completedMaps < need {
+		return
+	}
+	am.reducesLaunched = true
+	for _, t := range am.reduces {
+		am.launchReduce(t, reduceLaunchOpts{prefer: topology.Invalid})
+	}
+}
+
+// ---- progress & timeouts ----
+
+// reportProgress is called by executors; it only lands if the attempt's
+// node can reach the AM.
+func (am *appMaster) reportProgress(a *attempt, p float64) {
+	if a.state != attemptRunning {
+		return
+	}
+	if !am.job.Cluster.NodeReachable(a.node) {
+		return // heartbeat lost in the dark
+	}
+	if p > 1 {
+		p = 1
+	}
+	a.progress = p
+	a.lastProgress = am.job.Eng.Now()
+	am.job.checkInjections()
+}
+
+func (am *appMaster) monitorTick() {
+	if am.jobDone {
+		return
+	}
+	now := am.job.Eng.Now()
+	for _, lists := range [][]*taskState{am.maps, am.reduces} {
+		for _, t := range lists {
+			for _, a := range t.attempts {
+				if a.state == attemptRunning && now-a.lastProgress > am.conf.TaskTimeout {
+					am.attemptFailed(a, "progress timeout")
+					if am.jobDone {
+						return
+					}
+				}
+			}
+		}
+	}
+	am.speculationTick()
+	am.job.Eng.Schedule(am.conf.HeartbeatInterval, am.monitorTick)
+}
+
+// nodeWithMOFsButNoReduce picks the node hosting the most MOFs among
+// nodes with no running reduce attempt (Fig. 4 scenario).
+func (am *appMaster) nodeWithMOFsButNoReduce() topology.NodeID {
+	counts := make(map[topology.NodeID]int)
+	for _, m := range am.mofs {
+		if m != nil {
+			counts[m.node]++
+		}
+	}
+	for _, t := range am.reduces {
+		for _, a := range t.attempts {
+			if a.state == attemptRunning {
+				delete(counts, a.node)
+			}
+		}
+	}
+	best := topology.Invalid
+	bestCount := 0
+	for n, c := range counts {
+		if c > bestCount || (c == bestCount && best != topology.Invalid && n < best) {
+			best, bestCount = n, c
+		}
+	}
+	return best
+}

@@ -1,0 +1,53 @@
+package engine
+
+import (
+	"testing"
+
+	"alm/internal/faults"
+	"alm/internal/workloads"
+)
+
+// Simulation-throughput benchmarks: how much wall time one virtual job
+// costs at several scales and failure loads.
+
+func benchJob(b *testing.B, spec JobSpec, plan func() *faults.Plan) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		var p *faults.Plan
+		if plan != nil {
+			p = plan()
+		}
+		res, err := Run(spec, DefaultClusterSpec(), p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Completed {
+			b.Fatalf("job failed: %s", res.FailReason)
+		}
+		if i == 0 {
+			b.ReportMetric(res.Duration.Seconds(), "virtual_s")
+		}
+	}
+}
+
+func BenchmarkJobWordcount10GB(b *testing.B) {
+	benchJob(b, JobSpec{Workload: workloads.Wordcount(), InputBytes: 10 << 30, NumReduces: 1, Mode: ModeYARN, Seed: 1}, nil)
+}
+
+func BenchmarkJobTerasort100GB(b *testing.B) {
+	benchJob(b, JobSpec{Workload: workloads.Terasort(), InputBytes: 100 << 30, NumReduces: 20, Mode: ModeYARN, Seed: 1}, nil)
+}
+
+func BenchmarkJobTerasort100GBALM(b *testing.B) {
+	benchJob(b, JobSpec{Workload: workloads.Terasort(), InputBytes: 100 << 30, NumReduces: 20, Mode: ModeALM, Seed: 1}, nil)
+}
+
+func BenchmarkJobNodeFailureYARN(b *testing.B) {
+	benchJob(b, JobSpec{Workload: workloads.Wordcount(), InputBytes: 10 << 30, NumReduces: 1, Mode: ModeYARN, Seed: 1},
+		func() *faults.Plan { return faults.StopNodeOfTaskAtReduceProgress(faults.Reduce, 0, 0.5) })
+}
+
+func BenchmarkJobNodeFailureALM(b *testing.B) {
+	benchJob(b, JobSpec{Workload: workloads.Wordcount(), InputBytes: 10 << 30, NumReduces: 1, Mode: ModeALM, Seed: 1},
+		func() *faults.Plan { return faults.StopNodeOfTaskAtReduceProgress(faults.Reduce, 0, 0.5) })
+}

@@ -1,0 +1,469 @@
+// Package engine is the MapReduce runtime: an AppMaster scheduling Map-
+// and ReduceTask attempts in YARN containers over the simulated cluster,
+// with the stock re-execution/fetch-failure fault handling (which
+// reproduces the paper's failure amplifications) and, when enabled, the
+// ALM framework from internal/core (ALG logging, SFM scheduling, FCM
+// recovery).
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"alm/internal/cluster"
+	"alm/internal/core"
+	"alm/internal/faults"
+	"alm/internal/merge"
+	"alm/internal/mr"
+	"alm/internal/sim"
+	"alm/internal/topology"
+	"alm/internal/trace"
+	"alm/internal/workloads"
+)
+
+// Mode selects the fault-tolerance framework for a run.
+type Mode int
+
+// Engine modes.
+const (
+	// ModeYARN is the stock baseline: task re-execution from scratch,
+	// fetch-failure-driven map regeneration, reducer self-kill on fetch
+	// stalls.
+	ModeYARN Mode = iota
+	// ModeALG adds analytics logging + log replay on retry.
+	ModeALG
+	// ModeSFM adds Algorithm 1 scheduling and FCM recovery (no logging).
+	ModeSFM
+	// ModeALM is the full framework (SFM + ALG).
+	ModeALM
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeYARN:
+		return "yarn"
+	case ModeALG:
+		return "alg"
+	case ModeSFM:
+		return "sfm"
+	case ModeALM:
+		return "alm"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ALGEnabled reports whether the mode performs analytics logging.
+func (m Mode) ALGEnabled() bool { return m == ModeALG || m == ModeALM }
+
+// SFMEnabled reports whether the mode uses Algorithm 1 + FCM.
+func (m Mode) SFMEnabled() bool { return m == ModeSFM || m == ModeALM }
+
+// JobSpec describes one MapReduce job.
+type JobSpec struct {
+	Name       string
+	Workload   *workloads.Workload
+	InputBytes int64
+	NumReduces int
+	Conf       mr.Config
+	Mode       Mode
+	ALG        core.ALGOptions
+	SFM        core.SFMOptions
+	// SamplePerSplit bounds real records materialised per input split.
+	SamplePerSplit int
+	Seed           int64
+
+	// ISS enables Intermediate Storage System semantics (Ko et al.,
+	// SoCC'10 — the paper's related work): every MOF is additionally
+	// replicated to HDFS at map commit, so reducers can fetch lost
+	// partitions from replicas instead of waiting for regeneration. It
+	// composes with any Mode (the paper discusses ISS over stock YARN).
+	ISS ISSOptions
+	// Checkpoint enables the heavyweight system-level checkpointing the
+	// paper's Section III contrasts ALG against: periodic synchronous
+	// snapshots of the task's entire memory image to HDFS.
+	Checkpoint CheckpointOptions
+}
+
+// ISSOptions configures intermediate-data replication.
+type ISSOptions struct {
+	Enabled bool
+	// Replicas for each MOF on HDFS (besides the local copy). Zero means
+	// 1 when enabled.
+	Replicas int
+}
+
+// CheckpointOptions configures heavyweight checkpoint/restart.
+type CheckpointOptions struct {
+	Enabled bool
+	// Interval between snapshots. Zero means 30s when enabled.
+	Interval time.Duration
+	// ImageBytes is the logical size of one memory snapshot. Zero means
+	// the full reduce heap (ReduceMemoryMB), the paper's "tasks with
+	// several GBs of heap memory" case.
+	ImageBytes int64
+}
+
+// Defaulted fills zero fields with defaults and validates.
+func (s JobSpec) Defaulted() (JobSpec, error) {
+	if s.Workload == nil {
+		return s, fmt.Errorf("engine: JobSpec needs a workload")
+	}
+	if s.Name == "" {
+		s.Name = s.Workload.Name
+	}
+	if s.InputBytes <= 0 {
+		return s, fmt.Errorf("engine: JobSpec needs positive InputBytes")
+	}
+	if s.NumReduces <= 0 {
+		s.NumReduces = 1
+	}
+	if s.Conf.BlockSizeBytes == 0 {
+		s.Conf = mr.DefaultConfig()
+	}
+	if s.SamplePerSplit <= 0 {
+		s.SamplePerSplit = 48
+	}
+	if s.ALG.Interval == 0 {
+		s.ALG = core.DefaultALGOptions()
+	}
+	if s.SFM.FCMCap == 0 {
+		s.SFM = core.DefaultSFMOptions()
+	}
+	if s.ISS.Enabled && s.ISS.Replicas <= 0 {
+		s.ISS.Replicas = 1
+	}
+	if s.Checkpoint.Enabled {
+		if s.Checkpoint.Interval <= 0 {
+			s.Checkpoint.Interval = 30 * time.Second
+		}
+		if s.Checkpoint.ImageBytes <= 0 {
+			s.Checkpoint.ImageBytes = int64(s.Conf.ReduceMemoryMB) << 20
+		}
+	}
+	if err := s.Conf.Validate(); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+// Result is the outcome of a job run.
+type Result struct {
+	Completed  bool
+	Failed     bool
+	FailReason string
+	// Duration is job submission to completion in virtual time.
+	Duration time.Duration
+	// MapPhaseDone is when the last map first completed.
+	MapPhaseDone time.Duration
+	// Output is the concatenated real reduce output, in partition order.
+	Output             []mr.Record
+	OutputLogicalBytes int64
+
+	// Failure accounting.
+	MapAttemptFailures    int
+	ReduceAttemptFailures int
+	// AdditionalReduceFailures counts reduce attempts that died of fetch
+	// starvation or progress timeout while their own node was healthy —
+	// the paper's "infected healthy ReduceTasks" (Table II).
+	AdditionalReduceFailures int
+
+	Counters mr.Counters
+	Trace    *trace.Collector
+}
+
+// localNode is a worker node's local state outside YARN's view: the local
+// filesystem holding spilled segments, MOFs and ALG logs. StopNetwork
+// keeps it intact (but unreachable); Crash destroys it.
+type localNode struct {
+	segments map[string]*merge.Segment
+	// segMaps records which map outputs each spilled segment contains —
+	// node-local metadata a restored attempt reads alongside the segment
+	// (so an ALG log never claims data that only lived in lost memory).
+	segMaps map[string][]int
+	algLogs map[int][]byte // taskIdx -> latest serialized local log record
+}
+
+// Job is one running MapReduce job.
+type Job struct {
+	Spec    JobSpec
+	Eng     *sim.Engine
+	Cluster *cluster.Cluster
+	Tracer  *trace.Collector
+
+	am       *appMaster
+	locals   []*localNode
+	plan     *faults.Plan
+	result   Result
+	finished bool
+	startAt  sim.Time
+
+	// hdfsFlushed holds the real records of ALG-flushed partial reduce
+	// output, keyed by reduce task index (the data behind the HDFS flush
+	// files, which the DFS models only as bytes).
+	hdfsFlushed map[int]*flushedOutput
+	// hdfsLogs is the latest reduce-stage log record stored on HDFS per
+	// reduce task.
+	hdfsLogs map[int]*core.LogRecord
+	// checkpoints is the newest committed heavyweight snapshot per reduce
+	// task (checkpoint.go).
+	checkpoints map[int]*ckptImage
+
+	onFinish func()
+}
+
+type flushedOutput struct {
+	records      []mr.Record
+	logicalBytes int64
+	// upToRealRecords is the cursor watermark the flush corresponds to.
+	upToRealRecords int
+	path            string
+}
+
+// NewJob builds a job over an existing cluster. The cluster must have at
+// least one usable node.
+func NewJob(spec JobSpec, cl *cluster.Cluster, plan *faults.Plan) (*Job, error) {
+	spec, err := spec.Defaulted()
+	if err != nil {
+		return nil, err
+	}
+	j := &Job{
+		Spec:        spec,
+		Eng:         cl.Eng,
+		Cluster:     cl,
+		Tracer:      trace.New(),
+		plan:        plan,
+		hdfsFlushed: make(map[int]*flushedOutput),
+		hdfsLogs:    make(map[int]*core.LogRecord),
+		checkpoints: make(map[int]*ckptImage),
+	}
+	for range cl.Topo.Nodes() {
+		j.locals = append(j.locals, &localNode{
+			segments: make(map[string]*merge.Segment),
+			segMaps:  make(map[string][]int),
+			algLogs:  make(map[int][]byte),
+		})
+	}
+	j.result.Counters = mr.Counters{}
+	j.result.Trace = j.Tracer
+	return j, nil
+}
+
+// Start submits the job: loads the input into DFS and boots the
+// AppMaster. The caller then drives the simulation engine.
+func (j *Job) Start(onFinish func()) error {
+	j.onFinish = onFinish
+	j.startAt = j.Eng.Now()
+	inputName := "input/" + j.Spec.Name
+	if !j.Cluster.DFS.Exists(inputName) {
+		if _, err := j.Cluster.DFS.AddFile(inputName, j.Spec.InputBytes, j.Spec.Conf.BlockSizeBytes, j.Spec.Conf.DFSReplication); err != nil {
+			return err
+		}
+	}
+	j.am = newAppMaster(j, inputName)
+	j.am.start()
+	j.scheduleTimedInjections()
+	j.Eng.Schedule(2*time.Second, j.sampleTick)
+	return nil
+}
+
+// Result returns the job outcome; valid once the run has finished.
+func (j *Job) Result() Result { return j.result }
+
+// Finished reports whether the job reached a terminal state.
+func (j *Job) Finished() bool { return j.finished }
+
+// local returns a node's local state.
+func (j *Job) local(id topology.NodeID) *localNode { return j.locals[id] }
+
+// crashWipe destroys a node's local data (CrashNode action).
+func (j *Job) crashWipe(id topology.NodeID) {
+	j.locals[id] = &localNode{
+		segments: make(map[string]*merge.Segment),
+		segMaps:  make(map[string][]int),
+		algLogs:  make(map[int][]byte),
+	}
+}
+
+func (j *Job) finish(failed bool, reason string) {
+	if j.finished {
+		return
+	}
+	j.finished = true
+	j.result.Failed = failed
+	j.result.Completed = !failed
+	j.result.FailReason = reason
+	j.result.Duration = time.Duration(j.Eng.Now() - j.startAt)
+	if failed {
+		j.Tracer.Emit(j.Eng.Now(), trace.KindJobFailed, "", "", reason)
+	} else {
+		j.Tracer.Emit(j.Eng.Now(), trace.KindJobFinished, "", "", "")
+		j.assembleOutput()
+	}
+	if j.onFinish != nil {
+		j.onFinish()
+	}
+}
+
+// assembleOutput concatenates per-reduce outputs (the winner's restored
+// ALG-flushed prefix, if any, plus its computed suffix) in partition
+// order.
+func (j *Job) assembleOutput() {
+	for idx := 0; idx < j.Spec.NumReduces; idx++ {
+		t := j.am.reduces[idx]
+		if t.winner == nil {
+			continue
+		}
+		j.result.Output = append(j.result.Output, t.winner.prefixOutput...)
+		j.result.OutputLogicalBytes += t.winner.prefixLogical
+		j.result.Output = append(j.result.Output, t.winner.output...)
+		j.result.OutputLogicalBytes += t.winner.outputLogical
+	}
+}
+
+// ---- progress metrics & fault triggers ----
+
+// mapPhaseFraction is completed maps / total maps.
+func (j *Job) mapPhaseFraction() float64 {
+	if len(j.am.maps) == 0 {
+		return 1
+	}
+	return float64(j.am.completedMaps) / float64(len(j.am.maps))
+}
+
+// reducePhaseFraction is the mean best-attempt progress across reduces.
+func (j *Job) reducePhaseFraction() float64 {
+	if len(j.am.reduces) == 0 {
+		return 1
+	}
+	var sum float64
+	for _, t := range j.am.reduces {
+		sum += t.bestProgress()
+	}
+	return sum / float64(len(j.am.reduces))
+}
+
+func (j *Job) jobProgress() float64 {
+	return (j.mapPhaseFraction() + j.reducePhaseFraction()) / 2
+}
+
+// sampleTick records the timeline series the paper's figures profile.
+func (j *Job) sampleTick() {
+	if j.finished {
+		return
+	}
+	now := j.Eng.Now()
+	j.Tracer.Sample("reduce-progress", now, j.reducePhaseFraction())
+	j.Tracer.Sample("map-progress", now, j.mapPhaseFraction())
+	j.Tracer.Sample("failed-reduce-attempts", now, float64(j.result.ReduceAttemptFailures))
+	j.checkInjections()
+	j.Eng.Schedule(2*time.Second, j.sampleTick)
+}
+
+func (j *Job) scheduleTimedInjections() {
+	if j.plan == nil {
+		return
+	}
+	for _, inj := range j.plan.Injections {
+		if inj.When.Kind == faults.AtTime {
+			inj := inj
+			j.Eng.Schedule(sim.Time(inj.When.Time), func() { j.fire(inj) })
+		}
+	}
+}
+
+// checkInjections evaluates progress-based triggers; called from progress
+// updates and the sampling tick.
+func (j *Job) checkInjections() {
+	if j.plan == nil || j.finished {
+		return
+	}
+	for _, inj := range j.plan.Injections {
+		if inj.Done {
+			continue
+		}
+		switch inj.When.Kind {
+		case faults.AtReducePhaseProgress:
+			if j.reducePhaseFraction() >= inj.When.Fraction {
+				j.fire(inj)
+			}
+		case faults.AtJobProgress:
+			if j.jobProgress() >= inj.When.Fraction {
+				j.fire(inj)
+			}
+		case faults.AtTaskProgress:
+			if t := j.am.task(inj.When.Task, inj.When.TaskIdx); t != nil {
+				if a := t.runningAttempt(); a != nil && a.progress >= inj.When.Fraction {
+					j.fire(inj)
+				}
+			}
+		}
+	}
+}
+
+// fire applies one injection.
+func (j *Job) fire(inj *faults.Injection) {
+	if inj.Done || j.finished {
+		return
+	}
+	inj.Done = true
+	switch inj.Do.Kind {
+	case faults.FailTask:
+		if t := j.am.task(inj.Do.Task, inj.Do.TaskIdx); t != nil {
+			if a := t.runningAttempt(); a != nil {
+				j.am.attemptFailed(a, "injected out-of-memory error")
+			}
+		}
+	case faults.StopNodeNetwork, faults.CrashNode:
+		node := j.selectNode(inj.Do)
+		if node == topology.Invalid {
+			return
+		}
+		j.Tracer.Emit(j.Eng.Now(), trace.KindNodeCrashed, "", j.Cluster.Topo.Node(node).Name,
+			fmt.Sprintf("injected %v", inj.Do.Kind))
+		if inj.Do.Kind == faults.CrashNode {
+			j.Cluster.Crash(node)
+			j.crashWipe(node)
+		} else {
+			j.Cluster.StopNetwork(node)
+		}
+		j.am.nodeWentDark(node)
+	case faults.SlowNode:
+		node := j.selectNode(inj.Do)
+		if node == topology.Invalid {
+			return
+		}
+		j.Tracer.Emit(j.Eng.Now(), trace.KindNodeCrashed, "", j.Cluster.Topo.Node(node).Name,
+			fmt.Sprintf("injected slow disks x%.2f", inj.Do.Factor))
+		j.Cluster.SlowDisks(node, inj.Do.Factor)
+	}
+}
+
+func (j *Job) selectNode(a faults.Action) topology.NodeID {
+	switch a.Selector {
+	case faults.NodeExplicit:
+		return topology.NodeID(a.Node)
+	case faults.NodeOfTask:
+		if t := j.am.task(a.Task, a.TaskIdx); t != nil {
+			if at := t.runningAttempt(); at != nil {
+				return at.node
+			}
+		}
+		return topology.Invalid
+	case faults.NodeWithMOFsOnly:
+		return j.am.nodeWithMOFsButNoReduce()
+	}
+	return topology.Invalid
+}
+
+// ---- helpers shared by the task code ----
+
+// attemptID renders the Hadoop-style attempt name.
+func attemptID(typ faults.TaskType, taskIdx, attemptNo int) string {
+	c := "m"
+	if typ == faults.Reduce {
+		c = "r"
+	}
+	return fmt.Sprintf("%s_%03d_%d", c, taskIdx, attemptNo)
+}
+

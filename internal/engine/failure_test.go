@@ -1,0 +1,174 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"alm/internal/faults"
+	"alm/internal/trace"
+	"alm/internal/workloads"
+)
+
+// paperCluster is the full 20-worker testbed.
+func paperCluster() ClusterSpec { return DefaultClusterSpec() }
+
+func wordcountSpec(mode Mode) JobSpec {
+	return JobSpec{
+		Workload:   workloads.Wordcount(),
+		InputBytes: 10 << 30,
+		NumReduces: 1,
+		Mode:       mode,
+		Seed:       11,
+	}
+}
+
+func terasortSpec(mode Mode) JobSpec {
+	return JobSpec{
+		Workload:   workloads.Terasort(),
+		InputBytes: 100 << 30,
+		NumReduces: 20,
+		Mode:       mode,
+		Seed:       11,
+	}
+}
+
+func mustRun(t *testing.T, spec JobSpec, cs ClusterSpec, plan *faults.Plan) Result {
+	t.Helper()
+	res, err := Run(spec, cs, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("job failed: %s\ntrace:\n%s", res.FailReason, res.Trace.Dump())
+	}
+	return res
+}
+
+func outputKey(res Result) string {
+	h := ""
+	for _, r := range res.Output {
+		h += r.Key + "\x00" + r.Value + "\x01"
+	}
+	return fmt.Sprintf("%d/%x", len(res.Output), fnvHash(h))
+}
+
+func fnvHash(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// A single injected ReduceTask failure must delay a stock-YARN job, and
+// the recovered output must equal the failure-free output.
+func TestReduceFailureDelaysYARN(t *testing.T) {
+	free := mustRun(t, wordcountSpec(ModeYARN), paperCluster(), nil)
+	failed := mustRun(t, wordcountSpec(ModeYARN), paperCluster(),
+		faults.FailTaskAtProgress(faults.Reduce, 0, 0.7))
+	if failed.ReduceAttemptFailures == 0 {
+		t.Fatal("injection did not fail any reduce attempt")
+	}
+	if failed.Duration <= free.Duration {
+		t.Fatalf("failure did not delay the job: free=%v failed=%v", free.Duration, failed.Duration)
+	}
+	if outputKey(free) != outputKey(failed) {
+		t.Fatalf("recovered output differs from failure-free output:\nfree   %s\nfailed %s",
+			outputKey(free), outputKey(failed))
+	}
+	t.Logf("free=%v failed=%v (+%.0f%%)", free.Duration, failed.Duration,
+		100*(failed.Duration.Seconds()/free.Duration.Seconds()-1))
+}
+
+// ALG log replay must recover a late reduce failure faster than stock
+// re-execution, with identical output.
+func TestALGFasterThanYARNOnTaskFailure(t *testing.T) {
+	plan := func() *faults.Plan { return faults.FailTaskAtProgress(faults.Reduce, 0, 0.8) }
+	yarn := mustRun(t, wordcountSpec(ModeYARN), paperCluster(), plan())
+	alg := mustRun(t, wordcountSpec(ModeALG), paperCluster(), plan())
+	if alg.Duration >= yarn.Duration {
+		t.Fatalf("ALG (%v) not faster than YARN (%v)", alg.Duration, yarn.Duration)
+	}
+	free := mustRun(t, wordcountSpec(ModeYARN), paperCluster(), nil)
+	if outputKey(free) != outputKey(alg) {
+		t.Fatalf("ALG recovered output differs from failure-free output")
+	}
+	if alg.Counters["alg.restores.local"] == 0 && alg.Counters["alg.restores.hdfs"] == 0 {
+		t.Fatal("ALG run never replayed a log")
+	}
+	t.Logf("yarn=%v alg=%v", yarn.Duration, alg.Duration)
+}
+
+// Temporal amplification (paper Fig. 3): under stock YARN a node failure
+// mid-reduce causes the recovered ReduceTask to fail a second time while
+// chasing MOFs on the dead node. SFM eliminates the second failure
+// (Fig. 10).
+func TestTemporalAmplification(t *testing.T) {
+	plan := func() *faults.Plan {
+		return faults.StopNodeOfTaskAtReduceProgress(faults.Reduce, 0, 0.5)
+	}
+	yarn := mustRun(t, wordcountSpec(ModeYARN), paperCluster(), plan())
+	if yarn.ReduceAttemptFailures < 2 {
+		t.Fatalf("expected temporal amplification under YARN (>=2 reduce failures), got %d\n%s",
+			yarn.ReduceAttemptFailures, yarn.Trace.Dump())
+	}
+	sfm := mustRun(t, wordcountSpec(ModeSFM), paperCluster(), plan())
+	if sfm.AdditionalReduceFailures != 0 {
+		t.Fatalf("SFM should not let healthy recovery attempts fail, got %d\n%s",
+			sfm.AdditionalReduceFailures, sfm.Trace.Dump())
+	}
+	if sfm.Duration >= yarn.Duration {
+		t.Fatalf("SFM (%v) not faster than YARN (%v) on node failure", sfm.Duration, yarn.Duration)
+	}
+	free := mustRun(t, wordcountSpec(ModeYARN), paperCluster(), nil)
+	if outputKey(free) != outputKey(sfm) || outputKey(free) != outputKey(yarn) {
+		t.Fatal("recovered outputs differ from failure-free output")
+	}
+	t.Logf("yarn=%v (failures=%d) sfm=%v (failures=%d)",
+		yarn.Duration, yarn.ReduceAttemptFailures, sfm.Duration, sfm.ReduceAttemptFailures)
+}
+
+// Spatial amplification (paper Fig. 4 / Table II): killing a node that
+// hosts only MOFs infects healthy ReduceTasks under stock YARN; SFM
+// prevents any additional failures.
+func TestSpatialAmplification(t *testing.T) {
+	plan := func() *faults.Plan { return faults.StopMOFNodeAtJobProgress(0.55) }
+	yarn := mustRun(t, terasortSpec(ModeYARN), paperCluster(), plan())
+	if yarn.AdditionalReduceFailures == 0 {
+		t.Fatalf("expected healthy reducers to be infected under YARN\n%s", yarn.Trace.Dump())
+	}
+	sfm := mustRun(t, terasortSpec(ModeSFM), paperCluster(), plan())
+	if sfm.AdditionalReduceFailures != 0 {
+		t.Fatalf("SFM should prevent spatial amplification, got %d additional failures\n%s",
+			sfm.AdditionalReduceFailures, sfm.Trace.Dump())
+	}
+	t.Logf("yarn: +%d failures, %v; sfm: +%d failures, %v",
+		yarn.AdditionalReduceFailures, yarn.Duration, sfm.AdditionalReduceFailures, sfm.Duration)
+}
+
+// The trace must show the paper's Fig. 3 sequence under YARN: crash ->
+// detection after the timeout -> relaunch -> second failure.
+func TestTemporalTimelineShape(t *testing.T) {
+	res := mustRun(t, wordcountSpec(ModeYARN), paperCluster(),
+		faults.StopNodeOfTaskAtReduceProgress(faults.Reduce, 0, 0.5))
+	crash := res.Trace.First(trace.KindNodeCrashed)
+	if crash == nil {
+		t.Fatal("no crash event")
+	}
+	var detected *trace.Event
+	for i := range res.Trace.Events {
+		e := &res.Trace.Events[i]
+		if e.Kind == trace.KindTaskFailed && e.At > crash.At {
+			detected = e
+			break
+		}
+	}
+	if detected == nil {
+		t.Fatal("crashed reducer never detected")
+	}
+	gap := (detected.At - crash.At).Seconds()
+	if gap < 60 || gap > 90 {
+		t.Fatalf("detection gap %.1fs, want ~70s (task timeout)", gap)
+	}
+}

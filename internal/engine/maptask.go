@@ -1,0 +1,204 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"alm/internal/dfs"
+	"alm/internal/fairshare"
+	"alm/internal/merge"
+	"alm/internal/mr"
+	"alm/internal/sim"
+	"alm/internal/topology"
+	"alm/internal/workloads"
+)
+
+// mapExec runs one MapTask attempt: read the split from DFS, apply the
+// map function (CPU), and write the Map Output File to the local disk.
+type mapExec struct {
+	job  *Job
+	t    *taskState
+	a    *attempt
+	dead bool
+
+	flows  []*fairshare.Flow
+	timers []*sim.Timer
+
+	issReplicas []topology.NodeID
+}
+
+func newMapExec(j *Job, t *taskState, a *attempt) *mapExec {
+	return &mapExec{job: j, t: t, a: a}
+}
+
+func (m *mapExec) kill(string) {
+	m.dead = true
+	for _, f := range m.flows {
+		f.Cancel()
+	}
+	for _, tm := range m.timers {
+		tm.Stop()
+	}
+}
+
+func (m *mapExec) start() {
+	// Container localization + JVM startup.
+	m.timers = append(m.timers, m.job.Eng.Schedule(m.job.Spec.Conf.TaskLaunchOverhead, m.begin))
+}
+
+func (m *mapExec) begin() {
+	if m.dead {
+		return
+	}
+	// Stage 1: read the input split (locality was preferred at launch, so
+	// this is usually a local disk read).
+	flow, err := m.job.Cluster.DFS.ReadBlock(m.t.block, m.a.node, func(error) { m.afterRead() })
+	if err != nil {
+		// No live replica: the input is gone. The attempt fails; the AM
+		// retries and the job dies if the data never comes back.
+		m.job.am.attemptFailed(m.a, "input split unreadable: "+err.Error())
+		return
+	}
+	m.flows = append(m.flows, flow)
+}
+
+func (m *mapExec) afterRead() {
+	if m.dead {
+		return
+	}
+	m.job.am.reportProgress(m.a, 0.4)
+	// Stage 2: map-function CPU (plus sort/partition of the output).
+	cpu := secondsDur(float64(m.t.block.Bytes) / m.job.Spec.Conf.Costs.MapCPURate)
+	m.timers = append(m.timers, m.job.Eng.Schedule(cpu, m.afterCPU))
+}
+
+func (m *mapExec) afterCPU() {
+	if m.dead {
+		return
+	}
+	m.job.am.reportProgress(m.a, 0.7)
+	outBytes := int64(float64(m.t.block.Bytes) * m.job.Spec.Workload.MapOutputRatio)
+	if outBytes < 1 {
+		outBytes = 1
+	}
+	// Stage 3: write the MOF (all partitions) to the local disk.
+	f := m.job.Cluster.Disks.Write(m.a.node, outBytes, func() { m.afterWrite(outBytes) })
+	m.flows = append(m.flows, f)
+}
+
+func (m *mapExec) afterWrite(outBytes int64) {
+	if m.dead {
+		return
+	}
+	if !m.job.Cluster.NodeReachable(m.a.node) {
+		// Finished, but the success report cannot reach the AM; the task
+		// is stranded and will be declared failed by the progress timeout.
+		return
+	}
+	parts := m.buildPartitions(outBytes)
+	m.job.result.Counters.Add("map.output.bytes", outBytes)
+	if m.job.Spec.ISS.Enabled {
+		// ISS: replicate the MOF to HDFS before committing the map —
+		// the availability/overhead trade the paper's related work makes.
+		name := fmt.Sprintf("iss/%s/%s", m.job.Spec.Name, m.a.id)
+		replicas, err := m.job.Cluster.DFS.Write(name, m.a.node, outBytes,
+			dfs.WriteOptions{Replication: 1 + m.job.Spec.ISS.Replicas, Scope: mr.ReplicateCluster},
+			func(error) {
+				if m.dead {
+					return
+				}
+				m.commitISS(parts, outBytes)
+			})
+		if err != nil {
+			m.commitISS(parts, outBytes) // replication impossible; commit plain
+			return
+		}
+		m.issReplicas = replicas[1:]
+		m.job.result.Counters.Add("iss.replicated.bytes", outBytes*int64(m.job.Spec.ISS.Replicas))
+		return
+	}
+	m.job.am.mapFinished(m.t, m.a, parts)
+}
+
+func (m *mapExec) commitISS(parts []*merge.Segment, outBytes int64) {
+	if m.dead || !m.job.Cluster.NodeReachable(m.a.node) {
+		return
+	}
+	m.job.am.mapFinishedISS(m.t, m.a, parts, m.issReplicas)
+}
+
+// buildPartitions materialises the MOF: the deterministic sample records
+// for this split are generated, mapped, partitioned and sorted. The same
+// split index always yields the same records, so a re-executed map
+// regenerates an identical MOF — the property ALG's log replay relies on.
+func (m *mapExec) buildPartitions(outBytes int64) []*merge.Segment {
+	spec := m.job.Spec
+	w := spec.Workload
+	rng := rand.New(rand.NewSource(spec.Seed*1_000_003 + int64(m.t.idx)))
+	inputs := w.Gen(rng, spec.SamplePerSplit)
+	numR := spec.NumReduces
+	part := w.Part()
+	buckets := make([][]mr.Record, numR)
+	for _, rec := range inputs {
+		w.Map(rec.Key, rec.Value, func(k, v string) {
+			p := part(k, numR)
+			buckets[p] = append(buckets[p], mr.Record{Key: k, Value: v})
+		})
+	}
+	if w.Combine != nil {
+		for r := range buckets {
+			buckets[r] = combineBucket(w, buckets[r])
+		}
+	}
+	perPartBytes := outBytes / int64(numR)
+	if perPartBytes < 1 {
+		perPartBytes = 1
+	}
+	perPartRecords := perPartBytes / 32
+	if perPartRecords < 1 {
+		perPartRecords = 1
+	}
+	segs := make([]*merge.Segment, numR)
+	for r := 0; r < numR; r++ {
+		segs[r] = merge.NewSegment(
+			attemptID(m.a.typ, m.t.idx, m.a.attemptNo)+"/part",
+			w.Cmp(), buckets[r], perPartBytes, perPartRecords)
+	}
+	return segs
+}
+
+// combineBucket applies the workload's combiner per exact key, like a
+// Hadoop map-side combiner running over the sorted spill.
+func combineBucket(w *workloads.Workload, recs []mr.Record) []mr.Record {
+	if len(recs) == 0 {
+		return recs
+	}
+	cmp := w.Cmp()
+	sort.SliceStable(recs, func(i, j int) bool { return cmp(recs[i].Key, recs[j].Key) < 0 })
+	out := recs[:0:0]
+	i := 0
+	for i < len(recs) {
+		j := i + 1
+		for j < len(recs) && recs[j].Key == recs[i].Key {
+			j++
+		}
+		values := make([]string, 0, j-i)
+		for k := i; k < j; k++ {
+			values = append(values, recs[k].Value)
+		}
+		w.Combine(recs[i].Key, values, func(k, v string) {
+			out = append(out, mr.Record{Key: k, Value: v})
+		})
+		i = j
+	}
+	return out
+}
+
+// secondsDur converts seconds to a sim duration.
+func secondsDur(s float64) sim.Time {
+	if s < 0 {
+		s = 0
+	}
+	return sim.Time(s * 1e9)
+}

@@ -1,0 +1,1072 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"alm/internal/core"
+	"alm/internal/dfs"
+	"alm/internal/fairshare"
+	"alm/internal/merge"
+	"alm/internal/mr"
+	"alm/internal/sim"
+	"alm/internal/topology"
+	"alm/internal/trace"
+)
+
+// mapAvailListener is notified when a map's output becomes available
+// (first completion or regeneration).
+type mapAvailListener interface{ onMapAvailable(mapIdx int) }
+
+// reduceExec runs one regular ReduceTask attempt through the three
+// stages: shuffle (fetch MOF partitions, spilling and merging in the
+// background), merge (final merge passes down to io.sort.factor runs) and
+// reduce (MPQ traversal applying the user reduce function, streaming
+// output to HDFS). It implements the stock YARN fetch-failure behaviour
+// and, when the job mode enables them, ALG logging/replay and the SFM
+// wait advisory.
+type reduceExec struct {
+	job  *Job
+	t    *taskState
+	a    *attempt
+	conf mr.Config
+	dead bool
+
+	flows  []*fairshare.Flow
+	timers []*sim.Timer
+
+	stage core.Stage
+
+	// Shuffle state.
+	copied           []bool
+	copiedCount      int
+	hostInSession    map[topology.NodeID]bool
+	hostFailures     map[topology.NodeID]int
+	lastFetchSuccess sim.Time
+	sessions         int
+	inMem            []*merge.Segment
+	inMemMaps        map[*merge.Segment][]int
+	inMemBytes       int64
+	onDisk           []*merge.Segment
+	shuffledLogical  int64
+	memoryLimit      int64
+	inMemMergeBusy   bool
+	spillSeq         int
+	// pendingDiskOps counts in-flight spills and in-memory merges; the
+	// final merge must not start until they all land.
+	pendingDiskOps int
+	mergeStarted   bool
+	// shufflePort caps this reducer's aggregate ingest rate.
+	shufflePort *fairshare.Port
+
+	// Merge stage.
+	mergeNeeded int64
+	mergeDone   int64
+
+	// Reduce stage.
+	finalSegs    []*merge.Segment
+	cursor       *merge.GroupCursor
+	totalLogical int64
+	totalReal    int
+	processed    int64
+	// realBase counts real records consumed before this cursor was
+	// constructed (local log restore); skipReal is the fast-forward
+	// watermark for an HDFS-log restore on a fresh shuffle.
+	realBase        int
+	skipReal        int
+	restoredLogical int64
+	output          []mr.Record
+	outputLogical   int64
+	outWriter       *dfs.StreamWriter
+	usedFlushed     bool
+	processedGroups int
+
+	// ALG state.
+	algSeq     int
+	algPending bool
+	// lastFlushedOutput tracks the output watermark already flushed to
+	// HDFS (records of *this* attempt's output slice).
+	lastFlushedRecords int
+	lastFlushedLogical int64
+	// restoredFlush carries the flushed prefix inherited from a previous
+	// attempt (HDFS-side), so this attempt's flushes extend it.
+	restoredFlush *flushedOutput
+
+	// Heavyweight checkpoint state (see checkpoint.go).
+	ckptPending        bool
+	ckptBusy           bool
+	ckptRestoring      bool
+	ckptSeq            int
+	ckptRestoredOutput int64
+}
+
+func newReduceExec(j *Job, t *taskState, a *attempt) *reduceExec {
+	r := &reduceExec{
+		job: j, t: t, a: a, conf: j.Spec.Conf,
+		copied:        make([]bool, len(j.am.maps)),
+		inMemMaps:     make(map[*merge.Segment][]int),
+		hostInSession: make(map[topology.NodeID]bool),
+		hostFailures:  make(map[topology.NodeID]int),
+		stage:         core.StageShuffle,
+	}
+	r.memoryLimit = int64(float64(r.conf.ReduceMemoryMB) * 1024 * 1024 * r.conf.ShuffleMemoryShare)
+	r.lastFetchSuccess = j.Eng.Now()
+	return r
+}
+
+func (r *reduceExec) kill(string) {
+	r.dead = true
+	r.job.am.unregisterExec(r)
+	for _, f := range r.flows {
+		f.Cancel()
+	}
+	for _, tm := range r.timers {
+		tm.Stop()
+	}
+	if r.outWriter != nil {
+		r.outWriter.Abort()
+	}
+}
+
+func (r *reduceExec) addFlow(f *fairshare.Flow)  { r.flows = append(r.flows, f) }
+func (r *reduceExec) addTimer(t *sim.Timer)      { r.timers = append(r.timers, t) }
+func (r *reduceExec) after(d sim.Time, f func()) { r.addTimer(r.job.Eng.Schedule(d, f)) }
+
+func (r *reduceExec) start() {
+	// Container localization + JVM startup.
+	r.after(r.conf.TaskLaunchOverhead, r.begin)
+}
+
+func (r *reduceExec) begin() {
+	if r.dead {
+		return
+	}
+	r.job.am.registerExec(r)
+	r.shufflePort = r.job.Cluster.Net.System().NewPort(r.a.id+"/shuffle-cpu", r.conf.Costs.ShuffleCPURate)
+	r.livenessPing()
+	if r.job.Spec.Checkpoint.Enabled {
+		r.after(r.job.Spec.Checkpoint.Interval, r.ckptTick)
+		if r.tryCheckpointRestore() {
+			return // execution resumes once the image read lands
+		}
+	}
+	if r.job.Spec.Mode.ALGEnabled() {
+		if r.a.localResume && r.tryLocalRestore() {
+			// Restored; execution continues from the restored stage.
+		} else if r.tryHDFSRestore() {
+			// Migration restore: shuffle everything again but skip the
+			// already-reduced prefix in the reduce stage.
+		}
+		r.after(r.job.Spec.ALG.Interval, r.algTick)
+	}
+	if r.stage == core.StageReduce && r.cursor != nil {
+		// Local reduce-stage restore jumps straight into the reduce loop.
+		r.startReduceStageRestored()
+		return
+	}
+	r.fillFetchers()
+}
+
+// livenessPing keeps the AM's progress timestamp fresh while the task is
+// genuinely alive and reachable — matching Hadoop's status pings, so the
+// AM timeout only fires for unreachable or wedged tasks.
+func (r *reduceExec) livenessPing() {
+	if r.dead {
+		return
+	}
+	r.job.am.reportProgress(r.a, r.progress())
+	r.after(r.conf.HeartbeatInterval, r.livenessPing)
+}
+
+func (r *reduceExec) progress() float64 {
+	var shuffle, mergeF, reduceF float64
+	if n := len(r.copied); n > 0 {
+		shuffle = float64(r.copiedCount) / float64(n)
+	}
+	switch {
+	case r.stage == core.StageShuffle:
+		mergeF, reduceF = 0, 0
+	case r.stage == core.StageMerge:
+		if r.mergeNeeded > 0 {
+			mergeF = float64(r.mergeDone) / float64(r.mergeNeeded)
+		} else {
+			mergeF = 1
+		}
+	default:
+		mergeF = 1
+		if r.totalLogical > 0 {
+			reduceF = float64(r.processed) / float64(r.totalLogical)
+		} else {
+			reduceF = 1
+		}
+	}
+	return (shuffle + mergeF + reduceF) / 3
+}
+
+// ---- shuffle ----
+
+// fillFetchers starts fetch sessions up to the parallelism limit.
+func (r *reduceExec) fillFetchers() {
+	if r.dead || r.stage != core.StageShuffle || r.ckptBusy || r.ckptRestoring {
+		return
+	}
+	for r.sessions < r.conf.ParallelFetches {
+		host, ok := r.pickHost()
+		if !ok {
+			break
+		}
+		r.sessions++
+		r.hostInSession[host] = true
+		r.runSession(host)
+	}
+	if r.copiedCount == len(r.copied) {
+		r.shuffleDone()
+	}
+}
+
+// pickHost chooses a host that currently serves pending maps and has no
+// active session from this reducer. Hadoop fetchers pick hosts in random
+// order; we draw uniformly from the eligible set (deterministically, via
+// the engine's seeded source) so no host's data is systematically drained
+// first.
+func (r *reduceExec) pickHost() (topology.NodeID, bool) {
+	am := r.job.am
+	seen := make(map[topology.NodeID]bool)
+	var eligible []topology.NodeID
+	for m := range r.copied {
+		if r.copied[m] {
+			continue
+		}
+		host, ok := am.mofHost(m)
+		if !ok {
+			if am.mofs[m] == nil {
+				continue // map not finished yet
+			}
+			// Output exists but is unreachable: still target the
+			// producing node so the stock retry/strike protocol applies.
+			host = am.mofs[m].node
+		}
+		if am.shouldWait(m) {
+			continue // SFM advisory: regeneration under way
+		}
+		if r.hostInSession[host] || seen[host] {
+			continue
+		}
+		seen[host] = true
+		eligible = append(eligible, host)
+	}
+	if len(eligible) == 0 {
+		return topology.Invalid, false
+	}
+	return eligible[r.job.Eng.Rand().Intn(len(eligible))], true
+}
+
+// pendingOn lists pending map indices currently served by the node
+// (either the producing node or, under ISS, a replica host).
+func (r *reduceExec) pendingOn(host topology.NodeID) []int {
+	am := r.job.am
+	var out []int
+	for m := range r.copied {
+		if r.copied[m] {
+			continue
+		}
+		if h, ok := am.mofHost(m); ok {
+			if h == host {
+				out = append(out, m)
+			}
+			continue
+		}
+		if mof := am.mofs[m]; mof != nil && mof.node == host {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func (r *reduceExec) runSession(host topology.NodeID) {
+	if r.dead {
+		return
+	}
+	batch := r.pendingOn(host)
+	if len(batch) == 0 {
+		r.endSession(host)
+		return
+	}
+	if len(batch) > r.conf.MaxMapsPerFetch {
+		batch = batch[:r.conf.MaxMapsPerFetch]
+	}
+	if !r.job.Cluster.Net.Reachable(host, r.a.node) {
+		// Connection attempt: times out after FetchConnectTimeout.
+		r.after(r.conf.FetchConnectTimeout, func() { r.sessionFailed(host) })
+		return
+	}
+	var bytes int64
+	for _, m := range batch {
+		bytes += r.job.am.mofs[m].parts[r.t.idx].LogicalBytes
+	}
+	gen := make(map[int]int, len(batch))
+	for _, m := range batch {
+		gen[m] = r.job.am.mofs[m].gen
+	}
+	ports := []*fairshare.Port{r.job.Cluster.Disks.ReadPort(host), r.shufflePort}
+	ports = append(ports, r.job.Cluster.Net.PortsFor(host, r.a.node)...)
+	flow := r.job.Cluster.Net.System().StartFlow(
+		fmt.Sprintf("%s<-%d", r.a.id, host), bytes, ports, 0,
+		func() { r.sessionDone(host, batch, gen, bytes) })
+	r.addFlow(flow)
+	r.watchFetch(host, flow, flow.Remaining())
+}
+
+// watchFetch aborts a fetch whose flow makes no progress for a connect-
+// timeout window (the source died mid-transfer).
+func (r *reduceExec) watchFetch(host topology.NodeID, flow *fairshare.Flow, lastRemaining float64) {
+	r.after(r.conf.FetchConnectTimeout, func() {
+		if r.dead || flow.Done() || flow.Canceled() {
+			return
+		}
+		rem := flow.Remaining()
+		if rem >= lastRemaining-1 {
+			flow.Cancel()
+			r.sessionFailed(host)
+			return
+		}
+		r.watchFetch(host, flow, rem)
+	})
+}
+
+func (r *reduceExec) sessionDone(host topology.NodeID, batch []int, gen map[int]int, bytes int64) {
+	if r.dead {
+		return
+	}
+	am := r.job.am
+	for _, m := range batch {
+		if r.copied[m] {
+			continue
+		}
+		mof := am.mofs[m]
+		if mof == nil || mof.gen != gen[m] {
+			continue // MOF regenerated under us; refetch later
+		}
+		r.copied[m] = true
+		r.copiedCount++
+		r.deliver(m, mof.parts[r.t.idx])
+	}
+	r.shuffledLogical += bytes
+	r.lastFetchSuccess = r.job.Eng.Now()
+	r.hostFailures[host] = 0
+	r.job.am.reportProgress(r.a, r.progress())
+	r.endSession(host)
+}
+
+func (r *reduceExec) sessionFailed(host topology.NodeID) {
+	if r.dead || r.stage != core.StageShuffle {
+		return
+	}
+	r.hostFailures[host]++
+	pending := r.pendingOn(host)
+	// Hadoop reducers notify the AM of fetch failures only after several
+	// consecutive failed rounds on a host — the slow rediscovery that
+	// lets the scheduler blame the reducer first. A reducer on an
+	// unreachable node cannot report at all.
+	if len(pending) > 0 && r.hostFailures[host] >= r.conf.FetchRetries &&
+		r.job.Cluster.NodeReachable(r.a.node) {
+		r.job.am.onFetchFailureReport(r.t.idx, host, pending)
+	}
+	// Stock YARN: a reducer that has exhausted its retries on a host and
+	// is making no shuffle progress declares itself failed — the seed of
+	// both failure amplifications.
+	now := r.job.Eng.Now()
+	if r.hostFailures[host] >= r.conf.FetchRetries &&
+		now-r.lastFetchSuccess >= r.conf.StallKillWindow &&
+		r.anyStrikeablePending() {
+		r.endSession(host)
+		// Hadoop's TooManyFetchFailureTransition: the reducer's death
+		// also condemns the maps it starved on, so the AM regenerates
+		// them (this is what eventually unblocks the job even when
+		// every notification arrived too late).
+		blocked := r.unavailablePending()
+		if r.job.Cluster.NodeReachable(r.a.node) {
+			r.job.am.onFetchStarvationDeath(blocked)
+		}
+		r.selfFail("too many fetch failures")
+		return
+	}
+	// Back off, then release the session slot; fillFetchers re-picks.
+	r.after(r.conf.FetchRetryBackoff, func() { r.endSession(host) })
+}
+
+// selfFail reports a fatal task error to the AM — unless this task's node
+// is unreachable, in which case the report cannot be delivered: the task
+// strands silently and the AM discovers it via the progress timeout,
+// exactly like a real task on a network-dead node.
+func (r *reduceExec) selfFail(reason string) {
+	if !r.job.Cluster.NodeReachable(r.a.node) {
+		r.kill("stranded: " + reason)
+		return
+	}
+	r.job.am.attemptFailed(r.a, reason)
+}
+
+// unavailablePending lists pending maps whose MOFs are unreachable.
+func (r *reduceExec) unavailablePending() []int {
+	am := r.job.am
+	var out []int
+	for m := range r.copied {
+		if r.copied[m] {
+			continue
+		}
+		if mof := am.mofs[m]; mof != nil && !r.job.Cluster.NodeReachable(mof.node) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// anyStrikeablePending reports whether some pending map's MOF sits on an
+// unreachable node without the SFM wait advisory — the condition under
+// which a stock reducer declares "too many fetch failures". With SFM's
+// advisory active there is nothing to strike about, so no self-kill.
+func (r *reduceExec) anyStrikeablePending() bool {
+	am := r.job.am
+	for m := range r.copied {
+		if r.copied[m] {
+			continue
+		}
+		mof := am.mofs[m]
+		if mof == nil || am.shouldWait(m) {
+			continue
+		}
+		if !r.job.Cluster.NodeReachable(mof.node) {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *reduceExec) endSession(host topology.NodeID) {
+	if r.hostInSession[host] {
+		delete(r.hostInSession, host)
+		r.sessions--
+	}
+	r.fillFetchers()
+}
+
+// onMapAvailable wakes the fetch loop when a MOF appears or regenerates.
+func (r *reduceExec) onMapAvailable(mapIdx int) {
+	if r.dead || r.stage != core.StageShuffle || r.copied[mapIdx] {
+		return
+	}
+	r.fillFetchers()
+}
+
+// deliver routes a fetched segment to memory or disk, triggering the
+// background in-memory merge when the buffer fills.
+func (r *reduceExec) deliver(mapIdx int, seg *merge.Segment) {
+	cp := &merge.Segment{
+		ID:             seg.ID,
+		InMemory:       true,
+		LogicalBytes:   seg.LogicalBytes,
+		LogicalRecords: seg.LogicalRecords,
+		Records:        seg.Records,
+	}
+	if cp.LogicalBytes > r.memoryLimit/4 {
+		// Too big for the shuffle buffer: stream straight to disk.
+		r.spillSeq++
+		path := fmt.Sprintf("%s/spill-%d", r.a.id, r.spillSeq)
+		r.pendingDiskOps++
+		f := r.job.Cluster.Disks.Write(r.a.node, cp.LogicalBytes, func() {
+			if r.dead {
+				return
+			}
+			r.pendingDiskOps--
+			cp.Spill(path)
+			r.onDisk = append(r.onDisk, cp)
+			local := r.job.local(r.a.node)
+			local.segments[path] = cp
+			local.segMaps[path] = []int{mapIdx}
+			r.checkMergeReady()
+		})
+		r.addFlow(f)
+		return
+	}
+	r.inMem = append(r.inMem, cp)
+	r.inMemMaps[cp] = []int{mapIdx}
+	r.inMemBytes += cp.LogicalBytes
+	if float64(r.inMemBytes) >= r.conf.InMemMergeThreshold*float64(r.memoryLimit) && !r.inMemMergeBusy {
+		r.mergeInMemory(nil)
+	}
+}
+
+// mergeInMemory merges the current in-memory segments and spills the
+// result to disk; done (optional) runs after the spill lands.
+func (r *reduceExec) mergeInMemory(done func()) {
+	if len(r.inMem) == 0 {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	r.inMemMergeBusy = true
+	segs := r.inMem
+	bytes := r.inMemBytes
+	r.inMem = nil
+	r.inMemBytes = 0
+	var mapIDs []int
+	for _, sg := range segs {
+		mapIDs = append(mapIDs, r.inMemMaps[sg]...)
+		delete(r.inMemMaps, sg)
+	}
+	sort.Ints(mapIDs)
+	r.spillSeq++
+	path := fmt.Sprintf("%s/merged-%d", r.a.id, r.spillSeq)
+	merged := merge.MergeSegments(path, r.cmp(), segs)
+	r.pendingDiskOps++
+	f := r.job.Cluster.Net.System().StartFlow(
+		fmt.Sprintf("%s/immerge", r.a.id), bytes,
+		[]*fairshare.Port{r.job.Cluster.Disks.WritePort(r.a.node)},
+		r.conf.Costs.MergeCPURate,
+		func() {
+			r.inMemMergeBusy = false
+			if r.dead {
+				return
+			}
+			r.pendingDiskOps--
+			merged.Spill(path)
+			r.onDisk = append(r.onDisk, merged)
+			local := r.job.local(r.a.node)
+			local.segments[path] = merged
+			local.segMaps[path] = mapIDs
+			if done != nil {
+				done()
+			}
+			r.checkMergeReady()
+		})
+	r.addFlow(f)
+}
+
+// checkMergeReady starts the final merge passes once the shuffle has
+// ended and every outstanding spill has landed.
+func (r *reduceExec) checkMergeReady() {
+	if r.dead || r.stage != core.StageMerge || r.mergeStarted || r.pendingDiskOps > 0 || r.inMemMergeBusy {
+		return
+	}
+	if len(r.inMem) > 0 {
+		// Data delivered after the shuffle-end flush (late spill races):
+		// flush it too before merging.
+		r.mergeInMemory(nil)
+		return
+	}
+	r.mergeStarted = true
+	r.mergePasses()
+}
+
+// ---- merge stage ----
+
+func (r *reduceExec) shuffleDone() {
+	if r.stage != core.StageShuffle {
+		return
+	}
+	r.stage = core.StageMerge
+	r.job.am.reportProgress(r.a, r.progress())
+	// Flush any in-memory segments (stock behaviour with
+	// reduce.input.buffer.percent = 0: reduce reads from disk), then wait
+	// for every outstanding spill before the final merge passes.
+	r.mergeInMemory(nil)
+	r.checkMergeReady()
+}
+
+// mergePasses merges on-disk runs down to io.sort.factor before the
+// reduce stage — the heavy disk merging FCM exists to avoid.
+func (r *reduceExec) mergePasses() {
+	if r.dead {
+		return
+	}
+	if len(r.onDisk) <= r.conf.IOSortFactor {
+		r.startReduceStage()
+		return
+	}
+	// Merge the io.sort.factor smallest runs (Hadoop's polyphase choice).
+	sort.Slice(r.onDisk, func(i, j int) bool { return r.onDisk[i].LogicalBytes < r.onDisk[j].LogicalBytes })
+	batch := r.onDisk[:r.conf.IOSortFactor]
+	rest := append([]*merge.Segment{}, r.onDisk[r.conf.IOSortFactor:]...)
+	var bytes int64
+	for _, s := range batch {
+		bytes += s.LogicalBytes
+	}
+	if r.mergeNeeded == 0 {
+		// Estimate total merge traffic for progress reporting.
+		r.mergeNeeded = bytes * int64(1+len(rest)/r.conf.IOSortFactor)
+	}
+	r.spillSeq++
+	path := fmt.Sprintf("%s/merged-%d", r.a.id, r.spillSeq)
+	merged := merge.MergeSegments(path, r.cmp(), batch)
+	local := r.job.local(r.a.node)
+	var mapIDs []int
+	for _, sg := range batch {
+		mapIDs = append(mapIDs, local.segMaps[sg.Path]...)
+	}
+	sort.Ints(mapIDs)
+	f := r.job.Cluster.Disks.ReadWrite(r.a.node, bytes, func() {
+		if r.dead {
+			return
+		}
+		merged.Spill(path)
+		local.segments[path] = merged
+		local.segMaps[path] = mapIDs
+		r.onDisk = append(rest, merged)
+		r.mergeDone += bytes
+		r.job.am.reportProgress(r.a, r.progress())
+		r.mergePasses()
+	})
+	f.SetPriorityCap(r.conf.Costs.MergeCPURate)
+	r.addFlow(f)
+}
+
+// ---- reduce stage ----
+
+func (r *reduceExec) startReduceStage() {
+	r.finalSegs = append([]*merge.Segment{}, r.onDisk...)
+	r.finalSegs = append(r.finalSegs, r.inMem...)
+	r.totalLogical = merge.TotalLogicalBytes(r.finalSegs)
+	r.totalReal = merge.TotalRealRecords(r.finalSegs)
+	r.cursor = merge.NewGroupCursor(r.cmp(), r.grouper(), r.finalSegs, nil)
+	if r.skipReal > 0 {
+		// HDFS-log restore: credit the previously reduced prefix.
+		r.processed = r.restoredLogical
+		if r.processed > r.totalLogical {
+			r.processed = r.totalLogical
+		}
+	}
+	r.enterReduceLoop()
+}
+
+// startReduceStageRestored resumes after a local reduce-stage log replay:
+// finalSegs/cursor/processed were restored by tryLocalRestore.
+func (r *reduceExec) startReduceStageRestored() {
+	r.enterReduceLoop()
+}
+
+func (r *reduceExec) enterReduceLoop() {
+	r.stage = core.StageReduce
+	// Fast-forward over the prefix a restored HDFS log already covers —
+	// no reduce computation, no deserialization charge (the ALG benefit).
+	for r.skipReal > 0 && r.realBase+r.cursor.DeliveredRecords() < r.skipReal {
+		if _, _, ok := r.cursor.NextGroup(); !ok {
+			break
+		}
+	}
+	scope := mr.ReplicateCluster
+	replicas := r.conf.DFSReplication
+	if r.job.Spec.Mode.ALGEnabled() {
+		scope = r.job.Spec.ALG.Replication
+		replicas = r.job.Spec.ALG.HDFSReplicas
+	}
+	w, err := r.job.Cluster.DFS.OpenWrite(
+		fmt.Sprintf("out/%s/%s", r.job.Spec.Name, r.a.id), r.a.node,
+		dfs.WriteOptions{Replication: replicas, Scope: scope})
+	if err != nil {
+		r.selfFail("cannot open output stream: " + err.Error())
+		return
+	}
+	r.outWriter = w
+	if r.ckptRestoredOutput > 0 {
+		// Checkpoint restart discards the previous attempt's uncommitted
+		// output file; rewrite the restored prefix.
+		w.Append(r.ckptRestoredOutput, nil)
+		r.ckptRestoredOutput = 0
+	}
+	r.job.am.reportProgress(r.a, r.progress())
+	r.reduceChunk()
+}
+
+// reduceChunk processes one progress quantum of logical bytes: it applies
+// the reduce function to whole groups up to the chunk's real-record
+// watermark, charges the disk-read+CPU time, streams the output delta to
+// HDFS, and recurses.
+func (r *reduceExec) reduceChunk() {
+	if r.dead {
+		return
+	}
+	if r.processed >= r.totalLogical {
+		r.finishReduce()
+		return
+	}
+	chunk := int64(float64(r.totalLogical) * r.conf.ProgressQuantum)
+	if chunk < 1 {
+		chunk = 1
+	}
+	if r.processed+chunk > r.totalLogical {
+		chunk = r.totalLogical - r.processed
+	}
+	// Real records to consume by the end of this chunk, proportional to
+	// logical progress.
+	targetReal := int(float64(r.totalReal) * float64(r.processed+chunk) / float64(r.totalLogical))
+	if r.processed+chunk >= r.totalLogical {
+		targetReal = r.totalReal
+	}
+	for r.realBase+r.cursor.DeliveredRecords() < targetReal {
+		k, vs, ok := r.cursor.NextGroup()
+		if !ok {
+			break
+		}
+		r.job.Spec.Workload.Reduce(k, vs, func(ok, ov string) {
+			r.output = append(r.output, mr.Record{Key: ok, Value: ov})
+		})
+		r.processedGroups++
+	}
+	outDelta := int64(float64(chunk) * r.job.Spec.Workload.ReduceOutputRatio)
+	// Charge: read the chunk from local disk, overlapped with reduce CPU
+	// (the flow rate is capped at the CPU rate, so the elapsed time is
+	// max(diskTime, cpuTime)).
+	f := r.job.Cluster.Net.System().StartFlow(
+		fmt.Sprintf("%s/reduce", r.a.id), chunk,
+		[]*fairshare.Port{r.job.Cluster.Disks.ReadPort(r.a.node)},
+		r.conf.Costs.ReduceCPURate,
+		func() {
+			if r.dead {
+				return
+			}
+			r.processed += chunk
+			r.outputLogical += outDelta
+			// Window-1 output pipelining: wait for the previous chunks'
+			// replication to land before issuing this chunk's append.
+			// When the replication pipeline keeps up this is free; when
+			// it cannot (wide scopes under contention), the reduce stage
+			// stalls — the mechanism behind the paper's Fig. 13.
+			r.outWriter.Sync(func() {
+				if r.dead {
+					return
+				}
+				r.outWriter.Append(outDelta, nil)
+				r.job.am.reportProgress(r.a, r.progress())
+				if r.algPending {
+					r.snapshotReduce()
+				}
+				if r.ckptPending {
+					r.maybeCheckpoint(r.reduceChunk)
+					return
+				}
+				r.reduceChunk()
+			})
+		})
+	r.addFlow(f)
+}
+
+func (r *reduceExec) finishReduce() {
+	// Drain any remaining groups (rounding can leave a tail of real
+	// records when logical progress hit 100% first).
+	for {
+		k, vs, ok := r.cursor.NextGroup()
+		if !ok {
+			break
+		}
+		r.job.Spec.Workload.Reduce(k, vs, func(ok, ov string) {
+			r.output = append(r.output, mr.Record{Key: ok, Value: ov})
+		})
+		r.processedGroups++
+	}
+	r.stage = core.StageDone
+	r.outWriter.Commit(func(error) {
+		if r.dead || !r.job.Cluster.NodeReachable(r.a.node) {
+			return
+		}
+		r.job.result.Counters.Add("reduce.output.bytes", r.outputLogical)
+		out := reduceOutcome{output: r.output, outputLogical: r.outputLogical, usedFlushed: r.usedFlushed}
+		if r.restoredFlush != nil {
+			out.prefix = r.restoredFlush.records
+			out.prefixLogical = r.restoredFlush.logicalBytes
+		}
+		r.job.am.reduceFinished(r.t, r.a, out)
+	})
+}
+
+func (r *reduceExec) cmp() mr.KeyComparator       { return r.job.Spec.Workload.Cmp() }
+func (r *reduceExec) grouper() mr.GroupComparator { return r.job.Spec.Workload.Group() }
+
+// ---- ALG logging ----
+
+func (r *reduceExec) algTick() {
+	if r.dead {
+		return
+	}
+	switch r.stage {
+	case core.StageShuffle:
+		r.snapshotShuffle()
+	case core.StageMerge:
+		r.snapshotMerge()
+	case core.StageReduce:
+		r.algPending = true // taken at the next chunk boundary
+	case core.StageDone:
+		return
+	}
+	r.after(r.job.Spec.ALG.Interval, r.algTick)
+}
+
+// consumedReal returns total real input records reduced so far, counting
+// any restored prefix.
+func (r *reduceExec) consumedReal() int {
+	if r.cursor == nil {
+		return 0
+	}
+	return r.realBase + r.cursor.DeliveredRecords()
+}
+
+// core.ReduceView implementation.
+func (r *reduceExec) Stage() core.Stage { return r.stage }
+
+// FetchedMOFIDs reports the maps whose data is durably on local disk —
+// exactly what a restored attempt can reuse. Data still in memory (or
+// mid-spill) is deliberately excluded: it dies with the attempt.
+func (r *reduceExec) FetchedMOFIDs() []int {
+	local := r.job.local(r.a.node)
+	var out []int
+	for _, sg := range r.onDisk {
+		out = append(out, local.segMaps[sg.Path]...)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ShuffledLogicalBytes counts the durably spilled portion of the shuffle.
+func (r *reduceExec) ShuffledLogicalBytes() int64 { return merge.TotalLogicalBytes(r.onDisk) }
+func (r *reduceExec) SegmentPaths() []string {
+	segs := r.onDisk
+	if r.stage == core.StageReduce {
+		segs = r.finalSegs
+	}
+	out := make([]string, 0, len(segs))
+	for _, s := range segs {
+		out = append(out, s.Path)
+	}
+	return out
+}
+func (r *reduceExec) ReducePositions() []int {
+	if r.cursor == nil {
+		return nil
+	}
+	return r.cursor.BoundaryPositions()
+}
+func (r *reduceExec) ProcessedLogicalBytes() int64 { return r.processed }
+func (r *reduceExec) ProcessedRealRecords() int    { return r.consumedReal() }
+func (r *reduceExec) ProcessedGroups() int         { return r.processedGroups }
+func (r *reduceExec) FlushedOutputLogical() int64  { return r.flushBaseLogical() + r.lastFlushedLogical }
+func (r *reduceExec) FlushedOutputRecords() int {
+	base := 0
+	if r.restoredFlush != nil {
+		base = len(r.restoredFlush.records)
+	}
+	return base + r.lastFlushedRecords
+}
+
+func (r *reduceExec) flushBaseLogical() int64 {
+	if r.restoredFlush == nil {
+		return 0
+	}
+	return r.restoredFlush.logicalBytes
+}
+
+// snapshotShuffle implements ALG's shuffle-stage logging: a temporary
+// in-memory merge flushes buffered segments to disk (so the log's segment
+// paths cover all fetched data), then the log record is written locally.
+func (r *reduceExec) snapshotShuffle() {
+	r.mergeInMemory(func() {
+		if r.dead || r.stage != core.StageShuffle {
+			return
+		}
+		r.writeLocalLog()
+	})
+}
+
+func (r *reduceExec) snapshotMerge() {
+	r.writeLocalLog()
+}
+
+// writeLocalLog serializes the current snapshot and charges a small local
+// write; the serialized bytes are kept in the node-local store (they
+// survive a network stop but not a crash).
+func (r *reduceExec) writeLocalLog() *core.LogRecord {
+	r.algSeq++
+	rec := core.Snapshot(r, r.t.idx, r.a.id, r.algSeq)
+	data, err := rec.Marshal()
+	if err != nil {
+		return nil
+	}
+	node := r.a.node
+	taskIdx := r.t.idx
+	f := r.job.Cluster.Disks.Write(node, rec.EstimateSizeBytes(), func() {
+		r.job.local(node).algLogs[taskIdx] = data
+	})
+	r.addFlow(f)
+	r.job.Tracer.Emit(r.job.Eng.Now(), trace.KindLogSnapshot, r.a.id, r.a.nodeName(r.job), rec.Stage.String())
+	r.job.result.Counters.Add("alg.snapshots", 1)
+	return rec
+}
+
+// snapshotReduce runs at a chunk boundary: the local log is written, the
+// output watermark is flushed (the HDFS stream is already replicated per
+// the ALG scope; the flush marks the watermark durable), and the log
+// record also goes to HDFS so a migrated attempt can use it.
+func (r *reduceExec) snapshotReduce() {
+	r.algPending = false
+	rec := r.writeLocalLog()
+	if rec == nil {
+		return
+	}
+	if r.job.Spec.ALG.FlushReduceOutput {
+		r.lastFlushedRecords = len(r.output)
+		r.lastFlushedLogical = r.outputLogical
+		rec.FlushedOutputLogical = r.FlushedOutputLogical()
+		rec.FlushedOutputRecords = r.FlushedOutputRecords()
+	}
+	if !r.job.Spec.ALG.LogToHDFS {
+		return
+	}
+	taskIdx := r.t.idx
+	name := core.LogPathHDFS(r.job.Spec.Name, taskIdx, r.algSeq)
+	recCopy := rec
+	flushRecs := append([]mr.Record{}, r.output[:r.lastFlushedRecords]...)
+	if r.restoredFlush != nil {
+		flushRecs = append(append([]mr.Record{}, r.restoredFlush.records...), flushRecs...)
+	}
+	flushLogical := r.FlushedOutputLogical()
+	upTo := r.ProcessedRealRecords()
+	_, err := r.job.Cluster.DFS.Write(name, r.a.node, rec.EstimateSizeBytes(),
+		dfs.WriteOptions{Replication: r.job.Spec.ALG.HDFSReplicas, Scope: r.job.Spec.ALG.Replication},
+		func(error) {
+			if old := r.job.hdfsLogs[taskIdx]; recCopy.Newer(old) {
+				r.job.hdfsLogs[taskIdx] = recCopy
+				if r.job.Spec.ALG.FlushReduceOutput {
+					r.job.hdfsFlushed[taskIdx] = &flushedOutput{
+						records:         flushRecs,
+						logicalBytes:    flushLogical,
+						upToRealRecords: upTo,
+						path:            name,
+					}
+				}
+			}
+		})
+	if err == nil {
+		r.job.result.Counters.Add("alg.hdfs.log.writes", 1)
+	}
+}
+
+// ---- ALG restore paths ----
+
+// committedReducePair returns the latest reduce-stage log record and its
+// matching flushed-output watermark, both committed to HDFS, or nils.
+// Using the committed pair (rather than a local record whose HDFS flush
+// may not have landed) keeps resumed output exactly consistent.
+func (r *reduceExec) committedReducePair() (*core.LogRecord, *flushedOutput) {
+	rec := r.job.hdfsLogs[r.t.idx]
+	fl := r.job.hdfsFlushed[r.t.idx]
+	if rec == nil || rec.Stage != core.StageReduce || fl == nil {
+		return nil, nil
+	}
+	if fl.upToRealRecords != rec.ProcessedRealRecords {
+		return nil, nil
+	}
+	return rec, fl
+}
+
+// tryLocalRestore replays the latest local log record when this attempt
+// runs on the node that wrote it and the referenced segments survive.
+func (r *reduceExec) tryLocalRestore() bool {
+	data, ok := r.job.local(r.a.node).algLogs[r.t.idx]
+	if !ok {
+		return false
+	}
+	rec, err := core.UnmarshalRecord(data)
+	if err != nil || rec.Validate() != nil {
+		return false
+	}
+	local := r.job.local(r.a.node)
+	lookup := func(paths []string) ([]*merge.Segment, bool) {
+		segs := make([]*merge.Segment, 0, len(paths))
+		for _, p := range paths {
+			s, ok := local.segments[p]
+			if !ok {
+				return nil, false
+			}
+			segs = append(segs, s)
+		}
+		return segs, true
+	}
+	restored := false
+	switch rec.Stage {
+	case core.StageShuffle, core.StageMerge:
+		segs, ok := lookup(rec.SegmentPaths)
+		if !ok {
+			return false
+		}
+		r.onDisk = segs
+		for _, m := range rec.FetchedMOFs {
+			if m >= 0 && m < len(r.copied) && !r.copied[m] {
+				r.copied[m] = true
+				r.copiedCount++
+			}
+		}
+		r.shuffledLogical = rec.ShuffledLogicalBytes
+		restored = true
+	case core.StageReduce:
+		// Resume the MPQ from the committed snapshot so the flushed
+		// output prefix and the cursor position agree exactly.
+		crec, fl := r.committedReducePair()
+		if crec == nil {
+			// No committed reduce snapshot: fall back to reusing the
+			// shuffled segments and redoing the reduce stage from zero.
+			segs, ok := lookup(rec.SegmentPaths)
+			if !ok {
+				return false
+			}
+			r.onDisk = segs
+			for m := range r.copied {
+				if !r.copied[m] {
+					r.copied[m] = true
+					r.copiedCount++
+				}
+			}
+			restored = true
+			break
+		}
+		segs, ok := lookup(crec.SegmentPaths)
+		if !ok {
+			return false
+		}
+		r.finalSegs = segs
+		r.totalLogical = merge.TotalLogicalBytes(segs)
+		r.totalReal = merge.TotalRealRecords(segs)
+		r.cursor = merge.NewGroupCursor(r.cmp(), r.grouper(), segs, merge.Positions(crec.Positions))
+		r.processed = crec.ProcessedLogicalBytes
+		r.realBase = crec.ProcessedRealRecords
+		r.restoredFlush = fl
+		r.usedFlushed = true
+		r.stage = core.StageReduce
+		restored = true
+	}
+	if !restored {
+		return false
+	}
+	r.algSeq = rec.Seq
+	r.job.Tracer.Emit(r.job.Eng.Now(), trace.KindLogRestored, r.a.id, r.a.nodeName(r.job), "local:"+rec.Stage.String())
+	r.job.result.Counters.Add("alg.restores.local", 1)
+	return true
+}
+
+// tryHDFSRestore uses the reduce-stage log stored on HDFS when migrating
+// to a different node: the shuffle and merge must be redone (the local
+// intermediate data died with the node), but the already-reduced prefix —
+// whose output is safely flushed — is skipped, avoiding its
+// deserialization and reduce computation.
+func (r *reduceExec) tryHDFSRestore() bool {
+	rec, fl := r.committedReducePair()
+	if rec == nil {
+		return false
+	}
+	r.skipReal = fl.upToRealRecords
+	r.restoredLogical = rec.ProcessedLogicalBytes
+	r.restoredFlush = fl
+	r.usedFlushed = true
+	r.job.Tracer.Emit(r.job.Eng.Now(), trace.KindLogRestored, r.a.id, r.a.nodeName(r.job), "hdfs:reduce")
+	r.job.result.Counters.Add("alg.restores.hdfs", 1)
+	return true
+}

@@ -1,0 +1,222 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"alm/internal/faults"
+	"alm/internal/mr"
+	"alm/internal/trace"
+	"alm/internal/workloads"
+)
+
+// ---- slow (faulty-but-alive) nodes ----
+
+// TestSlowNodeMakesLocalRelaunchStraggle reproduces the paper's rationale
+// for speculative recovery: on a faulty (slow-I/O) node, ALG's local
+// relaunch becomes a straggler, while SFM's speculative FCM attempt on a
+// healthy node finishes much sooner.
+func TestSlowNodeMakesLocalRelaunchStraggle(t *testing.T) {
+	spec := func(mode Mode) JobSpec {
+		return JobSpec{Workload: workloads.Wordcount(), InputBytes: 8 << 30, NumReduces: 1, Mode: mode, Seed: 41}
+	}
+	plan := func() *faults.Plan {
+		p := faults.SlowNodeOfTaskAtReduceProgress(faults.Reduce, 0, 0.4, 0.03)
+		p.Add(
+			faults.Trigger{Kind: faults.AtReducePhaseProgress, Fraction: 0.5},
+			faults.Action{Kind: faults.FailTask, Task: faults.Reduce, TaskIdx: 0},
+		)
+		return p
+	}
+	alg, err := Run(spec(ModeALG), DefaultClusterSpec(), plan())
+	if err != nil || !alg.Completed {
+		t.Fatalf("alg: %v %v", err, alg.FailReason)
+	}
+	alm, err := Run(spec(ModeALM), DefaultClusterSpec(), plan())
+	if err != nil || !alm.Completed {
+		t.Fatalf("alm: %v %v", err, alm.FailReason)
+	}
+	if alm.Duration >= alg.Duration {
+		t.Fatalf("speculative recovery (%v) should beat the slow-node local relaunch (%v)",
+			alm.Duration, alg.Duration)
+	}
+	t.Logf("faulty node: local-relaunch-only %v vs SFM speculative %v", alg.Duration, alm.Duration)
+}
+
+// ---- ISS (intermediate storage system, related work) ----
+
+func issSpec(iss bool) JobSpec {
+	s := JobSpec{Workload: workloads.Terasort(), InputBytes: 20 << 30, NumReduces: 8, Mode: ModeYARN, Seed: 43}
+	s.ISS = ISSOptions{Enabled: iss}
+	return s
+}
+
+// TestISSOverheadFailureFree: replicating every MOF costs visible time in
+// failure-free runs — the criticism the paper levels at ISS.
+func TestISSOverheadFailureFree(t *testing.T) {
+	plain, err := Run(issSpec(false), DefaultClusterSpec(), nil)
+	if err != nil || !plain.Completed {
+		t.Fatalf("plain: %v %v", err, plain.FailReason)
+	}
+	iss, err := Run(issSpec(true), DefaultClusterSpec(), nil)
+	if err != nil || !iss.Completed {
+		t.Fatalf("iss: %v %v", err, iss.FailReason)
+	}
+	if iss.Counters["iss.replicated.bytes"] == 0 {
+		t.Fatal("ISS run replicated nothing")
+	}
+	if iss.Duration <= plain.Duration {
+		t.Fatalf("ISS (%v) should cost more than plain YARN (%v) failure-free", iss.Duration, plain.Duration)
+	}
+	t.Logf("failure-free: yarn %v, iss %v (+%.1f%%)", plain.Duration, iss.Duration,
+		100*(iss.Duration.Seconds()/plain.Duration.Seconds()-1))
+}
+
+// TestISSAvoidsMapRegeneration: with MOFs replicated, a lost node's map
+// output is fetched from replicas — no map re-executions, no reducer
+// infection.
+func TestISSAvoidsMapRegeneration(t *testing.T) {
+	plan := func() *faults.Plan { return faults.StopMOFNodeAtJobProgress(0.55) }
+	spec := issSpec(true)
+	want := canonical(directOutput(spec))
+	res, err := Run(spec, DefaultClusterSpec(), plan())
+	if err != nil || !res.Completed {
+		t.Fatalf("iss: %v %v", err, res.FailReason)
+	}
+	if canonical(res.Output) != want {
+		t.Fatal("ISS output diverged")
+	}
+	if res.AdditionalReduceFailures != 0 {
+		t.Fatalf("ISS should shield reducers from MOF loss, got %d infected", res.AdditionalReduceFailures)
+	}
+	if n := res.Trace.Count(trace.KindMapRescheduled); n != 0 {
+		t.Fatalf("ISS run re-executed %d maps despite replicas", n)
+	}
+}
+
+// TestISSStillCollapsesOnReduceFailure: the paper's key criticism — ISS
+// does nothing for ReduceTask failures; recovery is as slow as stock.
+func TestISSStillCollapsesOnReduceFailure(t *testing.T) {
+	plan := func() *faults.Plan { return faults.FailTaskAtProgress(faults.Reduce, 0, 0.8) }
+	iss, err := Run(issSpec(true), DefaultClusterSpec(), plan())
+	if err != nil || !iss.Completed {
+		t.Fatalf("iss: %v %v", err, iss.FailReason)
+	}
+	free, err := Run(issSpec(true), DefaultClusterSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowdown := iss.Duration.Seconds()/free.Duration.Seconds() - 1
+	if slowdown < 0.1 {
+		t.Fatalf("ISS should not mitigate reduce failures; slowdown only %.1f%%", slowdown*100)
+	}
+	t.Logf("ISS reduce-failure slowdown: +%.1f%%", slowdown*100)
+}
+
+// ---- heavyweight checkpointing (the Section III strawman) ----
+
+func ckptSpec() JobSpec {
+	s := JobSpec{Workload: workloads.Wordcount(), InputBytes: 8 << 30, NumReduces: 1, Mode: ModeYARN, Seed: 45}
+	s.Checkpoint = CheckpointOptions{Enabled: true, Interval: 20 * time.Second}
+	return s
+}
+
+// TestCheckpointRecoversCorrectly: checkpoint/restart restores across
+// nodes with exact output.
+func TestCheckpointRecoversCorrectly(t *testing.T) {
+	spec := ckptSpec()
+	want := canonical(directOutput(spec))
+	res, err := Run(spec, DefaultClusterSpec(), faults.FailTaskAtProgress(faults.Reduce, 0, 0.8))
+	if err != nil || !res.Completed {
+		t.Fatalf("ckpt: %v %v", err, res.FailReason)
+	}
+	if canonical(res.Output) != want {
+		t.Fatal("checkpoint-restored output diverged")
+	}
+	if res.Counters["ckpt.restores"] == 0 {
+		t.Fatal("no checkpoint restore happened")
+	}
+	t.Logf("snapshots=%d restores=%d bytes=%d",
+		res.Counters["ckpt.snapshots"], res.Counters["ckpt.restores"], res.Counters["ckpt.bytes"])
+}
+
+// TestCheckpointCostsMoreThanALG: the paper's Section III argument —
+// full-image checkpointing is far heavier than analytics logging in
+// failure-free runs.
+func TestCheckpointCostsMoreThanALG(t *testing.T) {
+	ck, err := Run(ckptSpec(), DefaultClusterSpec(), nil)
+	if err != nil || !ck.Completed {
+		t.Fatalf("ckpt: %v %v", err, ck.FailReason)
+	}
+	algSpec := ckptSpec()
+	algSpec.Checkpoint = CheckpointOptions{}
+	algSpec.Mode = ModeALG
+	alg, err := Run(algSpec, DefaultClusterSpec(), nil)
+	if err != nil || !alg.Completed {
+		t.Fatalf("alg: %v %v", err, alg.FailReason)
+	}
+	if ck.Duration <= alg.Duration {
+		t.Fatalf("heavyweight checkpointing (%v) should cost more than ALG (%v)", ck.Duration, alg.Duration)
+	}
+	t.Logf("failure-free: checkpoint %v vs ALG %v (+%.1f%%)", ck.Duration, alg.Duration,
+		100*(ck.Duration.Seconds()/alg.Duration.Seconds()-1))
+}
+
+// TestCheckpointSurvivesNodeLoss: the image lives on HDFS, so recovery
+// works even when the original node (and its local logs) is gone.
+func TestCheckpointSurvivesNodeLoss(t *testing.T) {
+	spec := ckptSpec()
+	want := canonical(directOutput(spec))
+	res, err := Run(spec, DefaultClusterSpec(),
+		faults.StopNodeOfTaskAtReduceProgress(faults.Reduce, 0, 0.7))
+	if err != nil || !res.Completed {
+		t.Fatalf("ckpt: %v %v", err, res.FailReason)
+	}
+	if canonical(res.Output) != want {
+		t.Fatal("output diverged after node loss with checkpoint restore")
+	}
+}
+
+// ---- stock straggler speculation (LATE-style, off by default) ----
+
+// TestStockSpeculationRescuesStraggler: with SpeculativeExecution on, a
+// slow node's reducer gets a backup attempt that wins.
+func TestStockSpeculationRescuesStraggler(t *testing.T) {
+	run := func(speculate bool) Result {
+		spec := JobSpec{Workload: workloads.Terasort(), InputBytes: 20 << 30, NumReduces: 8, Mode: ModeYARN, Seed: 47}
+		spec.Conf = mrDefault()
+		spec.Conf.SpeculativeExecution = speculate
+		res, err := Run(spec, DefaultClusterSpec(),
+			faults.SlowNodeOfTaskAtReduceProgress(faults.Reduce, 0, 0.35, 0.02))
+		if err != nil || !res.Completed {
+			t.Fatalf("speculate=%v: %v %v", speculate, err, res.FailReason)
+		}
+		return res
+	}
+	plain := run(false)
+	spec := run(true)
+	if spec.Counters["speculation.backups"] == 0 {
+		t.Fatal("no speculative backup launched for the straggler")
+	}
+	if spec.Duration >= plain.Duration {
+		t.Fatalf("speculation (%v) should beat the straggler-bound run (%v)", spec.Duration, plain.Duration)
+	}
+	t.Logf("straggler: no-speculation %v, with speculation %v (backups=%d)",
+		plain.Duration, spec.Duration, spec.Counters["speculation.backups"])
+}
+
+// TestStockSpeculationQuietWhenHealthy: no backups fire on a uniform run.
+func TestStockSpeculationQuietWhenHealthy(t *testing.T) {
+	spec := JobSpec{Workload: workloads.Terasort(), InputBytes: 20 << 30, NumReduces: 8, Mode: ModeYARN, Seed: 48}
+	spec.Conf = mrDefault()
+	spec.Conf.SpeculativeExecution = true
+	res, err := Run(spec, DefaultClusterSpec(), nil)
+	if err != nil || !res.Completed {
+		t.Fatalf("%v %v", err, res.FailReason)
+	}
+	if res.Counters["speculation.backups"] != 0 {
+		t.Fatalf("healthy run launched %d backups", res.Counters["speculation.backups"])
+	}
+}
+
+func mrDefault() mr.Config { return mr.DefaultConfig() }

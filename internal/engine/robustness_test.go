@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"testing"
+
+	"alm/internal/faults"
+	"alm/internal/workloads"
+)
+
+// TestSFMNeverInfectsAcrossSeeds hardens the paper's central Table II
+// claim: under SFM the spatial scenario must produce zero additional
+// failures for every seed, while stock YARN produces some for at least
+// one seed (how many reducers die under YARN is timing-dependent, which
+// is exactly the paper's point).
+func TestSFMNeverInfectsAcrossSeeds(t *testing.T) {
+	yarnInfected := 0
+	for _, seed := range []int64{1, 7, 11, 23, 42} {
+		spec := JobSpec{Workload: workloads.Terasort(), InputBytes: 25 << 30, NumReduces: 10, Seed: seed}
+		for _, mode := range []Mode{ModeYARN, ModeSFM} {
+			s := spec
+			s.Mode = mode
+			res, err := Run(s, DefaultClusterSpec(), faults.StopMOFNodeAtJobProgress(0.55))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Completed {
+				t.Fatalf("seed %d mode %v: job failed: %s", seed, mode, res.FailReason)
+			}
+			if mode == ModeSFM && res.AdditionalReduceFailures != 0 {
+				t.Errorf("seed %d: SFM infected %d healthy reducers", seed, res.AdditionalReduceFailures)
+			}
+			if mode == ModeYARN {
+				yarnInfected += res.AdditionalReduceFailures
+			}
+		}
+	}
+	if yarnInfected == 0 {
+		t.Error("stock YARN never infected a healthy reducer across any seed — amplification lost")
+	}
+	t.Logf("yarn infected %d healthy reducers across 5 seeds; sfm 0", yarnInfected)
+}
+
+// TestALMFasterAcrossSeeds: the headline end-to-end claim must hold for
+// every seed, not just the default one.
+func TestALMFasterAcrossSeeds(t *testing.T) {
+	for _, seed := range []int64{3, 9, 27} {
+		spec := JobSpec{Workload: workloads.Wordcount(), InputBytes: 10 << 30, NumReduces: 1, Seed: seed}
+		plan := func() *faults.Plan {
+			return faults.StopNodeOfTaskAtReduceProgress(faults.Reduce, 0, 0.6)
+		}
+		yarn := spec
+		yarn.Mode = ModeYARN
+		ry, err := Run(yarn, DefaultClusterSpec(), plan())
+		if err != nil || !ry.Completed {
+			t.Fatalf("seed %d yarn: %v %v", seed, err, ry.FailReason)
+		}
+		almSpec := spec
+		almSpec.Mode = ModeALM
+		ra, err := Run(almSpec, DefaultClusterSpec(), plan())
+		if err != nil || !ra.Completed {
+			t.Fatalf("seed %d alm: %v %v", seed, err, ra.FailReason)
+		}
+		if ra.Duration >= ry.Duration {
+			t.Errorf("seed %d: ALM (%v) not faster than YARN (%v)", seed, ra.Duration, ry.Duration)
+		}
+	}
+}
+
+// TestManyReducersPerNode: more reducers than nodes (stacked containers)
+// must work and recover.
+func TestManyReducersPerNode(t *testing.T) {
+	spec := JobSpec{Workload: workloads.Terasort(), InputBytes: 20 << 30, NumReduces: 60, Mode: ModeALM, Seed: 31}
+	res, err := Run(spec, DefaultClusterSpec(), faults.StopNodeOfTaskAtReduceProgress(faults.Reduce, 5, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("job failed: %s", res.FailReason)
+	}
+}
+
+// TestTinyJob: one map, one reducer, minimal data.
+func TestTinyJob(t *testing.T) {
+	spec := JobSpec{Workload: workloads.Wordcount(), InputBytes: 1, NumReduces: 1, Mode: ModeALM, Seed: 1}
+	res, err := Run(spec, smallCluster(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("tiny job failed: %s", res.FailReason)
+	}
+	if len(res.Output) == 0 {
+		t.Fatal("tiny job produced no output")
+	}
+}
+
+// TestTwoSimultaneousNodeFailures: lose two nodes at once (one hosting a
+// reducer, one MOF-only); ALM must still finish correctly.
+func TestTwoSimultaneousNodeFailures(t *testing.T) {
+	spec := JobSpec{Workload: workloads.Terasort(), InputBytes: 20 << 30, NumReduces: 8, Mode: ModeALM, Seed: 33}
+	want := canonical(directOutput(spec))
+	plan := (&faults.Plan{}).
+		Add(faults.Trigger{Kind: faults.AtReducePhaseProgress, Fraction: 0.4},
+			faults.Action{Kind: faults.StopNodeNetwork, Selector: faults.NodeOfTask, Task: faults.Reduce, TaskIdx: 0}).
+		Add(faults.Trigger{Kind: faults.AtReducePhaseProgress, Fraction: 0.4},
+			faults.Action{Kind: faults.StopNodeNetwork, Selector: faults.NodeWithMOFsOnly})
+	res, err := Run(spec, DefaultClusterSpec(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("job failed: %s\n%s", res.FailReason, res.Trace.Dump())
+	}
+	if canonical(res.Output) != want {
+		t.Fatal("output diverged after double node failure")
+	}
+}

@@ -1,0 +1,87 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"alm/internal/cluster"
+	"alm/internal/faults"
+	"alm/internal/sim"
+	"alm/internal/topology"
+)
+
+// ClusterSpec describes the simulated testbed. The default mirrors the
+// paper: 20 worker nodes (the paper's 21st node is the dedicated
+// ResourceManager/NameNode, which the simulation models implicitly) with
+// SSDs and 10 GbE, in two racks.
+type ClusterSpec struct {
+	Racks            int
+	NodesPerRack     int
+	HW               topology.Hardware
+	Oversubscription float64
+	// MaxVirtualTime aborts runs that exceed this much simulated time
+	// (deadlock guard). Zero means 6 hours.
+	MaxVirtualTime time.Duration
+	// MaxEvents aborts runaway simulations. Zero means 50 million.
+	MaxEvents uint64
+}
+
+// DefaultClusterSpec returns the paper-testbed layout.
+func DefaultClusterSpec() ClusterSpec {
+	return ClusterSpec{
+		Racks:            2,
+		NodesPerRack:     10,
+		HW:               topology.DefaultHardware(),
+		Oversubscription: 5,
+	}
+}
+
+// Run executes one job on a fresh simulated cluster and returns its
+// result. It is the main entry point used by experiments, examples and
+// tests.
+func Run(spec JobSpec, cs ClusterSpec, plan *faults.Plan) (Result, error) {
+	if cs.Racks == 0 {
+		cs = DefaultClusterSpec()
+	}
+	if cs.MaxVirtualTime == 0 {
+		cs.MaxVirtualTime = 6 * time.Hour
+	}
+	if cs.MaxEvents == 0 {
+		cs.MaxEvents = 50_000_000
+	}
+	topo, err := topology.New(topology.Options{
+		Racks:            cs.Racks,
+		NodesPerRack:     cs.NodesPerRack,
+		HW:               cs.HW,
+		Oversubscription: cs.Oversubscription,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	specD, err := spec.Defaulted()
+	if err != nil {
+		return Result{}, err
+	}
+	eng := sim.NewEngine(specD.Seed)
+	eng.SetMaxEvents(cs.MaxEvents)
+	cl := cluster.New(eng, topo, cluster.Options{
+		HeartbeatInterval: specD.Conf.HeartbeatInterval,
+		NodeExpiry:        specD.Conf.NodeExpiry,
+	})
+	job, err := NewJob(specD, cl, plan)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := job.Start(func() { eng.Stop() }); err != nil {
+		return Result{}, err
+	}
+	eng.Run(sim.Time(cs.MaxVirtualTime))
+	if !job.Finished() {
+		res := job.Result()
+		res.Failed = true
+		res.FailReason = fmt.Sprintf("job did not finish within %v of virtual time", cs.MaxVirtualTime)
+		res.Duration = cs.MaxVirtualTime
+		return res, nil
+	}
+	return job.Result(), nil
+}

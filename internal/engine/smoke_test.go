@@ -1,0 +1,65 @@
+package engine
+
+import (
+	"testing"
+
+	"alm/internal/workloads"
+)
+
+// smallCluster is a fast 2x4 rig for unit-level engine tests.
+func smallCluster() ClusterSpec {
+	cs := DefaultClusterSpec()
+	cs.Racks = 2
+	cs.NodesPerRack = 4
+	return cs
+}
+
+func smallSpec(w *workloads.Workload, mode Mode, reduces int) JobSpec {
+	return JobSpec{
+		Workload:   w,
+		InputBytes: 2 << 30, // 2 GB logical
+		NumReduces: reduces,
+		Mode:       mode,
+		Seed:       7,
+	}
+}
+
+func TestSmokeWordcountYARN(t *testing.T) {
+	res, err := Run(smallSpec(workloads.Wordcount(), ModeYARN, 1), smallCluster(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("job failed: %s\n%s", res.FailReason, res.Trace.Dump())
+	}
+	if res.Duration <= 0 {
+		t.Fatal("non-positive duration")
+	}
+	if len(res.Output) == 0 {
+		t.Fatal("no output records")
+	}
+	t.Logf("wordcount finished in %v with %d output records", res.Duration, len(res.Output))
+}
+
+func TestSmokeTerasortAllModes(t *testing.T) {
+	var base []string
+	for _, mode := range []Mode{ModeYARN, ModeALG, ModeSFM, ModeALM} {
+		res, err := Run(smallSpec(workloads.Terasort(), mode, 4), smallCluster(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed {
+			t.Fatalf("mode %v: job failed: %s", mode, res.FailReason)
+		}
+		var keys []string
+		for _, r := range res.Output {
+			keys = append(keys, r.Key)
+		}
+		if base == nil {
+			base = keys
+		} else if len(keys) != len(base) {
+			t.Fatalf("mode %v: output size %d differs from baseline %d", mode, len(keys), len(base))
+		}
+		t.Logf("mode %v: %v, %d outputs", mode, res.Duration, len(res.Output))
+	}
+}

@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"sort"
+
+	"alm/internal/faults"
+	"alm/internal/topology"
+	"alm/internal/trace"
+)
+
+// Stock straggler speculation (Hadoop's speculative execution, in the
+// spirit of LATE — the paper's references [24] and [4]): when a task's
+// only attempt progresses far slower than its peers, a backup attempt is
+// launched on another node and the first finisher wins.
+//
+// It is configured by mr.Config.SpeculativeExecution and is off by
+// default here: the paper's evaluation isolates failure handling, and
+// Dinu & Ng (HPDC'12, the paper's [8]) showed that stock speculation is
+// ineffective under node failures anyway — an observation the
+// TestStockSpeculation* tests reproduce.
+
+// speculationTick scans running tasks for stragglers — tasks whose
+// LATE-style estimated remaining time vastly exceeds the median peer's —
+// and launches one backup attempt each. Called from the AM's monitor
+// loop.
+func (am *appMaster) speculationTick() {
+	if !am.conf.SpeculativeExecution || am.jobDone {
+		return
+	}
+	now := am.job.Eng.Now()
+	for _, tasks := range [][]*taskState{am.maps, am.reduces} {
+		// Estimate remaining time for every single-attempt running task
+		// (LATE's heuristic: elapsed * (1-p) / p).
+		type cand struct {
+			t         *taskState
+			a         *attempt
+			remaining float64
+		}
+		var cands []cand
+		var remainings []float64
+		for _, t := range tasks {
+			if t.done || t.liveAttempts() != 1 {
+				continue
+			}
+			a := t.runningAttempt()
+			if a == nil {
+				continue
+			}
+			elapsed := (now - am.launchTimes[a]).Seconds()
+			if elapsed < am.conf.SpeculativeMinRuntime.Seconds() || a.progress <= 0.01 {
+				continue
+			}
+			rem := elapsed * (1 - a.progress) / a.progress
+			cands = append(cands, cand{t, a, rem})
+			remainings = append(remainings, rem)
+		}
+		if len(remainings) < 3 {
+			continue // not enough peers to judge slowness
+		}
+		sort.Float64s(remainings)
+		median := remainings[len(remainings)/2]
+		threshold := median / am.conf.SpeculativeSlowRatio
+		for _, c := range cands {
+			if c.remaining <= threshold || c.remaining < 30 {
+				continue
+			}
+			if am.speculativeLaunched >= am.speculativeCap() {
+				return
+			}
+			am.speculativeLaunched++
+			am.job.Tracer.Emit(now, trace.KindTaskLaunched, c.a.id, c.a.nodeName(am.job),
+				"speculative backup (straggler)")
+			am.job.result.Counters.Add("speculation.backups", 1)
+			if c.a.typ == faults.Map {
+				am.launchMap(c.t, false, c.a.node)
+			} else {
+				am.launchReduce(c.t, reduceLaunchOpts{prefer: topology.Invalid, avoid: c.a.node})
+			}
+		}
+	}
+}
+
+// speculativeCap bounds total backup attempts to 10% of the job's tasks
+// (at least 2), Hadoop's default-ish budget.
+func (am *appMaster) speculativeCap() int {
+	n := (len(am.maps) + len(am.reduces)) / 10
+	if n < 2 {
+		n = 2
+	}
+	return n
+}

@@ -1,0 +1,256 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section V). Each experiment is a function from Options to a
+// Table of labelled numeric rows; cmd/almbench renders them, tests assert
+// their shapes, and EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"alm/internal/engine"
+	"alm/internal/faults"
+	"alm/internal/workloads"
+)
+
+// Options scales and seeds an experiment run.
+type Options struct {
+	// Scale multiplies every dataset size; 1.0 reproduces paper-scale
+	// inputs, smaller values give quick CI-friendly runs. Zero means 1.
+	Scale float64
+	// Seed for the deterministic simulations. Zero means 11.
+	Seed int64
+	// Workers bounds parallel simulations; zero means GOMAXPROCS.
+	Workers int
+}
+
+func (o Options) scale() float64 {
+	if o.Scale <= 0 {
+		return 1
+	}
+	return o.Scale
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 11
+	}
+	return o.Seed
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Row is one labelled result line.
+type Row struct {
+	Label  string
+	Values []float64
+}
+
+// Table is one reproduced figure or table.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string // column names for Row.Values
+	Rows    []Row
+	Notes   []string
+}
+
+// Value looks up a row by label and returns the named column.
+func (t *Table) Value(label, column string) (float64, bool) {
+	ci := -1
+	for i, c := range t.Columns {
+		if c == column {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		return 0, false
+	}
+	for _, r := range t.Rows {
+		if r.Label == label && ci < len(r.Values) {
+			return r.Values[ci], true
+		}
+	}
+	return 0, false
+}
+
+// MarshalJSON renders the table as a stable JSON object.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	type row struct {
+		Label  string    `json:"label"`
+		Values []float64 `json:"values"`
+	}
+	out := struct {
+		ID      string   `json:"id"`
+		Title   string   `json:"title"`
+		Columns []string `json:"columns"`
+		Rows    []row    `json:"rows"`
+		Notes   []string `json:"notes,omitempty"`
+	}{ID: t.ID, Title: t.Title, Columns: t.Columns, Notes: t.Notes}
+	for _, r := range t.Rows {
+		out.Rows = append(out.Rows, row{Label: r.Label, Values: r.Values})
+	}
+	return json.Marshal(out)
+}
+
+// RenderCSV formats the table as CSV: a header row of "label" plus the
+// column names, then one line per row.
+func (t *Table) RenderCSV() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	w.Write(append([]string{"label"}, t.Columns...))
+	for _, r := range t.Rows {
+		rec := make([]string, 0, len(r.Values)+1)
+		rec = append(rec, r.Label)
+		for _, v := range r.Values {
+			rec = append(rec, strconv.FormatFloat(v, 'f', 4, 64))
+		}
+		w.Write(rec)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "%-34s", "")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, " %14s", c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-34s", r.Label)
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, " %14.2f", v)
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Func runs one experiment.
+type Func func(Options) (*Table, error)
+
+// Registry maps experiment IDs to implementations, in paper order.
+var Registry = []struct {
+	ID   string
+	Desc string
+	Run  Func
+}{
+	{"fig1", "Recovery time: 1 ReduceTask failure vs many MapTask failures", Fig1},
+	{"fig2", "Delayed job execution from a single task failure", Fig2},
+	{"fig3", "Temporal amplification of a ReduceTask failure (YARN)", Fig3},
+	{"fig4", "Spatial amplification: one node failure infects healthy reducers (YARN)", Fig4},
+	{"fig8", "ALG vs YARN under single ReduceTask failures at 10-90% progress", Fig8},
+	{"fig9", "SFM vs YARN migration/recovery under node failures", Fig9},
+	{"fig10", "SFM eliminates temporal amplification (timeline)", Fig10},
+	{"table2", "Speculative recovery scheduling curbs infectious node failures", Table2},
+	{"fig11", "ALG overhead in failure-free runs (Terasort 10-320 GB)", Fig11},
+	{"fig12", "ALG performance at different logging frequencies", Fig12},
+	{"fig13", "Impact of ALG replication level on the reduce stage", Fig13},
+	{"fig14", "SFM recovery of multiple concurrent failures (1-32 GB/reducer)", Fig14},
+	{"fig15", "Benefits of enabling both ALG and SFM", Fig15},
+	{"ablations", "ALM design-choice ablations (extension beyond the paper)", Ablations},
+	{"related", "ALM vs heavyweight checkpointing and ISS (extension beyond the paper)", RelatedWork},
+}
+
+// ByID returns the registered experiment.
+func ByID(id string) (Func, bool) {
+	for _, e := range Registry {
+		if e.ID == id {
+			return e.Run, true
+		}
+	}
+	return nil, false
+}
+
+// ---- shared machinery ----
+
+const gb = int64(1) << 30
+
+// job builds a JobSpec for one of the paper benchmarks.
+func job(w *workloads.Workload, inputBytes int64, reduces int, mode engine.Mode, opt Options) engine.JobSpec {
+	in := int64(float64(inputBytes) * opt.scale())
+	if in < 256<<20 {
+		in = 256 << 20
+	}
+	return engine.JobSpec{
+		Workload:   w,
+		InputBytes: in,
+		NumReduces: reduces,
+		Mode:       mode,
+		Seed:       opt.seed(),
+	}
+}
+
+// runCase is one simulation to execute.
+type runCase struct {
+	key  string
+	spec engine.JobSpec
+	plan *faults.Plan
+}
+
+// runAll executes cases on a worker pool; results are keyed by case key.
+func runAll(cases []runCase, opt Options) (map[string]engine.Result, error) {
+	results := make(map[string]engine.Result, len(cases))
+	var mu sync.Mutex
+	var firstErr error
+	sem := make(chan struct{}, opt.workers())
+	var wg sync.WaitGroup
+	for _, c := range cases {
+		c := c
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			res, err := engine.Run(c.spec, engine.DefaultClusterSpec(), c.plan)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("case %s: %w", c.key, err)
+				return
+			}
+			results[c.key] = res
+		}()
+	}
+	wg.Wait()
+	return results, firstErr
+}
+
+func secs(d time.Duration) float64 { return d.Seconds() }
+
+// pct returns the percentage improvement of b over a ((a-b)/a*100).
+func pct(a, b float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	return (a - b) / a * 100
+}
+
+func sortedRowLabels(rows []Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r.Label
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,335 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"alm/internal/engine"
+)
+
+// quick runs experiments at 1/16 scale for CI speed.
+func quick() Options { return Options{Scale: 1.0 / 16} }
+
+func run(t *testing.T, id string) *Table {
+	t.Helper()
+	f, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %s not registered", id)
+	}
+	tbl, err := f(quick())
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatalf("%s produced no rows", id)
+	}
+	return tbl
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig1", "fig2", "fig3", "fig4", "fig8", "fig9", "fig10",
+		"table2", "fig11", "fig12", "fig13", "fig14", "fig15", "ablations", "related"}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %s missing from registry", id)
+		}
+	}
+	if len(Registry) != len(want) {
+		t.Errorf("registry has %d entries, want %d", len(Registry), len(want))
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("unknown id resolved")
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	// Fig. 1's contrast needs enough data per reducer that redoing one
+	// ReduceTask costs more than a wave of short maps; 1/16 scale is too
+	// small, so this test runs at 1/4 scale (25 GB Terasort).
+	f, _ := ByID("fig1")
+	tbl, err := f(Options{Scale: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduceRec, ok := tbl.Value("1 ReduceTask failure", "recovery_time_s")
+	if !ok {
+		t.Fatal("missing reduce row")
+	}
+	maps200, ok := tbl.Value("200 MapTask failures", "recovery_time_s")
+	if !ok {
+		t.Fatal("missing 200-maps row")
+	}
+	if reduceRec <= maps200 {
+		t.Fatalf("paper shape violated: reduce recovery (%.1fs) should exceed 200-map recovery (%.1fs)",
+			reduceRec, maps200)
+	}
+	t.Logf("reduce recovery %.1fs vs 200 maps %.1fs (ratio %.1fx)", reduceRec, maps200, reduceRec/maps200)
+}
+
+func TestFig2Shape(t *testing.T) {
+	tbl := run(t, "fig2")
+	mapSlow, _ := tbl.Value("terasort 1 map failure", "slowdown_pct")
+	red75, ok := tbl.Value("terasort 1 reduce failure @75%", "slowdown_pct")
+	if !ok {
+		t.Fatal("missing reduce@75 row")
+	}
+	if red75 <= mapSlow {
+		t.Fatalf("reduce failure slowdown (%.1f%%) should exceed map failure slowdown (%.1f%%)", red75, mapSlow)
+	}
+	red25, _ := tbl.Value("terasort 1 reduce failure @25%", "slowdown_pct")
+	if red75 < red25 {
+		t.Fatalf("later failures should hurt at least as much: @25=%.1f%% @75=%.1f%%", red25, red75)
+	}
+}
+
+func TestFig3TimelineHasSecondFailure(t *testing.T) {
+	tbl := run(t, "fig3")
+	failures := 0
+	for _, n := range tbl.Notes {
+		if strings.Contains(n, "task-failed") && strings.Contains(n, "r_") {
+			failures++
+		}
+	}
+	if failures < 2 {
+		t.Fatalf("temporal amplification missing: %d reduce attempt failures in notes\n%s",
+			failures, strings.Join(tbl.Notes, "\n"))
+	}
+}
+
+func TestFig4SpatialInfection(t *testing.T) {
+	tbl := run(t, "fig4")
+	found := false
+	for _, n := range tbl.Notes {
+		if strings.Contains(n, "additional on healthy nodes:") && !strings.Contains(n, "additional on healthy nodes: 0") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no healthy reducers infected\n%s", strings.Join(tbl.Notes, "\n"))
+	}
+}
+
+func TestFig8ALGWins(t *testing.T) {
+	tbl := run(t, "fig8")
+	for _, b := range benchmarkNames {
+		y, ok1 := tbl.Value(b+" failure @90%", "yarn_s")
+		a, ok2 := tbl.Value(b+" failure @90%", "alg_s")
+		if !ok1 || !ok2 {
+			t.Fatalf("%s: missing @90%% rows", b)
+		}
+		if a > y {
+			t.Errorf("%s @90%%: ALG (%.1fs) slower than YARN (%.1fs)", b, a, y)
+		}
+	}
+}
+
+func TestFig9SFMWins(t *testing.T) {
+	tbl := run(t, "fig9")
+	for _, b := range benchmarkNames {
+		y, _ := tbl.Value(b+" node fail @80%", "yarn_s")
+		s, ok := tbl.Value(b+" node fail @80%", "sfm_s")
+		if !ok {
+			t.Fatalf("%s: missing @80%% row", b)
+		}
+		if s >= y {
+			t.Errorf("%s @80%%: SFM (%.1fs) not faster than YARN (%.1fs)", b, s, y)
+		}
+	}
+}
+
+func TestFig10NoSecondFailure(t *testing.T) {
+	tbl := run(t, "fig10")
+	for _, n := range tbl.Notes {
+		if strings.Contains(n, "additional on healthy nodes:") && !strings.Contains(n, "additional on healthy nodes: 0") {
+			t.Fatalf("SFM run shows additional healthy failures: %s", n)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	tbl := run(t, "table2")
+	var yarnTotal, sfmTotal float64
+	for _, r := range tbl.Rows {
+		if strings.HasPrefix(r.Label, "yarn") {
+			yarnTotal += r.Values[0]
+		}
+		if strings.HasPrefix(r.Label, "sfm") {
+			sfmTotal += r.Values[0]
+		}
+	}
+	if sfmTotal != 0 {
+		t.Errorf("SFM rows should show zero additional failures, got %.0f", sfmTotal)
+	}
+	if yarnTotal == 0 {
+		t.Errorf("YARN rows should show additional failures")
+	}
+	t.Logf("yarn additional failures total=%.0f, sfm=%.0f", yarnTotal, sfmTotal)
+}
+
+func TestFig11LowOverhead(t *testing.T) {
+	tbl := run(t, "fig11")
+	for _, r := range tbl.Rows {
+		overhead := r.Values[2]
+		if overhead > 10 {
+			t.Errorf("%s: ALG overhead %.1f%% exceeds 10%%", r.Label, overhead)
+		}
+	}
+}
+
+func TestFig12Stability(t *testing.T) {
+	tbl := run(t, "fig12")
+	var min, max float64
+	for _, r := range tbl.Rows {
+		if strings.HasPrefix(r.Label, "alg") {
+			v := r.Values[0]
+			if min == 0 || v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if (max-min)/min > 0.15 {
+		t.Errorf("ALG time varies %.1f%% across logging frequencies, want stable (<15%%)", (max-min)/min*100)
+	}
+}
+
+func TestFig13Ordering(t *testing.T) {
+	// Replication contention needs paper-class data sizes to bind; run
+	// this experiment at half scale rather than the 1/16 quick scale.
+	f, _ := ByID("fig13")
+	tbl, err := f(Options{Scale: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the largest size, cluster-level must cost more than rack-level,
+	// which must cost at least node-level.
+	var labels []string
+	for _, r := range tbl.Rows {
+		labels = append(labels, r.Label)
+	}
+	last := labels[len(labels)-1] // "<sz> GB, cluster-level"
+	szPrefix := strings.SplitN(last, ",", 2)[0]
+	node, _ := tbl.Value(szPrefix+", node-level", "reduce_stage_s")
+	rack, _ := tbl.Value(szPrefix+", rack-level", "reduce_stage_s")
+	clusterV, ok := tbl.Value(szPrefix+", cluster-level", "reduce_stage_s")
+	if !ok {
+		t.Fatalf("missing cluster row for %s", szPrefix)
+	}
+	if !(node <= rack*1.02 && rack <= clusterV*1.02) {
+		t.Errorf("replication cost ordering violated: node=%.1f rack=%.1f cluster=%.1f", node, rack, clusterV)
+	}
+	if clusterV <= node*1.05 {
+		t.Errorf("cluster-level (%.1f) should clearly exceed node-level (%.1f) at %s", clusterV, node, szPrefix)
+	}
+}
+
+func TestFig14SFMWinsAndScales(t *testing.T) {
+	tbl := run(t, "fig14")
+	small, ok1 := tbl.Value("5 failures, 1 GB/reducer", "sfm_gain_pct")
+	big, ok2 := tbl.Value("5 failures, 32 GB/reducer", "sfm_gain_pct")
+	if !ok1 || !ok2 {
+		t.Fatal("missing rows")
+	}
+	if big <= 0 {
+		t.Errorf("SFM should win at 32 GB/reducer, gain=%.1f%%", big)
+	}
+	t.Logf("5-failure gain: 1GB=%.1f%% 32GB=%.1f%%", small, big)
+}
+
+func TestFig15ALGAddsToSFM(t *testing.T) {
+	tbl := run(t, "fig15")
+	for _, b := range benchmarkNames {
+		gain, ok := tbl.Value(b, "alg_extra_gain_pct")
+		if !ok {
+			t.Fatalf("missing row %s", b)
+		}
+		if gain < -5 {
+			t.Errorf("%s: ALM slower than SFM by %.1f%%", b, -gain)
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	tbl := run(t, "ablations")
+	full, _ := tbl.Value("node failure, full ALM", "job_time_s")
+	yarn, ok := tbl.Value("node failure, stock YARN", "job_time_s")
+	if !ok {
+		t.Fatal("missing yarn row")
+	}
+	if full >= yarn {
+		t.Errorf("full ALM (%.1fs) not faster than YARN (%.1fs)", full, yarn)
+	}
+	noWaitAdd, _ := tbl.Value("spatial scenario, SFM without wait advisory", "additional_failures")
+	sfmAdd, _ := tbl.Value("spatial scenario, SFM", "additional_failures")
+	if sfmAdd != 0 {
+		t.Errorf("SFM with wait advisory should have zero additional failures, got %.0f", sfmAdd)
+	}
+	t.Logf("no-wait additional failures: %.0f (vs SFM %.0f)", noWaitAdd, sfmAdd)
+}
+
+func TestRelatedWorkShape(t *testing.T) {
+	// Checkpoint intervals (30 s) need a job long enough to fire; run at
+	// half scale rather than the 1/16 quick scale.
+	f, _ := ByID("related")
+	tbl, err := f(Options{Scale: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckptOverhead, ok := tbl.Value("heavyweight checkpointing (Sec. III strawman)", "overhead_pct")
+	if !ok {
+		t.Fatal("missing checkpoint row")
+	}
+	almOverhead, _ := tbl.Value("ALM (ALG + SFM)", "overhead_pct")
+	if ckptOverhead <= almOverhead {
+		t.Errorf("checkpointing overhead (%.1f%%) should exceed ALM's (%.1f%%)", ckptOverhead, almOverhead)
+	}
+	almFail, _ := tbl.Value("ALM (ALG + SFM)", "with_node_failure_s")
+	yarnFail, _ := tbl.Value("stock YARN", "with_node_failure_s")
+	if almFail >= yarnFail {
+		t.Errorf("ALM under failure (%.1fs) should beat stock YARN (%.1fs)", almFail, yarnFail)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{ID: "x", Title: "T", Columns: []string{"a"}, Rows: []Row{{Label: "r", Values: []float64{1.5}}}, Notes: []string{"n"}}
+	s := tbl.Render()
+	for _, want := range []string{"== x: T ==", "r", "1.50", "note: n"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestJobSpecScaling(t *testing.T) {
+	spec := job(nil, 100*gb, 4, engine.ModeYARN, Options{Scale: 0.25})
+	if spec.InputBytes != 25*gb {
+		t.Fatalf("scaled input = %d, want 25 GB", spec.InputBytes)
+	}
+	spec = job(nil, 1*gb, 4, engine.ModeYARN, Options{Scale: 0.01})
+	if spec.InputBytes != 256<<20 {
+		t.Fatalf("minimum input clamp = %d, want 256 MB", spec.InputBytes)
+	}
+}
+
+func TestTableJSONAndCSV(t *testing.T) {
+	tbl := &Table{
+		ID: "x", Title: "T", Columns: []string{"a", "b"},
+		Rows:  []Row{{Label: "r1", Values: []float64{1.5, 2}}},
+		Notes: []string{"n"},
+	}
+	data, err := tbl.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"id":"x"`, `"label":"r1"`, `"columns":["a","b"]`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("json missing %s:\n%s", want, data)
+		}
+	}
+	csvOut := tbl.RenderCSV()
+	if !strings.Contains(csvOut, "label,a,b") || !strings.Contains(csvOut, "r1,1.5000,2.0000") {
+		t.Errorf("csv malformed:\n%s", csvOut)
+	}
+}

@@ -1,0 +1,46 @@
+package fairshare
+
+import (
+	"fmt"
+	"testing"
+
+	"alm/internal/sim"
+)
+
+// BenchmarkManyFlows measures the flow-level simulation with a shuffle-
+// like pattern: 200 flows across 40 ports, arriving and completing
+// continuously.
+func BenchmarkManyFlows(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := sim.NewEngine(1)
+		s := NewSystem(e)
+		ports := make([]*Port, 40)
+		for p := range ports {
+			ports[p] = s.NewPort(fmt.Sprintf("p%d", p), 1000)
+		}
+		for f := 0; f < 200; f++ {
+			src := ports[f%40]
+			dst := ports[(f*7+3)%40]
+			s.StartFlow("f", int64(1000+f*37), []*Port{src, dst}, 0, nil)
+		}
+		e.RunAll()
+	}
+}
+
+// BenchmarkAllocate measures one max-min fair allocation pass with 100
+// active flows.
+func BenchmarkAllocate(b *testing.B) {
+	e := sim.NewEngine(1)
+	s := NewSystem(e)
+	ports := make([]*Port, 20)
+	for p := range ports {
+		ports[p] = s.NewPort(fmt.Sprintf("p%d", p), 1000)
+	}
+	for f := 0; f < 100; f++ {
+		s.StartFlow("f", 1e12, []*Port{ports[f%20], ports[(f+7)%20]}, 0, nil)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.allocate()
+	}
+}

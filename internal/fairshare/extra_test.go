@@ -1,0 +1,108 @@
+package fairshare
+
+import (
+	"testing"
+	"time"
+
+	"alm/internal/sim"
+)
+
+func TestPortAccessorsAndNames(t *testing.T) {
+	e := sim.NewEngine(1)
+	s := NewSystem(e)
+	p := s.NewPort("mine", 42)
+	if p.Name() != "mine" || p.Capacity() != 42 {
+		t.Fatalf("accessors: %q %v", p.Name(), p.Capacity())
+	}
+	if p.ActiveFlows() != 0 {
+		t.Fatal("fresh port should have no flows")
+	}
+	f := s.StartFlow("f", 100, []*Port{p}, 0, nil)
+	if p.ActiveFlows() != 1 || s.ActiveFlows() != 1 {
+		t.Fatal("flow not registered on port/system")
+	}
+	if f.Name() != "f" {
+		t.Fatalf("flow name %q", f.Name())
+	}
+	e.RunAll()
+	if p.ActiveFlows() != 0 || s.ActiveFlows() != 0 {
+		t.Fatal("flow not deregistered after completion")
+	}
+}
+
+func TestNegativeCapacityClamped(t *testing.T) {
+	e := sim.NewEngine(1)
+	s := NewSystem(e)
+	p := s.NewPort("p", 100)
+	p.SetCapacity(-5)
+	if p.Capacity() != 0 {
+		t.Fatalf("negative capacity should clamp to 0, got %v", p.Capacity())
+	}
+	p.SetCapacity(0) // no-op path (already 0)
+}
+
+func TestNewPortPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative port capacity")
+		}
+	}()
+	e := sim.NewEngine(1)
+	NewSystem(e).NewPort("bad", -1)
+}
+
+func TestStartFlowPanicsOnNilPort(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for nil port")
+		}
+	}()
+	e := sim.NewEngine(1)
+	s := NewSystem(e)
+	s.StartFlow("f", 10, []*Port{nil}, 0, nil)
+}
+
+func TestCancelFinishedFlowIsNoop(t *testing.T) {
+	e := sim.NewEngine(1)
+	s := NewSystem(e)
+	p := s.NewPort("p", 100)
+	f := s.StartFlow("f", 10, []*Port{p}, 0, nil)
+	e.RunAll()
+	f.Cancel() // already done; must not corrupt state
+	if f.Canceled() {
+		t.Fatal("finished flow must not become canceled")
+	}
+}
+
+func TestSetPriorityCapRemove(t *testing.T) {
+	e := sim.NewEngine(1)
+	s := NewSystem(e)
+	p := s.NewPort("p", 1000)
+	var done sim.Time
+	f := s.StartFlow("f", 2000, []*Port{p}, 100, func() { done = e.Now() })
+	e.Run(time.Second)  // 100 bytes at the cap
+	f.SetPriorityCap(0) // remove cap -> full port speed
+	e.RunAll()
+	// 1s capped (100 B) + 1900/1000 = 1.9s -> ~2.9s total.
+	if done < 2800*time.Millisecond || done > 3*time.Second {
+		t.Fatalf("completion at %v, want ~2.9s after cap removal", done)
+	}
+	// Setting a cap on a finished flow is a no-op.
+	f.SetPriorityCap(5)
+}
+
+func TestRemainingOnFreshFlow(t *testing.T) {
+	e := sim.NewEngine(1)
+	s := NewSystem(e)
+	p := s.NewPort("p", 100)
+	f := s.StartFlow("f", 500, []*Port{p}, 0, nil)
+	if f.Remaining() != 500 {
+		t.Fatalf("fresh flow remaining = %v, want 500", f.Remaining())
+	}
+	e.Run(2 * time.Second)
+	rem := f.Remaining()
+	if rem < 290 || rem > 310 {
+		t.Fatalf("after 2s remaining = %v, want ~300", rem)
+	}
+	e.RunAll()
+}

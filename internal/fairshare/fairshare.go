@@ -1,0 +1,368 @@
+// Package fairshare implements a flow-level max-min fair bandwidth-sharing
+// model on top of the discrete-event engine.
+//
+// A System owns a set of Ports (capacity constraints in bytes/second) and
+// Flows. Each flow crosses one or more ports — a network transfer crosses
+// the source egress port and the destination ingress port; a disk request
+// crosses a single disk port. At any instant, flow rates are the max-min
+// fair allocation subject to every port's capacity. Whenever the flow set
+// or a capacity changes, rates are recomputed and the next completion
+// event is rescheduled.
+//
+// This is the standard flow-level abstraction used by cluster simulators:
+// it captures bandwidth contention (the dominant effect in bulk MapReduce
+// phases) without simulating packets or disk blocks.
+package fairshare
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"alm/internal/sim"
+)
+
+// Port is a capacity constraint shared by the flows that cross it.
+type Port struct {
+	name     string
+	capacity float64 // bytes per second; 0 means the port is down
+	sys      *System
+	flows    map[*Flow]struct{}
+}
+
+// Name returns the port's diagnostic name.
+func (p *Port) Name() string { return p.name }
+
+// Capacity returns the port's capacity in bytes/second.
+func (p *Port) Capacity() float64 { return p.capacity }
+
+// SetCapacity changes the port capacity and reallocates flow rates.
+// Setting capacity to zero stalls all flows crossing the port.
+func (p *Port) SetCapacity(c float64) {
+	if c < 0 {
+		c = 0
+	}
+	if p.capacity == c {
+		return
+	}
+	p.capacity = c
+	p.sys.reschedule()
+}
+
+// ActiveFlows returns the number of flows currently crossing the port.
+func (p *Port) ActiveFlows() int { return len(p.flows) }
+
+// Flow is an in-progress transfer of a fixed number of bytes across a set
+// of ports.
+type Flow struct {
+	name      string
+	seq       uint64
+	sys       *System
+	ports     []*Port
+	capPort   *Port // non-nil when the flow has a private rate cap
+	remaining float64
+	rate      float64
+	done      func()
+	finished  bool
+	canceled  bool
+}
+
+// Name returns the flow's diagnostic name.
+func (f *Flow) Name() string { return f.name }
+
+// Rate returns the flow's current allocated rate in bytes/second.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Remaining returns the bytes left to transfer as of the current virtual
+// instant.
+func (f *Flow) Remaining() float64 {
+	f.sys.advance()
+	return f.remaining
+}
+
+// Done reports whether the flow completed normally.
+func (f *Flow) Done() bool { return f.finished }
+
+// Canceled reports whether the flow was canceled.
+func (f *Flow) Canceled() bool { return f.canceled }
+
+// Cancel removes the flow without invoking its completion callback.
+// Canceling a finished or already-canceled flow is a no-op.
+func (f *Flow) Cancel() {
+	if f.finished || f.canceled {
+		return
+	}
+	f.sys.advance()
+	f.canceled = true
+	f.sys.remove(f)
+	f.sys.reschedule()
+}
+
+// SetPriorityCap changes the flow's private rate cap (bytes/second).
+// A cap <= 0 removes the cap.
+func (f *Flow) SetPriorityCap(rate float64) {
+	if f.finished || f.canceled {
+		return
+	}
+	f.sys.advance()
+	if rate <= 0 {
+		if f.capPort != nil {
+			delete(f.capPort.flows, f)
+			// Drop the private port; detach it from the flow's port list.
+			f.ports = removePort(f.ports, f.capPort)
+			f.capPort = nil
+		}
+	} else if f.capPort != nil {
+		f.capPort.capacity = rate
+	} else {
+		p := f.sys.newPortInternal(f.name+"/cap", rate)
+		f.capPort = p
+		f.ports = append(f.ports, p)
+		p.flows[f] = struct{}{}
+	}
+	f.sys.reschedule()
+}
+
+func removePort(ports []*Port, p *Port) []*Port {
+	out := ports[:0]
+	for _, q := range ports {
+		if q != p {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// System ties ports and flows to a simulation engine.
+type System struct {
+	eng        *sim.Engine
+	flows      map[*Flow]struct{}
+	lastUpdate sim.Time
+	completion *sim.Timer
+	nextSeq    uint64
+}
+
+// NewSystem returns a fair-share system bound to the engine.
+func NewSystem(e *sim.Engine) *System {
+	return &System{eng: e, flows: make(map[*Flow]struct{})}
+}
+
+// NewPort creates a port with the given capacity in bytes/second.
+func (s *System) NewPort(name string, capacity float64) *Port {
+	if capacity < 0 {
+		panic(fmt.Sprintf("fairshare: negative capacity for port %s", name))
+	}
+	return s.newPortInternal(name, capacity)
+}
+
+func (s *System) newPortInternal(name string, capacity float64) *Port {
+	return &Port{name: name, capacity: capacity, sys: s, flows: make(map[*Flow]struct{})}
+}
+
+// StartFlow begins transferring bytes across the given ports, calling
+// done (if non-nil) when the last byte arrives. maxRate > 0 imposes a
+// private rate cap. A flow of zero (or negative) bytes completes at the
+// current instant, with done deferred to a fresh engine event.
+func (s *System) StartFlow(name string, bytes int64, ports []*Port, maxRate float64, done func()) *Flow {
+	s.advance()
+	s.nextSeq++
+	f := &Flow{name: name, seq: s.nextSeq, sys: s, remaining: float64(bytes), done: done}
+	if len(ports) == 0 && maxRate <= 0 {
+		// Unconstrained (e.g., node-local loopback): instantaneous.
+		f.remaining = 0
+	}
+	if f.remaining <= 0 {
+		f.finished = true
+		if done != nil {
+			s.eng.Schedule(0, done)
+		}
+		return f
+	}
+	f.ports = make([]*Port, 0, len(ports)+1)
+	for _, p := range ports {
+		if p == nil {
+			panic("fairshare: nil port in StartFlow")
+		}
+		f.ports = append(f.ports, p)
+		p.flows[f] = struct{}{}
+	}
+	if maxRate > 0 {
+		cp := s.newPortInternal(name+"/cap", maxRate)
+		f.capPort = cp
+		f.ports = append(f.ports, cp)
+		cp.flows[f] = struct{}{}
+	}
+	s.flows[f] = struct{}{}
+	s.reschedule()
+	return f
+}
+
+// ActiveFlows returns the number of in-flight flows.
+func (s *System) ActiveFlows() int { return len(s.flows) }
+
+func (s *System) remove(f *Flow) {
+	delete(s.flows, f)
+	for _, p := range f.ports {
+		delete(p.flows, f)
+	}
+}
+
+// advance applies progress at the current rates since the last update.
+func (s *System) advance() {
+	now := s.eng.Now()
+	dt := now - s.lastUpdate
+	s.lastUpdate = now
+	if dt <= 0 {
+		return
+	}
+	secs := dt.Seconds()
+	for f := range s.flows {
+		f.remaining -= f.rate * secs
+		if f.remaining < 0 {
+			f.remaining = 0
+		}
+	}
+}
+
+// reschedule recomputes the max-min fair rates and re-arms the next
+// completion event. Callers must have advanced progress first (advance is
+// called by the mutating entry points).
+func (s *System) reschedule() {
+	s.advance()
+	s.allocate()
+	if s.completion != nil {
+		s.completion.Stop()
+		s.completion = nil
+	}
+	// Find the earliest completion among flows with a positive rate.
+	first := math.Inf(1)
+	for f := range s.flows {
+		if f.rate <= 0 {
+			continue
+		}
+		t := f.remaining / f.rate
+		if t < first {
+			first = t
+		}
+	}
+	if math.IsInf(first, 1) {
+		return
+	}
+	delay := secondsToDuration(first)
+	s.completion = s.eng.Schedule(delay, s.onCompletion)
+}
+
+func (s *System) onCompletion() {
+	s.advance()
+	var finished []*Flow
+	for f := range s.flows {
+		if f.remaining <= completionEpsilon {
+			finished = append(finished, f)
+		}
+	}
+	// Completion callbacks fire in flow-creation order: the map
+	// iteration above is nondeterministic, so sort by sequence number to
+	// keep simulations reproducible.
+	sortFlows(finished)
+	for _, f := range finished {
+		f.finished = true
+		s.remove(f)
+	}
+	s.reschedule()
+	for _, f := range finished {
+		if f.done != nil {
+			f.done()
+		}
+	}
+}
+
+const completionEpsilon = 0.5 // half a byte
+
+func sortFlows(fs []*Flow) {
+	// Insertion sort: the finished set is nearly always tiny.
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && fs[j].seq < fs[j-1].seq; j-- {
+			fs[j], fs[j-1] = fs[j-1], fs[j]
+		}
+	}
+}
+
+// allocate computes max-min fair rates via progressive filling: repeatedly
+// find the port with the smallest per-flow fair share, freeze its flows at
+// that rate, subtract their consumption everywhere, and continue.
+func (s *System) allocate() {
+	if len(s.flows) == 0 {
+		return
+	}
+	residual := make(map[*Port]float64)
+	unfrozen := make(map[*Port]int)
+	addPort := func(p *Port) {
+		if _, ok := residual[p]; !ok {
+			residual[p] = p.capacity
+			unfrozen[p] = 0
+		}
+	}
+	frozen := make(map[*Flow]bool, len(s.flows))
+	for f := range s.flows {
+		f.rate = 0
+		for _, p := range f.ports {
+			addPort(p)
+			unfrozen[p]++
+		}
+		if len(f.ports) == 0 {
+			// Unconstrained flow: complete "instantly" at a huge rate.
+			f.rate = math.MaxFloat64 / 4
+			frozen[f] = true
+		}
+	}
+	remaining := len(s.flows) - len(frozen)
+	for remaining > 0 {
+		// Find the bottleneck port: the one with the least fair share.
+		var bottleneck *Port
+		share := math.Inf(1)
+		for p, n := range unfrozen {
+			if n == 0 {
+				continue
+			}
+			ps := residual[p] / float64(n)
+			if ps < share || (ps == share && bottleneck != nil && p.name < bottleneck.name) {
+				share = ps
+				bottleneck = p
+			}
+		}
+		if bottleneck == nil {
+			break
+		}
+		if share < 0 {
+			share = 0
+		}
+		// Freeze every unfrozen flow crossing the bottleneck at the share.
+		for f := range bottleneck.flows {
+			if frozen[f] {
+				continue
+			}
+			f.rate = share
+			frozen[f] = true
+			remaining--
+			for _, p := range f.ports {
+				residual[p] -= share
+				if residual[p] < 0 {
+					residual[p] = 0
+				}
+				unfrozen[p]--
+			}
+		}
+	}
+}
+
+func secondsToDuration(s float64) time.Duration {
+	if s < 0 {
+		return 0
+	}
+	ns := s * 1e9
+	if ns > math.MaxInt64/2 {
+		return time.Duration(math.MaxInt64 / 2)
+	}
+	// Round up so the completion event never lands before the last byte.
+	return time.Duration(math.Ceil(ns))
+}

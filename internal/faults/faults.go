@@ -1,0 +1,173 @@
+// Package faults describes fault-injection plans: what to break and when.
+// Plans are pure data; the engine evaluates triggers at progress
+// boundaries and virtual-time points and applies the actions, mirroring
+// the paper's methodology ("we inject out-of-memory exceptions to crash a
+// task ... and stop the network services on a node for node failures").
+package faults
+
+import (
+	"fmt"
+	"time"
+)
+
+// TaskType selects map or reduce tasks.
+type TaskType int
+
+// Task types.
+const (
+	Map TaskType = iota
+	Reduce
+)
+
+func (t TaskType) String() string {
+	if t == Map {
+		return "map"
+	}
+	return "reduce"
+}
+
+// TriggerKind says what condition arms an injection.
+type TriggerKind int
+
+// Trigger kinds.
+const (
+	// AtTime fires at an absolute virtual time.
+	AtTime TriggerKind = iota
+	// AtTaskProgress fires when the target task's first attempt reaches a
+	// progress fraction.
+	AtTaskProgress
+	// AtReducePhaseProgress fires when the average reduce progress of the
+	// job reaches a fraction.
+	AtReducePhaseProgress
+	// AtJobProgress fires when overall job progress (mean of map and
+	// reduce phase fractions) reaches a fraction.
+	AtJobProgress
+)
+
+// Trigger is an injection's firing condition.
+type Trigger struct {
+	Kind     TriggerKind
+	Time     time.Duration // AtTime
+	Task     TaskType      // AtTaskProgress
+	TaskIdx  int           // AtTaskProgress
+	Fraction float64       // progress-based kinds
+}
+
+// ActionKind says what an injection breaks.
+type ActionKind int
+
+// Action kinds.
+const (
+	// FailTask makes the running attempt of a task die with a fatal error
+	// (the paper's injected OOM).
+	FailTask ActionKind = iota
+	// StopNodeNetwork makes a node unreachable while its process and disk
+	// survive (the paper's "stop the network services").
+	StopNodeNetwork
+	// CrashNode kills the node process and loses its local data.
+	CrashNode
+	// SlowNode degrades a node's disk bandwidth by Action.Factor — the
+	// paper's "faulty node ... still responsive but very slow in I/O"
+	// case that makes local relaunch produce stragglers.
+	SlowNode
+)
+
+// NodeSelector picks the node an action targets.
+type NodeSelector int
+
+// Node selectors.
+const (
+	// NodeExplicit targets Action.Node.
+	NodeExplicit NodeSelector = iota
+	// NodeOfTask targets the node running the task's current attempt.
+	NodeOfTask
+	// NodeWithMOFsOnly targets a node that hosts map output but no running
+	// ReduceTask (the Fig. 4 spatial-amplification scenario).
+	NodeWithMOFsOnly
+)
+
+// Action is what an injection does when its trigger fires.
+type Action struct {
+	Kind     ActionKind
+	Task     TaskType // FailTask / NodeOfTask
+	TaskIdx  int
+	Selector NodeSelector
+	Node     int     // NodeExplicit
+	Factor   float64 // SlowNode: disk bandwidth multiplier (e.g. 0.1)
+}
+
+// Injection pairs a trigger with an action. Each fires at most once.
+type Injection struct {
+	When Trigger
+	Do   Action
+	Done bool
+}
+
+func (i *Injection) String() string {
+	return fmt.Sprintf("when{kind=%d t=%v frac=%.2f} do{kind=%d}", i.When.Kind, i.When.Time, i.When.Fraction, i.Do.Kind)
+}
+
+// Plan is a set of injections applied to one job run.
+type Plan struct {
+	Injections []*Injection
+}
+
+// Add appends an injection and returns the plan for chaining.
+func (p *Plan) Add(when Trigger, do Action) *Plan {
+	p.Injections = append(p.Injections, &Injection{When: when, Do: do})
+	return p
+}
+
+// FailTaskAtProgress is a convenience plan: kill task (typ, idx)'s running
+// attempt when that task reaches the progress fraction.
+func FailTaskAtProgress(typ TaskType, idx int, frac float64) *Plan {
+	p := &Plan{}
+	return p.Add(
+		Trigger{Kind: AtTaskProgress, Task: typ, TaskIdx: idx, Fraction: frac},
+		Action{Kind: FailTask, Task: typ, TaskIdx: idx},
+	)
+}
+
+// FailTasksAtProgress kills the first n tasks of a type when each reaches
+// the fraction (the paper's concurrent-failure experiments).
+func FailTasksAtProgress(typ TaskType, n int, frac float64) *Plan {
+	p := &Plan{}
+	for i := 0; i < n; i++ {
+		p.Add(
+			Trigger{Kind: AtTaskProgress, Task: typ, TaskIdx: i, Fraction: frac},
+			Action{Kind: FailTask, Task: typ, TaskIdx: i},
+		)
+	}
+	return p
+}
+
+// StopNodeOfTaskAtReduceProgress stops the network of the node hosting the
+// given task when the job's reduce phase reaches the fraction.
+func StopNodeOfTaskAtReduceProgress(typ TaskType, idx int, frac float64) *Plan {
+	p := &Plan{}
+	return p.Add(
+		Trigger{Kind: AtReducePhaseProgress, Fraction: frac},
+		Action{Kind: StopNodeNetwork, Selector: NodeOfTask, Task: typ, TaskIdx: idx},
+	)
+}
+
+// StopMOFNodeAtJobProgress stops a node that hosts MOFs but no reducer
+// when overall job progress reaches the fraction (Fig. 4 / Table II).
+func StopMOFNodeAtJobProgress(frac float64) *Plan {
+	p := &Plan{}
+	return p.Add(
+		Trigger{Kind: AtJobProgress, Fraction: frac},
+		Action{Kind: StopNodeNetwork, Selector: NodeWithMOFsOnly},
+	)
+}
+
+// SlowNodeOfTaskAtReduceProgress degrades the disks of the node hosting
+// the task to factor of their bandwidth when the reduce phase reaches the
+// fraction (the paper's "faulty node" scenario).
+func SlowNodeOfTaskAtReduceProgress(typ TaskType, idx int, frac, factor float64) *Plan {
+	p := &Plan{}
+	return p.Add(
+		Trigger{Kind: AtReducePhaseProgress, Fraction: frac},
+		Action{Kind: SlowNode, Selector: NodeOfTask, Task: typ, TaskIdx: idx, Factor: factor},
+	)
+}

@@ -1,0 +1,80 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTaskTypeString(t *testing.T) {
+	if Map.String() != "map" || Reduce.String() != "reduce" {
+		t.Fatalf("TaskType strings: %s / %s", Map, Reduce)
+	}
+}
+
+func TestFailTaskAtProgress(t *testing.T) {
+	p := FailTaskAtProgress(Reduce, 3, 0.7)
+	if len(p.Injections) != 1 {
+		t.Fatalf("injections = %d, want 1", len(p.Injections))
+	}
+	inj := p.Injections[0]
+	if inj.When.Kind != AtTaskProgress || inj.When.Task != Reduce || inj.When.TaskIdx != 3 || inj.When.Fraction != 0.7 {
+		t.Fatalf("trigger = %+v", inj.When)
+	}
+	if inj.Do.Kind != FailTask || inj.Do.TaskIdx != 3 {
+		t.Fatalf("action = %+v", inj.Do)
+	}
+	if inj.Done {
+		t.Fatal("fresh injection must not be Done")
+	}
+}
+
+func TestFailTasksAtProgress(t *testing.T) {
+	p := FailTasksAtProgress(Reduce, 5, 0.5)
+	if len(p.Injections) != 5 {
+		t.Fatalf("injections = %d, want 5", len(p.Injections))
+	}
+	seen := map[int]bool{}
+	for _, inj := range p.Injections {
+		seen[inj.Do.TaskIdx] = true
+	}
+	for i := 0; i < 5; i++ {
+		if !seen[i] {
+			t.Fatalf("missing injection for task %d", i)
+		}
+	}
+}
+
+func TestStopNodeOfTask(t *testing.T) {
+	p := StopNodeOfTaskAtReduceProgress(Reduce, 0, 0.4)
+	inj := p.Injections[0]
+	if inj.When.Kind != AtReducePhaseProgress || inj.When.Fraction != 0.4 {
+		t.Fatalf("trigger = %+v", inj.When)
+	}
+	if inj.Do.Kind != StopNodeNetwork || inj.Do.Selector != NodeOfTask {
+		t.Fatalf("action = %+v", inj.Do)
+	}
+}
+
+func TestStopMOFNode(t *testing.T) {
+	p := StopMOFNodeAtJobProgress(0.55)
+	inj := p.Injections[0]
+	if inj.When.Kind != AtJobProgress || inj.Do.Selector != NodeWithMOFsOnly {
+		t.Fatalf("plan = %+v / %+v", inj.When, inj.Do)
+	}
+}
+
+func TestAddChaining(t *testing.T) {
+	p := (&Plan{}).
+		Add(Trigger{Kind: AtTime}, Action{Kind: CrashNode, Node: 3}).
+		Add(Trigger{Kind: AtJobProgress, Fraction: 0.5}, Action{Kind: FailTask})
+	if len(p.Injections) != 2 {
+		t.Fatalf("chained plan has %d injections, want 2", len(p.Injections))
+	}
+}
+
+func TestInjectionString(t *testing.T) {
+	p := FailTaskAtProgress(Map, 0, 0.25)
+	if s := p.Injections[0].String(); !strings.Contains(s, "0.25") {
+		t.Fatalf("String() = %q, want fraction included", s)
+	}
+}

@@ -1,0 +1,82 @@
+package merge
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"alm/internal/mr"
+)
+
+func makeSegments(b *testing.B, nSegs, recsPer int) []*Segment {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	segs := make([]*Segment, nSegs)
+	for i := range segs {
+		recs := make([]mr.Record, recsPer)
+		for j := range recs {
+			recs[j] = mr.Record{Key: fmt.Sprintf("k%08d", rng.Intn(1<<20)), Value: "v"}
+		}
+		segs[i] = NewSegment(fmt.Sprint(i), mr.DefaultComparator, recs, int64(recsPer*100), int64(recsPer))
+	}
+	return segs
+}
+
+func BenchmarkMPQMerge16x256(b *testing.B) {
+	segs := makeSegments(b, 16, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := NewMPQ(mr.DefaultComparator, segs, nil)
+		for {
+			if _, ok := q.Next(); !ok {
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkMPQMerge100x100(b *testing.B) {
+	segs := makeSegments(b, 100, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := NewMPQ(mr.DefaultComparator, segs, nil)
+		for {
+			if _, ok := q.Next(); !ok {
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkMergeSegments(b *testing.B) {
+	segs := makeSegments(b, 32, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MergeSegments("m", mr.DefaultComparator, segs)
+	}
+}
+
+func BenchmarkGroupCursor(b *testing.B) {
+	segs := makeSegments(b, 8, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := NewGroupCursor(mr.DefaultComparator, mr.DefaultGrouper, segs, nil)
+		for {
+			if _, _, ok := g.NextGroup(); !ok {
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkPositionsSnapshot(b *testing.B) {
+	segs := makeSegments(b, 64, 64)
+	q := NewMPQ(mr.DefaultComparator, segs, nil)
+	for i := 0; i < 1000; i++ {
+		q.Next()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = q.Positions()
+	}
+}

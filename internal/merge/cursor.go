@@ -1,0 +1,82 @@
+package merge
+
+import "alm/internal/mr"
+
+// GroupCursor iterates reduce groups over a merged view of segments. It
+// guarantees that BoundaryPositions always points at the first record of
+// the next group, so an ALG log snapshot taken between groups restores an
+// exactly equivalent cursor — no group is ever split across a snapshot.
+type GroupCursor struct {
+	mpq     *MPQ
+	grouper mr.GroupComparator
+
+	pending    mr.Record
+	pendingSeg int
+	hasPending bool
+
+	boundary  Positions // resume point after the last fully delivered group
+	delivered int       // real records contained in delivered groups
+}
+
+// NewGroupCursor builds a cursor over the segments, resuming from start
+// positions when non-nil.
+func NewGroupCursor(cmp mr.KeyComparator, grouper mr.GroupComparator, segs []*Segment, start Positions) *GroupCursor {
+	g := &GroupCursor{
+		mpq:     NewMPQ(cmp, segs, start),
+		grouper: grouper,
+	}
+	g.boundary = g.mpq.Positions()
+	return g
+}
+
+// NextGroup returns the next reduce group: its leading key and all its
+// values in merge order. ok is false at end of data.
+func (g *GroupCursor) NextGroup() (key string, values []string, ok bool) {
+	var first mr.Record
+	if g.hasPending {
+		first = g.pending
+		g.hasPending = false
+	} else {
+		rec, _, more := g.mpq.NextFrom()
+		if !more {
+			return "", nil, false
+		}
+		first = rec
+	}
+	key = first.Key
+	values = append(values, first.Value)
+	for {
+		rec, segIdx, more := g.mpq.NextFrom()
+		if !more {
+			break
+		}
+		if g.grouper(key, rec.Key) {
+			values = append(values, rec.Value)
+			continue
+		}
+		g.pending = rec
+		g.pendingSeg = segIdx
+		g.hasPending = true
+		break
+	}
+	// The group is complete: advance the safe boundary to just before the
+	// pending (read-ahead) record, if any.
+	g.boundary = g.mpq.Positions()
+	if g.hasPending {
+		g.boundary[g.pendingSeg]--
+	}
+	g.delivered += len(values)
+	return key, values, true
+}
+
+// BoundaryPositions returns the resume point after the last delivered
+// group. Reconstructing a cursor with these positions yields the
+// remaining groups exactly.
+func (g *GroupCursor) BoundaryPositions() Positions { return g.boundary.Clone() }
+
+// DeliveredRecords returns the number of real records contained in groups
+// delivered so far (excluding any read-ahead record).
+func (g *GroupCursor) DeliveredRecords() int { return g.delivered }
+
+// Exhausted reports whether all groups have been delivered.
+func (g *GroupCursor) Exhausted() bool { return !g.hasPending && g.mpq.Exhausted() }

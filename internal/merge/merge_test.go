@@ -1,0 +1,269 @@
+package merge
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"alm/internal/mr"
+)
+
+func recs(keys ...string) []mr.Record {
+	rs := make([]mr.Record, len(keys))
+	for i, k := range keys {
+		rs[i] = mr.Record{Key: k, Value: "v" + k}
+	}
+	return rs
+}
+
+func drain(q *MPQ) []string {
+	var out []string
+	for {
+		r, ok := q.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, r.Key)
+	}
+}
+
+func TestNewSegmentSorts(t *testing.T) {
+	s := NewSegment("s", mr.DefaultComparator, recs("c", "a", "b"), 300, 3)
+	if !s.Sorted(mr.DefaultComparator) {
+		t.Fatalf("segment not sorted: %v", s.Records)
+	}
+	if s.Records[0].Key != "a" || s.Records[2].Key != "c" {
+		t.Fatalf("wrong order: %v", s.Records)
+	}
+}
+
+func TestNewSegmentCopiesInput(t *testing.T) {
+	in := recs("b", "a")
+	s := NewSegment("s", mr.DefaultComparator, in, 0, 0)
+	in[0].Key = "zzz"
+	if s.Records[0].Key != "a" || s.Records[1].Key != "b" {
+		t.Fatalf("segment aliases caller slice: %v", s.Records)
+	}
+}
+
+func TestMPQGlobalOrder(t *testing.T) {
+	a := NewSegment("a", mr.DefaultComparator, recs("a", "d", "g"), 0, 0)
+	b := NewSegment("b", mr.DefaultComparator, recs("b", "e", "h"), 0, 0)
+	c := NewSegment("c", mr.DefaultComparator, recs("c", "f"), 0, 0)
+	got := drain(NewMPQ(mr.DefaultComparator, []*Segment{a, b, c}, nil))
+	want := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("merged order %v, want %v", got, want)
+	}
+}
+
+func TestMPQDuplicateKeysStable(t *testing.T) {
+	a := NewSegment("a", mr.DefaultComparator, recs("k", "k"), 0, 0)
+	b := NewSegment("b", mr.DefaultComparator, recs("k"), 0, 0)
+	q := NewMPQ(mr.DefaultComparator, []*Segment{a, b}, nil)
+	got := drain(q)
+	if len(got) != 3 {
+		t.Fatalf("expected 3 records, got %v", got)
+	}
+}
+
+func TestMPQEmptySegments(t *testing.T) {
+	a := NewSegment("a", mr.DefaultComparator, nil, 0, 0)
+	b := NewSegment("b", mr.DefaultComparator, recs("x"), 0, 0)
+	got := drain(NewMPQ(mr.DefaultComparator, []*Segment{a, b}, nil))
+	if len(got) != 1 || got[0] != "x" {
+		t.Fatalf("got %v, want [x]", got)
+	}
+}
+
+func TestMPQPeek(t *testing.T) {
+	a := NewSegment("a", mr.DefaultComparator, recs("m", "z"), 0, 0)
+	q := NewMPQ(mr.DefaultComparator, []*Segment{a}, nil)
+	r, ok := q.Peek()
+	if !ok || r.Key != "m" {
+		t.Fatalf("Peek = %v %v", r, ok)
+	}
+	if q.Consumed() != 0 {
+		t.Fatalf("Peek consumed a record")
+	}
+	q.Next()
+	if r, _ := q.Peek(); r.Key != "z" {
+		t.Fatalf("after Next, Peek = %v", r.Key)
+	}
+}
+
+func TestMPQResumeFromPositions(t *testing.T) {
+	a := NewSegment("a", mr.DefaultComparator, recs("a", "c", "e"), 0, 0)
+	b := NewSegment("b", mr.DefaultComparator, recs("b", "d", "f"), 0, 0)
+	segs := []*Segment{a, b}
+	q := NewMPQ(mr.DefaultComparator, segs, nil)
+	var prefix []string
+	for i := 0; i < 3; i++ {
+		r, _ := q.Next()
+		prefix = append(prefix, r.Key)
+	}
+	pos := q.Positions()
+	q2 := NewMPQ(mr.DefaultComparator, segs, pos)
+	rest := drain(q2)
+	all := append(prefix, rest...)
+	want := []string{"a", "b", "c", "d", "e", "f"}
+	if fmt.Sprint(all) != fmt.Sprint(want) {
+		t.Fatalf("resumed sequence %v, want %v", all, want)
+	}
+	if q2.Consumed() != 3 {
+		t.Fatalf("resumed Consumed = %d, want 3", q2.Consumed())
+	}
+}
+
+func TestMergeSegmentsSumsLogicalSizes(t *testing.T) {
+	a := NewSegment("a", mr.DefaultComparator, recs("a"), 100, 10)
+	b := NewSegment("b", mr.DefaultComparator, recs("b"), 200, 20)
+	m := MergeSegments("m", mr.DefaultComparator, []*Segment{a, b})
+	if m.LogicalBytes != 300 || m.LogicalRecords != 30 {
+		t.Fatalf("logical sizes %d/%d, want 300/30", m.LogicalBytes, m.LogicalRecords)
+	}
+	if len(m.Records) != 2 || !m.Sorted(mr.DefaultComparator) {
+		t.Fatalf("bad merged records: %v", m.Records)
+	}
+}
+
+func TestGroupCursorGroups(t *testing.T) {
+	a := NewSegment("a", mr.DefaultComparator, []mr.Record{{Key: "x", Value: "1"}, {Key: "y", Value: "3"}}, 0, 0)
+	b := NewSegment("b", mr.DefaultComparator, []mr.Record{{Key: "x", Value: "2"}}, 0, 0)
+	g := NewGroupCursor(mr.DefaultComparator, mr.DefaultGrouper, []*Segment{a, b}, nil)
+	k, vs, ok := g.NextGroup()
+	if !ok || k != "x" || len(vs) != 2 {
+		t.Fatalf("group 1 = %q %v %v", k, vs, ok)
+	}
+	k, vs, ok = g.NextGroup()
+	if !ok || k != "y" || len(vs) != 1 {
+		t.Fatalf("group 2 = %q %v %v", k, vs, ok)
+	}
+	if _, _, ok = g.NextGroup(); ok {
+		t.Fatal("expected exhaustion")
+	}
+	if !g.Exhausted() {
+		t.Fatal("Exhausted should report true")
+	}
+}
+
+func TestGroupCursorBoundaryResume(t *testing.T) {
+	// Groups: aa(2 values), bb(1), cc(3), dd(1).
+	a := NewSegment("a", mr.DefaultComparator, []mr.Record{{Key: "aa", Value: "1"}, {Key: "cc", Value: "1"}, {Key: "cc", Value: "2"}}, 0, 0)
+	b := NewSegment("b", mr.DefaultComparator, []mr.Record{{Key: "aa", Value: "2"}, {Key: "bb", Value: "1"}, {Key: "cc", Value: "3"}, {Key: "dd", Value: "1"}}, 0, 0)
+	segs := []*Segment{a, b}
+
+	full := collectGroups(NewGroupCursor(mr.DefaultComparator, mr.DefaultGrouper, segs, nil), -1)
+
+	for stop := 1; stop <= 3; stop++ {
+		g := NewGroupCursor(mr.DefaultComparator, mr.DefaultGrouper, segs, nil)
+		head := collectGroups(g, stop)
+		g2 := NewGroupCursor(mr.DefaultComparator, mr.DefaultGrouper, segs, g.BoundaryPositions())
+		tail := collectGroups(g2, -1)
+		got := append(append([]string{}, head...), tail...)
+		if fmt.Sprint(got) != fmt.Sprint(full) {
+			t.Fatalf("stop=%d: resume mismatch\n got %v\nwant %v", stop, got, full)
+		}
+	}
+}
+
+func collectGroups(g *GroupCursor, limit int) []string {
+	var out []string
+	for limit < 0 || len(out) < limit {
+		k, vs, ok := g.NextGroup()
+		if !ok {
+			break
+		}
+		out = append(out, fmt.Sprintf("%s=%v", k, vs))
+	}
+	return out
+}
+
+func TestGroupCursorDeliveredRecords(t *testing.T) {
+	a := NewSegment("a", mr.DefaultComparator, recs("a", "a", "b"), 0, 0)
+	g := NewGroupCursor(mr.DefaultComparator, mr.DefaultGrouper, []*Segment{a}, nil)
+	g.NextGroup()
+	if g.DeliveredRecords() != 2 {
+		t.Fatalf("DeliveredRecords = %d, want 2", g.DeliveredRecords())
+	}
+	g.NextGroup()
+	if g.DeliveredRecords() != 3 {
+		t.Fatalf("DeliveredRecords = %d, want 3", g.DeliveredRecords())
+	}
+}
+
+func TestGroupCursorCustomGrouper(t *testing.T) {
+	// Secondary-sort style: group by the first character only.
+	grouper := func(a, b string) bool { return a[0] == b[0] }
+	s := NewSegment("s", mr.DefaultComparator, recs("a1", "a2", "b1"), 0, 0)
+	g := NewGroupCursor(mr.DefaultComparator, grouper, []*Segment{s}, nil)
+	k, vs, _ := g.NextGroup()
+	if k != "a1" || len(vs) != 2 {
+		t.Fatalf("group = %q %v, want a1 with 2 values", k, vs)
+	}
+}
+
+// Property: MPQ output is a sorted permutation of all input records.
+func TestQuickMPQSortedPermutation(t *testing.T) {
+	f := func(data [][]byte) bool {
+		var segs []*Segment
+		var all []string
+		for i, d := range data {
+			var rs []mr.Record
+			for _, b := range d {
+				k := fmt.Sprintf("k%03d", int(b)%50)
+				rs = append(rs, mr.Record{Key: k})
+				all = append(all, k)
+			}
+			segs = append(segs, NewSegment(fmt.Sprintf("s%d", i), mr.DefaultComparator, rs, 0, 0))
+		}
+		got := drain(NewMPQ(mr.DefaultComparator, segs, nil))
+		if len(got) != len(all) {
+			return false
+		}
+		sort.Strings(all)
+		for i := range got {
+			if got[i] != all[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: splitting group iteration at any boundary and resuming yields
+// the same groups as one uninterrupted pass (the ALG reduce-log invariant).
+func TestQuickGroupResumeEquivalence(t *testing.T) {
+	f := func(data []byte, stopAt uint8) bool {
+		var rs []mr.Record
+		for i, b := range data {
+			rs = append(rs, mr.Record{Key: fmt.Sprintf("k%d", int(b)%10), Value: fmt.Sprint(i)})
+		}
+		half := len(rs) / 2
+		segs := []*Segment{
+			NewSegment("a", mr.DefaultComparator, rs[:half], 0, 0),
+			NewSegment("b", mr.DefaultComparator, rs[half:], 0, 0),
+		}
+		full := collectGroups(NewGroupCursor(mr.DefaultComparator, mr.DefaultGrouper, segs, nil), -1)
+		stop := 0
+		if len(full) > 0 {
+			stop = int(stopAt) % (len(full) + 1)
+		}
+		g := NewGroupCursor(mr.DefaultComparator, mr.DefaultGrouper, segs, nil)
+		head := collectGroups(g, stop)
+		g2 := NewGroupCursor(mr.DefaultComparator, mr.DefaultGrouper, segs, g.BoundaryPositions())
+		tail := collectGroups(g2, -1)
+		got := append(head, tail...)
+		return fmt.Sprint(got) == fmt.Sprint(full)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(4))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

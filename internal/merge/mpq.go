@@ -1,0 +1,135 @@
+package merge
+
+import (
+	"container/heap"
+
+	"alm/internal/mr"
+)
+
+// MPQ is the Minimum Priority Queue the paper's ReduceTask uses in its
+// reduce stage: the intermediate file (segment) whose next record has the
+// minimum key sits at the root; Next extracts records in globally sorted
+// order. The queue is resumable — its per-segment positions can be
+// captured (Positions) and an identical MPQ reconstructed later, which is
+// exactly what ALG logs and SFM replays.
+type MPQ struct {
+	cmp        mr.KeyComparator
+	segs       []*Segment
+	pos        []int // next unread index per segment
+	h          mpqHeap
+	startTotal int // sum of resume offsets at construction
+}
+
+type mpqEntry struct {
+	segIdx int
+	rec    mr.Record
+	tie    int // segment index as deterministic tie-break
+}
+
+type mpqHeap struct {
+	cmp     mr.KeyComparator
+	entries []mpqEntry
+}
+
+func (h mpqHeap) Len() int { return len(h.entries) }
+func (h mpqHeap) Less(i, j int) bool {
+	c := h.cmp(h.entries[i].rec.Key, h.entries[j].rec.Key)
+	if c != 0 {
+		return c < 0
+	}
+	return h.entries[i].tie < h.entries[j].tie
+}
+func (h mpqHeap) Swap(i, j int)       { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
+func (h *mpqHeap) Push(x interface{}) { h.entries = append(h.entries, x.(mpqEntry)) }
+func (h *mpqHeap) Pop() interface{} {
+	old := h.entries
+	n := len(old)
+	e := old[n-1]
+	h.entries = old[:n-1]
+	return e
+}
+
+// NewMPQ builds a queue over the segments, resuming from start positions
+// when start is non-nil (it must then have len(segments) entries).
+func NewMPQ(cmp mr.KeyComparator, segments []*Segment, start Positions) *MPQ {
+	if start != nil && len(start) != len(segments) {
+		panic("merge: start positions length mismatch")
+	}
+	q := &MPQ{
+		cmp:  cmp,
+		segs: segments,
+		pos:  make([]int, len(segments)),
+		h:    mpqHeap{cmp: cmp},
+	}
+	for i := range segments {
+		if start != nil {
+			q.pos[i] = start[i]
+			q.startTotal += start[i]
+		}
+		if q.pos[i] < len(segments[i].Records) {
+			q.h.entries = append(q.h.entries, mpqEntry{segIdx: i, rec: segments[i].Records[q.pos[i]], tie: i})
+			q.pos[i]++
+		}
+	}
+	heap.Init(&q.h)
+	return q
+}
+
+// Next pops the globally minimal record. ok is false when the queue is
+// exhausted.
+func (q *MPQ) Next() (rec mr.Record, ok bool) {
+	rec, _, ok = q.NextFrom()
+	return rec, ok
+}
+
+// NextFrom is Next but additionally reports which segment the record came
+// from, which resumable consumers (GroupCursor) need to maintain exact
+// boundary positions.
+func (q *MPQ) NextFrom() (rec mr.Record, segIdx int, ok bool) {
+	if q.h.Len() == 0 {
+		return mr.Record{}, -1, false
+	}
+	e := heap.Pop(&q.h).(mpqEntry)
+	i := e.segIdx
+	if q.pos[i] < len(q.segs[i].Records) {
+		heap.Push(&q.h, mpqEntry{segIdx: i, rec: q.segs[i].Records[q.pos[i]], tie: i})
+		q.pos[i]++
+	}
+	return e.rec, i, true
+}
+
+// Peek returns the minimal record without consuming it.
+func (q *MPQ) Peek() (rec mr.Record, ok bool) {
+	if q.h.Len() == 0 {
+		return mr.Record{}, false
+	}
+	return q.h.entries[0].rec, true
+}
+
+// Exhausted reports whether all records have been consumed.
+func (q *MPQ) Exhausted() bool { return q.h.Len() == 0 }
+
+// Positions snapshots the per-segment offsets of the *next unconsumed*
+// record: reconstructing an MPQ with these positions resumes the merge
+// exactly where this one stands. Records currently buffered at the heap
+// roots are counted as unconsumed.
+func (q *MPQ) Positions() Positions {
+	p := Positions(make([]int, len(q.pos)))
+	copy(p, q.pos)
+	// Entries sitting in the heap have been read from their segment but
+	// not yet delivered; give them back.
+	for _, e := range q.h.entries {
+		p[e.segIdx]--
+	}
+	return p
+}
+
+// Consumed returns how many real records have been delivered by Next
+// since construction (not counting the resume offset).
+func (q *MPQ) Consumed() int {
+	total := 0
+	for _, p := range q.Positions() {
+		total += p
+	}
+	return total - q.startTotal
+}

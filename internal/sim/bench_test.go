@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkScheduleRun measures raw event throughput: schedule and drain
+// 10k events.
+func BenchmarkScheduleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine(1)
+		for j := 0; j < 10_000; j++ {
+			e.Schedule(time.Duration(j%997)*time.Millisecond, func() {})
+		}
+		e.RunAll()
+	}
+}
+
+// BenchmarkTimerChurn measures the cancel-heavy pattern the runtime uses
+// (watchdogs armed and disarmed constantly).
+func BenchmarkTimerChurn(b *testing.B) {
+	e := NewEngine(1)
+	for i := 0; i < b.N; i++ {
+		t := e.Schedule(time.Hour, func() {})
+		t.Stop()
+		if i%1024 == 0 {
+			e.Run(0) // let the heap drain canceled entries
+		}
+	}
+}
+
+// BenchmarkSelfScheduling measures a ticker-style cascade.
+func BenchmarkSelfScheduling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine(1)
+		n := 0
+		var tick func()
+		tick = func() {
+			n++
+			if n < 10_000 {
+				e.Schedule(time.Millisecond, tick)
+			}
+		}
+		e.Schedule(0, tick)
+		e.RunAll()
+	}
+}

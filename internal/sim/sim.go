@@ -1,0 +1,199 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All components of the simulated cluster (network, disks, DFS, the
+// MapReduce runtime) schedule work on a single Engine. Virtual time is a
+// time.Duration measured from the start of the simulation. Events that
+// share a timestamp fire in scheduling order, which makes every run with
+// the same seed bit-for-bit reproducible.
+//
+// The engine is single-threaded by design: event handlers run one at a
+// time, so simulated components need no locking. Parallelism across
+// experiments is achieved by running independent engines in separate
+// goroutines.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in virtual time, measured from the start of the run.
+type Time = time.Duration
+
+// Event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+	// canceled events stay in the heap but are skipped when popped.
+	canceled bool
+}
+
+// Timer is a handle to a scheduled event that can be canceled or
+// rescheduled. The zero value is not usable; timers are created by
+// Engine.Schedule and Engine.At.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer. It reports whether the call prevented the event
+// from firing (false when the event already fired or was stopped before).
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.canceled {
+		return false
+	}
+	t.ev.canceled = true
+	return true
+}
+
+// Active reports whether the timer is still pending.
+func (t *Timer) Active() bool { return t != nil && t.ev != nil && !t.ev.canceled }
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event scheduler with a virtual clock.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	rng     *rand.Rand
+	stopped bool
+	// Processed counts events that have fired; useful for loop guards in
+	// tests and as a sanity metric.
+	processed uint64
+	// maxEvents aborts runaway simulations. Zero means no limit.
+	maxEvents uint64
+}
+
+// NewEngine returns an engine whose random source is seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Processed returns the number of events fired so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// SetMaxEvents sets an upper bound on fired events; Run panics when the
+// bound is exceeded. Zero disables the bound.
+func (e *Engine) SetMaxEvents(n uint64) { e.maxEvents = n }
+
+// Schedule runs fn after delay of virtual time. A negative delay is
+// treated as zero. It returns a Timer that can cancel the event.
+func (e *Engine) Schedule(delay Time, fn func()) *Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute virtual time t. Times in the past are clamped to
+// the current instant.
+func (e *Engine) At(t Time, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: At called with nil callback")
+	}
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending reports whether any non-canceled events remain.
+func (e *Engine) Pending() bool {
+	for _, ev := range e.queue {
+		if !ev.canceled {
+			return true
+		}
+	}
+	return false
+}
+
+// Step fires the next event, if any, and reports whether one fired.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.canceled {
+			continue
+		}
+		if ev.at < e.now {
+			panic(fmt.Sprintf("sim: time went backwards: %v -> %v", e.now, ev.at))
+		}
+		e.now = ev.at
+		e.processed++
+		if e.maxEvents != 0 && e.processed > e.maxEvents {
+			panic(fmt.Sprintf("sim: exceeded max events (%d) at t=%v", e.maxEvents, e.now))
+		}
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains, Stop is called, or the clock
+// passes until (events at exactly until still fire). Pass a negative
+// until to run until the queue drains.
+func (e *Engine) Run(until Time) {
+	e.stopped = false
+	for !e.stopped {
+		if e.queue.Len() == 0 {
+			return
+		}
+		// Peek without popping to honour the until bound.
+		next := e.peek()
+		if next == nil {
+			return
+		}
+		if until >= 0 && next.at > until {
+			e.now = until
+			return
+		}
+		e.Step()
+	}
+}
+
+// RunAll fires events until none remain or Stop is called.
+func (e *Engine) RunAll() { e.Run(-1) }
+
+func (e *Engine) peek() *event {
+	for e.queue.Len() > 0 {
+		ev := e.queue[0]
+		if ev.canceled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		return ev
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+// Package simdisk models per-node local storage bandwidth.
+//
+// Each node has a read port and a write port (SSDs sustain concurrent
+// reads and writes at near-full rate, so the two directions contend only
+// with themselves). Requests share each port max-min fairly via the
+// fairshare system — a node whose disk is saturated by merge spills slows
+// every other I/O on that node, which is exactly the contention effect
+// the paper's FCM design exploits.
+package simdisk
+
+import (
+	"fmt"
+
+	"alm/internal/fairshare"
+	"alm/internal/sim"
+	"alm/internal/topology"
+)
+
+// Disks is the disk model for all nodes of a cluster.
+type Disks struct {
+	eng   *sim.Engine
+	sys   *fairshare.System
+	read  []*fairshare.Port
+	write []*fairshare.Port
+
+	// BytesRead/BytesWritten accumulate per-node traffic. Diagnostic only.
+	BytesRead    []int64
+	BytesWritten []int64
+}
+
+// New builds the disk model. It shares the fair-share system with the
+// network so composite flows (e.g., a remote read that crosses a disk and
+// two NICs) are possible.
+func New(e *sim.Engine, topo *topology.Topology, sys *fairshare.System) *Disks {
+	if sys == nil {
+		sys = fairshare.NewSystem(e)
+	}
+	d := &Disks{
+		eng:          e,
+		sys:          sys,
+		read:         make([]*fairshare.Port, topo.NumNodes()),
+		write:        make([]*fairshare.Port, topo.NumNodes()),
+		BytesRead:    make([]int64, topo.NumNodes()),
+		BytesWritten: make([]int64, topo.NumNodes()),
+	}
+	for _, node := range topo.Nodes() {
+		d.read[node.ID] = sys.NewPort(fmt.Sprintf("%s/disk-r", node.Name), node.HW.DiskReadBW)
+		d.write[node.ID] = sys.NewPort(fmt.Sprintf("%s/disk-w", node.Name), node.HW.DiskWriteBW)
+	}
+	return d
+}
+
+// ReadPort returns a node's disk read port.
+func (d *Disks) ReadPort(id topology.NodeID) *fairshare.Port { return d.read[id] }
+
+// WritePort returns a node's disk write port.
+func (d *Disks) WritePort(id topology.NodeID) *fairshare.Port { return d.write[id] }
+
+// Read charges a local disk read of the given size and calls done when it
+// completes.
+func (d *Disks) Read(id topology.NodeID, bytes int64, done func()) *fairshare.Flow {
+	d.BytesRead[id] += bytes
+	return d.sys.StartFlow(fmt.Sprintf("dread:%d", id), bytes, []*fairshare.Port{d.read[id]}, 0, done)
+}
+
+// Write charges a local disk write of the given size and calls done when
+// it completes.
+func (d *Disks) Write(id topology.NodeID, bytes int64, done func()) *fairshare.Flow {
+	d.BytesWritten[id] += bytes
+	return d.sys.StartFlow(fmt.Sprintf("dwrite:%d", id), bytes, []*fairshare.Port{d.write[id]}, 0, done)
+}
+
+// ReadWrite charges a combined read-modify-write (e.g., an on-disk merge
+// pass reads inputs and writes the merged output concurrently): a single
+// flow of the given size crossing both the read and write ports.
+func (d *Disks) ReadWrite(id topology.NodeID, bytes int64, done func()) *fairshare.Flow {
+	d.BytesRead[id] += bytes
+	d.BytesWritten[id] += bytes
+	ports := []*fairshare.Port{d.read[id], d.write[id]}
+	return d.sys.StartFlow(fmt.Sprintf("dmerge:%d", id), bytes, ports, 0, done)
+}

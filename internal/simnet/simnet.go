@@ -1,0 +1,126 @@
+// Package simnet models the cluster network at flow level.
+//
+// Every node has an ingress and an egress port at NIC bandwidth; every
+// rack has an uplink port. A transfer within a rack crosses {src egress,
+// dst ingress}; a cross-rack transfer additionally crosses both racks'
+// uplink ports. Bandwidth within each port is shared max-min fairly by
+// the fairshare system.
+//
+// Node network failure ("stopping the network services on a node", as the
+// paper injects) is modelled by dropping the node's port capacities to
+// zero: established flows stall and new connection attempts fail fast via
+// Reachable.
+package simnet
+
+import (
+	"fmt"
+
+	"alm/internal/fairshare"
+	"alm/internal/sim"
+	"alm/internal/topology"
+)
+
+// Network is the flow-level network model for one cluster.
+type Network struct {
+	eng     *sim.Engine
+	topo    *topology.Topology
+	sys     *fairshare.System
+	ingress []*fairshare.Port
+	egress  []*fairshare.Port
+	uplinks []*fairshare.Port
+	down    []bool
+
+	// BytesSent accumulates total payload bytes for which transfers were
+	// started, by source node. Diagnostic only.
+	BytesSent []int64
+}
+
+// New builds the network for the given topology.
+func New(e *sim.Engine, topo *topology.Topology) *Network {
+	n := &Network{
+		eng:       e,
+		topo:      topo,
+		sys:       fairshare.NewSystem(e),
+		ingress:   make([]*fairshare.Port, topo.NumNodes()),
+		egress:    make([]*fairshare.Port, topo.NumNodes()),
+		uplinks:   make([]*fairshare.Port, topo.NumRacks()),
+		down:      make([]bool, topo.NumNodes()),
+		BytesSent: make([]int64, topo.NumNodes()),
+	}
+	for _, node := range topo.Nodes() {
+		n.ingress[node.ID] = n.sys.NewPort(fmt.Sprintf("%s/in", node.Name), node.HW.NICBandwidth)
+		n.egress[node.ID] = n.sys.NewPort(fmt.Sprintf("%s/out", node.Name), node.HW.NICBandwidth)
+	}
+	for r := 0; r < topo.NumRacks(); r++ {
+		n.uplinks[r] = n.sys.NewPort(fmt.Sprintf("rack-%d/uplink", r), topo.RackUplink)
+	}
+	return n
+}
+
+// System exposes the underlying fair-share system (used by models that
+// need composite flows spanning network and disk ports).
+func (n *Network) System() *fairshare.System { return n.sys }
+
+// IngressPort returns the ingress port of a node.
+func (n *Network) IngressPort(id topology.NodeID) *fairshare.Port { return n.ingress[id] }
+
+// EgressPort returns the egress port of a node.
+func (n *Network) EgressPort(id topology.NodeID) *fairshare.Port { return n.egress[id] }
+
+// Reachable reports whether src can currently open a connection to dst.
+// Local "transfers" (src == dst) are always reachable.
+func (n *Network) Reachable(src, dst topology.NodeID) bool {
+	if src == dst {
+		return !n.down[src]
+	}
+	return !n.down[src] && !n.down[dst]
+}
+
+// NodeDown reports whether the node's network is disabled.
+func (n *Network) NodeDown(id topology.NodeID) bool { return n.down[id] }
+
+// SetNodeDown disables a node's network: its ports drop to zero capacity,
+// stalling in-flight flows, and Reachable reports false.
+func (n *Network) SetNodeDown(id topology.NodeID) {
+	if n.down[id] {
+		return
+	}
+	n.down[id] = true
+	n.ingress[id].SetCapacity(0)
+	n.egress[id].SetCapacity(0)
+}
+
+// SetNodeUp re-enables a node's network.
+func (n *Network) SetNodeUp(id topology.NodeID) {
+	if !n.down[id] {
+		return
+	}
+	n.down[id] = false
+	hw := n.topo.Node(id).HW
+	n.ingress[id].SetCapacity(hw.NICBandwidth)
+	n.egress[id].SetCapacity(hw.NICBandwidth)
+}
+
+// PortsFor returns the set of network ports a transfer from src to dst
+// crosses. Local transfers cross no network ports.
+func (n *Network) PortsFor(src, dst topology.NodeID) []*fairshare.Port {
+	if src == dst {
+		return nil
+	}
+	ports := []*fairshare.Port{n.egress[src], n.ingress[dst]}
+	if !n.topo.SameRack(src, dst) {
+		ports = append(ports, n.uplinks[n.topo.RackOf(src)], n.uplinks[n.topo.RackOf(dst)])
+	}
+	return ports
+}
+
+// Transfer moves bytes from src to dst, invoking done on completion. The
+// caller is responsible for checking Reachable first (a transfer started
+// toward a node that later goes down simply stalls, exactly like a TCP
+// connection to a silently dead host — the MapReduce layer applies its
+// own timeouts on top). Local transfers (src == dst) complete after a
+// negligible loopback delay.
+func (n *Network) Transfer(src, dst topology.NodeID, bytes int64, done func()) *fairshare.Flow {
+	n.BytesSent[src] += bytes
+	return n.sys.StartFlow(fmt.Sprintf("xfer:%d->%d", src, dst), bytes, n.PortsFor(src, dst), 0, done)
+}

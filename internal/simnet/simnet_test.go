@@ -1,0 +1,139 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"alm/internal/sim"
+	"alm/internal/topology"
+)
+
+func testTopo() *topology.Topology {
+	hw := topology.Hardware{NICBandwidth: 100, DiskReadBW: 100, DiskWriteBW: 100, MemoryMB: 1024, Cores: 4}
+	return topology.MustNew(topology.Options{Racks: 2, NodesPerRack: 3, HW: hw, Oversubscription: 1.5})
+}
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestIntraRackTransferTime(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := New(e, testTopo())
+	var done sim.Time = -1
+	n.Transfer(0, 1, 1000, func() { done = e.Now() })
+	e.RunAll()
+	if !almostEqual(done.Seconds(), 10, 0.05) {
+		t.Fatalf("transfer completed at %v, want ~10s at 100 B/s", done)
+	}
+}
+
+func TestLocalTransferIsFree(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := New(e, testTopo())
+	var done sim.Time = -1
+	n.Transfer(0, 0, 1e9, func() { done = e.Now() })
+	e.RunAll()
+	if done != 0 {
+		t.Fatalf("local transfer took %v, want 0 (no network ports crossed)", done)
+	}
+}
+
+func TestCrossRackUplinkContention(t *testing.T) {
+	// Rack uplink = 3 nodes * 100 / 1.5 = 200 B/s. Three cross-rack flows
+	// from distinct sources to distinct destinations share the 200 B/s
+	// uplink at ~66.7 each instead of their NIC's 100.
+	e := sim.NewEngine(1)
+	n := New(e, testTopo())
+	var completions []sim.Time
+	for i := 0; i < 3; i++ {
+		n.Transfer(topology.NodeID(i), topology.NodeID(3+i), 1000, func() {
+			completions = append(completions, e.Now())
+		})
+	}
+	e.RunAll()
+	if len(completions) != 3 {
+		t.Fatalf("got %d completions, want 3", len(completions))
+	}
+	want := 1000.0 / (200.0 / 3)
+	for _, c := range completions {
+		if !almostEqual(c.Seconds(), want, 0.1) {
+			t.Fatalf("completion at %v, want ~%.1fs (uplink-bound)", c, want)
+		}
+	}
+}
+
+func TestIngressContention(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := New(e, testTopo())
+	var completions []sim.Time
+	for i := 1; i <= 2; i++ {
+		n.Transfer(topology.NodeID(i), 0, 500, func() { completions = append(completions, e.Now()) })
+	}
+	e.RunAll()
+	for _, c := range completions {
+		if !almostEqual(c.Seconds(), 10, 0.1) {
+			t.Fatalf("completion at %v, want ~10s (two flows share dst ingress)", c)
+		}
+	}
+}
+
+func TestNodeDownStallsAndReachability(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := New(e, testTopo())
+	done := false
+	n.Transfer(0, 1, 1000, func() { done = true })
+	e.Run(5 * time.Second)
+	n.SetNodeDown(1)
+	if n.Reachable(0, 1) || n.Reachable(1, 0) {
+		t.Fatal("down node should be unreachable in both directions")
+	}
+	if !n.Reachable(0, 2) {
+		t.Fatal("unrelated pair should stay reachable")
+	}
+	e.Run(60 * time.Second)
+	if done {
+		t.Fatal("transfer completed into a dead node")
+	}
+	n.SetNodeUp(1)
+	e.RunAll()
+	if !done {
+		t.Fatal("transfer did not resume after node recovery")
+	}
+	if !n.Reachable(0, 1) {
+		t.Fatal("node should be reachable after SetNodeUp")
+	}
+}
+
+func TestSelfReachabilityWhenDown(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := New(e, testTopo())
+	n.SetNodeDown(2)
+	if n.Reachable(2, 2) {
+		t.Fatal("a network-dead node cannot even loop back")
+	}
+}
+
+func TestPortsForComposition(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := New(e, testTopo())
+	if got := len(n.PortsFor(0, 0)); got != 0 {
+		t.Fatalf("local PortsFor = %d ports, want 0", got)
+	}
+	if got := len(n.PortsFor(0, 1)); got != 2 {
+		t.Fatalf("intra-rack PortsFor = %d ports, want 2", got)
+	}
+	if got := len(n.PortsFor(0, 3)); got != 4 {
+		t.Fatalf("cross-rack PortsFor = %d ports, want 4", got)
+	}
+}
+
+func TestBytesSentAccounting(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := New(e, testTopo())
+	n.Transfer(0, 1, 700, nil)
+	n.Transfer(0, 2, 300, nil)
+	e.RunAll()
+	if n.BytesSent[0] != 1000 {
+		t.Fatalf("BytesSent[0] = %d, want 1000", n.BytesSent[0])
+	}
+}

@@ -1,0 +1,129 @@
+// Package topology describes the simulated cluster: racks, nodes, and
+// per-node hardware profiles. It is pure data — the behavioural models
+// live in simnet, simdisk and cluster.
+package topology
+
+import "fmt"
+
+// NodeID identifies a node within a cluster. IDs are dense, starting at 0.
+type NodeID int
+
+// Invalid is the zero-value-adjacent sentinel for "no node".
+const Invalid NodeID = -1
+
+// Hardware captures the performance-relevant properties of one machine.
+// The defaults mirror the paper's testbed: hex-core Xeon X5650s (the
+// paper's nodes have four sockets; we expose usable container slots via
+// MemoryMB and Cores), 24 GB RAM, one SATA SSD, 10 GbE.
+type Hardware struct {
+	NICBandwidth float64 // bytes/second, full duplex (applied per direction)
+	DiskReadBW   float64 // bytes/second
+	DiskWriteBW  float64 // bytes/second
+	MemoryMB     int     // RAM available to YARN containers
+	Cores        int     // CPU cores available to containers
+}
+
+// DefaultHardware returns the paper-testbed profile.
+func DefaultHardware() Hardware {
+	return Hardware{
+		NICBandwidth: 1250e6, // 10 GbE
+		DiskReadBW:   450e6,  // SATA SSD
+		DiskWriteBW:  350e6,
+		MemoryMB:     24 * 1024,
+		Cores:        24,
+	}
+}
+
+// Node is one machine in the cluster.
+type Node struct {
+	ID   NodeID
+	Name string
+	Rack int
+	HW   Hardware
+}
+
+// Topology is an immutable description of the cluster layout.
+type Topology struct {
+	nodes []*Node
+	racks [][]NodeID
+	// RackUplink is the bandwidth of each rack's uplink to the core
+	// switch, in bytes/second. Cross-rack transfers cross both racks'
+	// uplinks; this is what makes cluster-wide replication costlier than
+	// rack-local replication (paper Fig. 13).
+	RackUplink float64
+}
+
+// Options configures New.
+type Options struct {
+	Racks        int
+	NodesPerRack int
+	HW           Hardware
+	// Oversubscription is the ratio of aggregate in-rack NIC bandwidth to
+	// the rack uplink. Typical datacenter values are 4–10; the default
+	// used when zero is 5.
+	Oversubscription float64
+}
+
+// New builds a topology of Racks x NodesPerRack identical nodes.
+func New(opt Options) (*Topology, error) {
+	if opt.Racks <= 0 || opt.NodesPerRack <= 0 {
+		return nil, fmt.Errorf("topology: need positive racks (%d) and nodes per rack (%d)", opt.Racks, opt.NodesPerRack)
+	}
+	hw := opt.HW
+	if hw.NICBandwidth == 0 {
+		hw = DefaultHardware()
+	}
+	over := opt.Oversubscription
+	if over <= 0 {
+		over = 5
+	}
+	t := &Topology{
+		racks:      make([][]NodeID, opt.Racks),
+		RackUplink: hw.NICBandwidth * float64(opt.NodesPerRack) / over,
+	}
+	id := NodeID(0)
+	for r := 0; r < opt.Racks; r++ {
+		for i := 0; i < opt.NodesPerRack; i++ {
+			n := &Node{ID: id, Name: fmt.Sprintf("node-%02d", id), Rack: r, HW: hw}
+			t.nodes = append(t.nodes, n)
+			t.racks[r] = append(t.racks[r], id)
+			id++
+		}
+	}
+	return t, nil
+}
+
+// MustNew is New for known-good options; it panics on error.
+func MustNew(opt Options) *Topology {
+	t, err := New(opt)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// NumNodes returns the node count.
+func (t *Topology) NumNodes() int { return len(t.nodes) }
+
+// NumRacks returns the rack count.
+func (t *Topology) NumRacks() int { return len(t.racks) }
+
+// Node returns the node with the given ID, or nil when out of range.
+func (t *Topology) Node(id NodeID) *Node {
+	if id < 0 || int(id) >= len(t.nodes) {
+		return nil
+	}
+	return t.nodes[id]
+}
+
+// Nodes returns all nodes in ID order. The slice must not be modified.
+func (t *Topology) Nodes() []*Node { return t.nodes }
+
+// RackOf returns the rack index of a node.
+func (t *Topology) RackOf(id NodeID) int { return t.nodes[id].Rack }
+
+// RackNodes returns the node IDs in a rack. The slice must not be modified.
+func (t *Topology) RackNodes(rack int) []NodeID { return t.racks[rack] }
+
+// SameRack reports whether two nodes share a rack.
+func (t *Topology) SameRack(a, b NodeID) bool { return t.nodes[a].Rack == t.nodes[b].Rack }

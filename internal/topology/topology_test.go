@@ -1,0 +1,108 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewLayout(t *testing.T) {
+	topo := MustNew(Options{Racks: 3, NodesPerRack: 7})
+	if topo.NumNodes() != 21 {
+		t.Fatalf("NumNodes = %d, want 21", topo.NumNodes())
+	}
+	if topo.NumRacks() != 3 {
+		t.Fatalf("NumRacks = %d, want 3", topo.NumRacks())
+	}
+	for r := 0; r < 3; r++ {
+		if got := len(topo.RackNodes(r)); got != 7 {
+			t.Fatalf("rack %d has %d nodes, want 7", r, got)
+		}
+		for _, id := range topo.RackNodes(r) {
+			if topo.RackOf(id) != r {
+				t.Fatalf("node %d reports rack %d, want %d", id, topo.RackOf(id), r)
+			}
+		}
+	}
+}
+
+func TestNewRejectsBadOptions(t *testing.T) {
+	if _, err := New(Options{Racks: 0, NodesPerRack: 5}); err == nil {
+		t.Fatal("expected error for zero racks")
+	}
+	if _, err := New(Options{Racks: 2, NodesPerRack: 0}); err == nil {
+		t.Fatal("expected error for zero nodes per rack")
+	}
+}
+
+func TestNodeLookup(t *testing.T) {
+	topo := MustNew(Options{Racks: 2, NodesPerRack: 2})
+	if topo.Node(Invalid) != nil {
+		t.Fatal("Node(Invalid) should be nil")
+	}
+	if topo.Node(4) != nil {
+		t.Fatal("out-of-range Node should be nil")
+	}
+	n := topo.Node(3)
+	if n == nil || n.ID != 3 || n.Rack != 1 {
+		t.Fatalf("Node(3) = %+v, want ID 3 in rack 1", n)
+	}
+}
+
+func TestSameRack(t *testing.T) {
+	topo := MustNew(Options{Racks: 2, NodesPerRack: 3})
+	if !topo.SameRack(0, 2) {
+		t.Fatal("0 and 2 should share rack 0")
+	}
+	if topo.SameRack(2, 3) {
+		t.Fatal("2 and 3 should be in different racks")
+	}
+}
+
+func TestDefaultHardwareApplied(t *testing.T) {
+	topo := MustNew(Options{Racks: 1, NodesPerRack: 1})
+	hw := topo.Node(0).HW
+	if hw.NICBandwidth != DefaultHardware().NICBandwidth {
+		t.Fatalf("default NIC bandwidth not applied: %v", hw.NICBandwidth)
+	}
+}
+
+func TestRackUplinkOversubscription(t *testing.T) {
+	hw := DefaultHardware()
+	topo := MustNew(Options{Racks: 1, NodesPerRack: 10, HW: hw, Oversubscription: 5})
+	want := hw.NICBandwidth * 10 / 5
+	if topo.RackUplink != want {
+		t.Fatalf("RackUplink = %v, want %v", topo.RackUplink, want)
+	}
+}
+
+// Property: node IDs are dense 0..N-1 and rack assignment partitions them.
+func TestQuickLayoutInvariants(t *testing.T) {
+	f := func(racks, per uint8) bool {
+		r := int(racks%5) + 1
+		p := int(per%6) + 1
+		topo := MustNew(Options{Racks: r, NodesPerRack: p})
+		seen := make(map[NodeID]bool)
+		for rack := 0; rack < r; rack++ {
+			for _, id := range topo.RackNodes(rack) {
+				if seen[id] {
+					return false
+				}
+				seen[id] = true
+			}
+		}
+		if len(seen) != r*p {
+			return false
+		}
+		for i := 0; i < r*p; i++ {
+			if !seen[NodeID(i)] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,141 @@
+// Package trace collects what the paper's profiling collects: discrete
+// failure/recovery events and continuous progress timelines (e.g. "reduce
+// progress over time", Figs. 3, 4, 10), plus free-form counters.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"alm/internal/sim"
+)
+
+// Kind classifies an event.
+type Kind string
+
+// Event kinds emitted by the runtime.
+const (
+	KindTaskLaunched   Kind = "task-launched"
+	KindTaskFinished   Kind = "task-finished"
+	KindTaskFailed     Kind = "task-failed"
+	KindTaskKilled     Kind = "task-killed"
+	KindNodeCrashed    Kind = "node-crashed"
+	KindNodeDetected   Kind = "node-failure-detected"
+	KindFetchFailure   Kind = "fetch-failure"
+	KindMapRescheduled Kind = "map-rescheduled"
+	KindLogSnapshot    Kind = "alg-log-snapshot"
+	KindLogRestored    Kind = "alg-log-restored"
+	KindFCMStarted     Kind = "fcm-started"
+	KindWaitAdvisory   Kind = "wait-advisory"
+	KindJobFinished    Kind = "job-finished"
+	KindJobFailed      Kind = "job-failed"
+)
+
+// Event is one discrete occurrence.
+type Event struct {
+	At     sim.Time
+	Kind   Kind
+	Task   string // task attempt id or "" for node/job events
+	Node   string
+	Detail string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%8.1fs %-22s %-18s %-8s %s", e.At.Seconds(), e.Kind, e.Task, e.Node, e.Detail)
+}
+
+// Point is one sample of a timeline series.
+type Point struct {
+	At    sim.Time
+	Value float64
+}
+
+// Collector gathers events and timelines for one job run.
+type Collector struct {
+	Events []Event
+	series map[string][]Point
+}
+
+// New returns an empty collector.
+func New() *Collector {
+	return &Collector{series: make(map[string][]Point)}
+}
+
+// Emit records a discrete event.
+func (c *Collector) Emit(at sim.Time, kind Kind, task, node, detail string) {
+	c.Events = append(c.Events, Event{At: at, Kind: kind, Task: task, Node: node, Detail: detail})
+}
+
+// Sample appends one point to a named timeline.
+func (c *Collector) Sample(series string, at sim.Time, v float64) {
+	c.series[series] = append(c.series[series], Point{At: at, Value: v})
+}
+
+// Series returns the named timeline in sample order.
+func (c *Collector) Series(name string) []Point { return c.series[name] }
+
+// SeriesNames returns all timeline names, sorted.
+func (c *Collector) SeriesNames() []string {
+	names := make([]string, 0, len(c.series))
+	for n := range c.series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Count returns how many events of the given kind were recorded.
+func (c *Collector) Count(kind Kind) int {
+	n := 0
+	for _, e := range c.Events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// CountMatching returns how many events satisfy pred.
+func (c *Collector) CountMatching(pred func(Event) bool) int {
+	n := 0
+	for _, e := range c.Events {
+		if pred(e) {
+			n++
+		}
+	}
+	return n
+}
+
+// First returns the first event of the given kind, or nil.
+func (c *Collector) First(kind Kind) *Event {
+	for i := range c.Events {
+		if c.Events[i].Kind == kind {
+			return &c.Events[i]
+		}
+	}
+	return nil
+}
+
+// Dump renders all events as a multi-line string (debug aid).
+func (c *Collector) Dump() string {
+	var b strings.Builder
+	for _, e := range c.Events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ValueAt returns the last sample value of a series at or before t, or 0.
+func (c *Collector) ValueAt(series string, t sim.Time) float64 {
+	pts := c.series[series]
+	v := 0.0
+	for _, p := range pts {
+		if p.At > t {
+			break
+		}
+		v = p.Value
+	}
+	return v
+}

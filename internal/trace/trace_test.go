@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestEmitAndCount(t *testing.T) {
+	c := New()
+	c.Emit(time.Second, KindTaskLaunched, "m_000_0", "node-00", "map")
+	c.Emit(2*time.Second, KindTaskFailed, "r_000_0", "node-01", "oom")
+	c.Emit(3*time.Second, KindTaskFailed, "r_001_0", "node-02", "oom")
+	if got := c.Count(KindTaskFailed); got != 2 {
+		t.Fatalf("Count = %d, want 2", got)
+	}
+	if got := c.Count(KindJobFailed); got != 0 {
+		t.Fatalf("Count(none) = %d, want 0", got)
+	}
+	if got := c.CountMatching(func(e Event) bool { return e.Node == "node-01" }); got != 1 {
+		t.Fatalf("CountMatching = %d, want 1", got)
+	}
+}
+
+func TestFirst(t *testing.T) {
+	c := New()
+	if c.First(KindNodeCrashed) != nil {
+		t.Fatal("First on empty collector should be nil")
+	}
+	c.Emit(5*time.Second, KindNodeCrashed, "", "node-03", "")
+	c.Emit(9*time.Second, KindNodeCrashed, "", "node-04", "")
+	e := c.First(KindNodeCrashed)
+	if e == nil || e.Node != "node-03" {
+		t.Fatalf("First = %+v, want the node-03 event", e)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	c := New()
+	c.Sample("progress", 1*time.Second, 0.1)
+	c.Sample("progress", 3*time.Second, 0.5)
+	c.Sample("other", 2*time.Second, 9)
+	if got := len(c.Series("progress")); got != 2 {
+		t.Fatalf("series length = %d, want 2", got)
+	}
+	names := c.SeriesNames()
+	if len(names) != 2 || names[0] != "other" || names[1] != "progress" {
+		t.Fatalf("SeriesNames = %v, want sorted [other progress]", names)
+	}
+}
+
+func TestValueAt(t *testing.T) {
+	c := New()
+	c.Sample("p", 10*time.Second, 0.2)
+	c.Sample("p", 20*time.Second, 0.6)
+	cases := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{5 * time.Second, 0},
+		{10 * time.Second, 0.2},
+		{15 * time.Second, 0.2},
+		{25 * time.Second, 0.6},
+	}
+	for _, tc := range cases {
+		if got := c.ValueAt("p", tc.at); got != tc.want {
+			t.Fatalf("ValueAt(%v) = %v, want %v", tc.at, got, tc.want)
+		}
+	}
+	if c.ValueAt("missing", time.Second) != 0 {
+		t.Fatal("missing series should read 0")
+	}
+}
+
+func TestDumpFormat(t *testing.T) {
+	c := New()
+	c.Emit(90*time.Second, KindFetchFailure, "r_000_0", "node-07", "4 maps")
+	s := c.Dump()
+	for _, want := range []string{"90.0s", "fetch-failure", "r_000_0", "node-07", "4 maps"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("dump missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package alm
+
+import (
+	"fmt"
+	"time"
+
+	"alm/internal/cluster"
+	"alm/internal/engine"
+	"alm/internal/faults"
+	"alm/internal/mr"
+	"alm/internal/sim"
+	"alm/internal/topology"
+)
+
+// SharedCluster hosts several MapReduce jobs on one simulated cluster, so
+// they contend for containers, disks and the network like tenants of a
+// real YARN installation. Jobs are submitted with Submit and executed
+// together by Run.
+type SharedCluster struct {
+	eng  *sim.Engine
+	cl   *cluster.Cluster
+	jobs []*SubmittedJob
+}
+
+// SubmittedJob is a handle to a job running on a SharedCluster.
+type SubmittedJob struct {
+	job *engine.Job
+}
+
+// Result returns the job's outcome; valid after SharedCluster.Run.
+func (s *SubmittedJob) Result() Result { return s.job.Result() }
+
+// Finished reports whether the job reached a terminal state.
+func (s *SubmittedJob) Finished() bool { return s.job.Finished() }
+
+// NewSharedCluster builds a cluster for multi-job runs. The zero
+// ClusterSpec means the paper testbed. Seed seeds the simulation; the
+// per-job JobSpec seeds only affect data generation.
+func NewSharedCluster(cs ClusterSpec, seed int64) (*SharedCluster, error) {
+	if cs.Racks == 0 {
+		cs = engine.DefaultClusterSpec()
+	}
+	topo, err := topology.New(topology.Options{
+		Racks:            cs.Racks,
+		NodesPerRack:     cs.NodesPerRack,
+		HW:               cs.HW,
+		Oversubscription: cs.Oversubscription,
+	})
+	if err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine(seed)
+	eng.SetMaxEvents(100_000_000)
+	conf := mr.DefaultConfig()
+	cl := cluster.New(eng, topo, cluster.Options{
+		HeartbeatInterval: conf.HeartbeatInterval,
+		NodeExpiry:        conf.NodeExpiry,
+	})
+	return &SharedCluster{eng: eng, cl: cl}, nil
+}
+
+// Submit registers a job (and optional fault plan) for the next Run.
+// Give concurrent jobs distinct JobSpec.Name values.
+func (sc *SharedCluster) Submit(spec JobSpec, plan *faults.Plan) (*SubmittedJob, error) {
+	j, err := engine.NewJob(spec, sc.cl, plan)
+	if err != nil {
+		return nil, err
+	}
+	s := &SubmittedJob{job: j}
+	sc.jobs = append(sc.jobs, s)
+	return s, nil
+}
+
+// Run starts every submitted job and drives the simulation until all of
+// them finish or maxVirtual elapses (zero means 6 hours). It returns an
+// error when some job never reached a terminal state.
+func (sc *SharedCluster) Run(maxVirtual time.Duration) error {
+	if len(sc.jobs) == 0 {
+		return fmt.Errorf("alm: no jobs submitted")
+	}
+	if maxVirtual <= 0 {
+		maxVirtual = 6 * time.Hour
+	}
+	remaining := len(sc.jobs)
+	for _, s := range sc.jobs {
+		if err := s.job.Start(func() {
+			remaining--
+			if remaining == 0 {
+				sc.eng.Stop()
+			}
+		}); err != nil {
+			return err
+		}
+	}
+	sc.eng.Run(sim.Time(maxVirtual))
+	for _, s := range sc.jobs {
+		if !s.job.Finished() {
+			return fmt.Errorf("alm: job %q did not finish within %v of virtual time",
+				s.job.Spec.Name, maxVirtual)
+		}
+	}
+	return nil
+}
+
+// Now returns the shared cluster's current virtual time.
+func (sc *SharedCluster) Now() time.Duration { return time.Duration(sc.eng.Now()) }
