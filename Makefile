@@ -1,0 +1,40 @@
+# Targets mirror the CI pipeline (.github/workflows/ci.yml): a change
+# that passes `make ci` locally passes CI.
+
+GO ?= go
+ALMVET := bin/almvet
+
+.PHONY: all build test race vet lint-test ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# vet builds the repo's own vettool and runs the almvet suite (detnow,
+# droppederr, locksafe, seedflow) through `go vet`, which caches verdicts
+# per package against the tool binary's content hash.
+vet: $(ALMVET)
+	$(GO) vet -vettool=$(CURDIR)/$(ALMVET) ./...
+
+$(ALMVET): FORCE
+	$(GO) build -o $(ALMVET) ./cmd/almvet
+
+FORCE:
+
+# lint-test runs only the analyzer fixture suites — fast feedback when
+# hacking on internal/lint.
+lint-test:
+	$(GO) test ./internal/lint/...
+
+ci: build test race vet
+
+clean:
+	rm -rf bin
+	$(GO) clean ./...

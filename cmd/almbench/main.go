@@ -49,7 +49,7 @@ func main() {
 	failed := 0
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
-		start := time.Now()
+		start := time.Now() //almvet:allow detnow -- wall-clock runtime of the experiment binary itself, not simulated time
 		tbl, err := alm.RunExperiment(id, opt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)

@@ -281,7 +281,15 @@ func (d *DFS) Read(name string, reader topology.NodeID, done func(err error)) er
 			}
 			return
 		}
-		_, err := d.ReadBlock(f.Blocks[i], reader, func(error) { step(i + 1) })
+		_, err := d.ReadBlock(f.Blocks[i], reader, func(berr error) {
+			if berr != nil {
+				if done != nil {
+					done(berr)
+				}
+				return
+			}
+			step(i + 1)
+		})
 		if err != nil && done != nil {
 			done(err)
 		}

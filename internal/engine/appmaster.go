@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"alm/internal/cluster"
 	"alm/internal/core"
@@ -851,11 +852,16 @@ func (am *appMaster) nodeWithMOFsButNoReduce() topology.NodeID {
 			}
 		}
 	}
+	nodes := make([]topology.NodeID, 0, len(counts))
+	for n := range counts {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
 	best := topology.Invalid
 	bestCount := 0
-	for n, c := range counts {
-		if c > bestCount || (c == bestCount && best != topology.Invalid && n < best) {
-			best, bestCount = n, c
+	for _, n := range nodes {
+		if counts[n] > bestCount {
+			best, bestCount = n, counts[n]
 		}
 	}
 	return best

@@ -80,9 +80,23 @@ func (r *reduceExec) maybeCheckpoint(cont func()) {
 	// synchronously (the task is frozen while it drains).
 	_, err := r.job.Cluster.DFS.Write(name, r.a.node, r.job.Spec.Checkpoint.ImageBytes,
 		dfs.WriteOptions{Replication: r.conf.DFSReplication, Scope: mr.ReplicateCluster},
-		func(error) {
+		func(werr error) {
 			r.ckptBusy = false
 			if r.dead {
+				return
+			}
+			if werr != nil {
+				// The image never became durable: keep the previous
+				// checkpoint, re-arm the pending flag so the next tick
+				// retries, and let the task resume. Dropping this error is
+				// exactly the failure-amplification path the paper warns
+				// about — a restore would replay from a stale image.
+				r.job.result.Counters.Add("ckpt.write_errors", 1)
+				r.ckptPending = true
+				if cont != nil {
+					cont()
+				}
+				r.fillFetchers()
 				return
 			}
 			if old := r.job.checkpoints[taskIdx]; old == nil || img.seq > old.seq {
@@ -157,10 +171,16 @@ func (r *reduceExec) tryCheckpointRestore() bool {
 	}
 	// Charge the image read (from an HDFS replica to this node).
 	r.ckptRestoring = true
-	if err := r.job.Cluster.DFS.Read(img.path, r.a.node, func(error) {
+	if err := r.job.Cluster.DFS.Read(img.path, r.a.node, func(rerr error) {
 		r.ckptRestoring = false
 		if r.dead {
 			return
+		}
+		if rerr != nil {
+			// The image read failed mid-restore. In-memory state was
+			// already applied, so resuming is still the least-bad option,
+			// but the failure must be visible in the run's counters.
+			r.job.result.Counters.Add("ckpt.restore_errors", 1)
 		}
 		r.resumeAfterRestore()
 	}); err != nil {

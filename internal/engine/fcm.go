@@ -283,8 +283,15 @@ func (f *fcmExec) pipelineDone() {
 			f.output = append(f.output, mr.Record{Key: ok, Value: ov})
 		})
 	}
-	f.outWriter.Commit(func(error) {
+	f.outWriter.Commit(func(cerr error) {
 		if f.dead || !f.job.Cluster.NodeReachable(f.a.node) {
+			return
+		}
+		if cerr != nil {
+			// The output never became durable; reporting success here
+			// would lose committed reduce output. Fail the attempt.
+			f.job.result.Counters.Add("reduce.commit_errors", 1)
+			f.job.am.attemptFailed(f.a, "output commit failed: "+cerr.Error())
 			return
 		}
 		f.job.result.Counters.Add("reduce.output.bytes", f.outputLogical)

@@ -53,7 +53,16 @@ func (m *mapExec) begin() {
 	}
 	// Stage 1: read the input split (locality was preferred at launch, so
 	// this is usually a local disk read).
-	flow, err := m.job.Cluster.DFS.ReadBlock(m.t.block, m.a.node, func(error) { m.afterRead() })
+	flow, err := m.job.Cluster.DFS.ReadBlock(m.t.block, m.a.node, func(rerr error) {
+		if rerr != nil {
+			// The read started but a replica vanished mid-flight.
+			if !m.dead {
+				m.job.am.attemptFailed(m.a, "input split read failed: "+rerr.Error())
+			}
+			return
+		}
+		m.afterRead()
+	})
 	if err != nil {
 		// No live replica: the input is gone. The attempt fails; the AM
 		// retries and the job dies if the data never comes back.
@@ -104,9 +113,15 @@ func (m *mapExec) afterWrite(outBytes int64) {
 		name := fmt.Sprintf("iss/%s/%s", m.job.Spec.Name, m.a.id)
 		replicas, err := m.job.Cluster.DFS.Write(name, m.a.node, outBytes,
 			dfs.WriteOptions{Replication: 1 + m.job.Spec.ISS.Replicas, Scope: mr.ReplicateCluster},
-			func(error) {
+			func(werr error) {
 				if m.dead {
 					return
+				}
+				if werr != nil {
+					// Replication failed in flight: commit without ISS
+					// copies, mirroring the synchronous-error path below.
+					m.job.result.Counters.Add("iss.replicate_errors", 1)
+					m.issReplicas = nil
 				}
 				m.commitISS(parts, outBytes)
 			})

@@ -766,8 +766,15 @@ func (r *reduceExec) finishReduce() {
 		r.processedGroups++
 	}
 	r.stage = core.StageDone
-	r.outWriter.Commit(func(error) {
+	r.outWriter.Commit(func(cerr error) {
 		if r.dead || !r.job.Cluster.NodeReachable(r.a.node) {
+			return
+		}
+		if cerr != nil {
+			// The output never became durable; reporting success here
+			// would lose committed reduce output. Fail the attempt.
+			r.job.result.Counters.Add("reduce.commit_errors", 1)
+			r.job.am.attemptFailed(r.a, "output commit failed: "+cerr.Error())
 			return
 		}
 		r.job.result.Counters.Add("reduce.output.bytes", r.outputLogical)
@@ -889,6 +896,9 @@ func (r *reduceExec) writeLocalLog() *core.LogRecord {
 	rec := core.Snapshot(r, r.t.idx, r.a.id, r.algSeq)
 	data, err := rec.Marshal()
 	if err != nil {
+		// A snapshot that cannot serialize must not vanish silently; the
+		// counter keeps the loss visible in the run's results.
+		r.job.result.Counters.Add("alg.marshal_errors", 1)
 		return nil
 	}
 	node := r.a.node
@@ -932,7 +942,14 @@ func (r *reduceExec) snapshotReduce() {
 	upTo := r.ProcessedRealRecords()
 	_, err := r.job.Cluster.DFS.Write(name, r.a.node, rec.EstimateSizeBytes(),
 		dfs.WriteOptions{Replication: r.job.Spec.ALG.HDFSReplicas, Scope: r.job.Spec.ALG.Replication},
-		func(error) {
+		func(werr error) {
+			if werr != nil {
+				// The log record never landed on HDFS: a migrated attempt
+				// must not restore from it. Silently installing it anyway
+				// is the analytics-log loss the paper's Fig. 8 measures.
+				r.job.result.Counters.Add("alg.hdfs.log.write_errors", 1)
+				return
+			}
 			if old := r.job.hdfsLogs[taskIdx]; recCopy.Newer(old) {
 				r.job.hdfsLogs[taskIdx] = recCopy
 				if r.job.Spec.ALG.FlushReduceOutput {

@@ -208,11 +208,36 @@ type runCase struct {
 	plan *faults.Plan
 }
 
+// caseCollector gathers results from the fan-out workers. The guarded-by
+// comments are load-bearing: almvet's locksafe analyzer rejects any new
+// code path that touches these fields without going through mu.
+type caseCollector struct {
+	mu       sync.Mutex
+	results  map[string]engine.Result // guarded by mu
+	firstErr error                    // guarded by mu
+}
+
+func (cc *caseCollector) record(key string, res engine.Result, err error) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if err != nil {
+		if cc.firstErr == nil {
+			cc.firstErr = err
+		}
+		return
+	}
+	cc.results[key] = res
+}
+
+func (cc *caseCollector) done() (map[string]engine.Result, error) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.results, cc.firstErr
+}
+
 // runAll executes cases on a worker pool; results are keyed by case key.
 func runAll(cases []runCase, opt Options) (map[string]engine.Result, error) {
-	results := make(map[string]engine.Result, len(cases))
-	var mu sync.Mutex
-	var firstErr error
+	cc := &caseCollector{results: make(map[string]engine.Result, len(cases))}
 	sem := make(chan struct{}, opt.workers())
 	var wg sync.WaitGroup
 	for _, c := range cases {
@@ -223,17 +248,14 @@ func runAll(cases []runCase, opt Options) (map[string]engine.Result, error) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			res, err := engine.Run(c.spec, engine.DefaultClusterSpec(), c.plan)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("case %s: %w", c.key, err)
-				return
+			if err != nil {
+				err = fmt.Errorf("case %s: %w", c.key, err)
 			}
-			results[c.key] = res
+			cc.record(c.key, res, err)
 		}()
 	}
 	wg.Wait()
-	return results, firstErr
+	return cc.done()
 }
 
 func secs(d time.Duration) float64 { return d.Seconds() }

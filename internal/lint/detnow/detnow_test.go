@@ -1,0 +1,12 @@
+package detnow_test
+
+import (
+	"testing"
+
+	"alm/internal/lint/analysistest"
+	"alm/internal/lint/detnow"
+)
+
+func TestDetnow(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(), detnow.Analyzer, "detnow")
+}

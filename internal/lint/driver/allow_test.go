@@ -1,0 +1,16 @@
+package driver_test
+
+import (
+	"testing"
+
+	"alm/internal/lint/analysistest"
+	"alm/internal/lint/registry"
+)
+
+// TestAllowDirectives runs the full analyzer suite over the `allow`
+// fixture, which pairs each suppressed violation with an identical
+// unsuppressed one on the next line — proving //almvet:allow works and is
+// scoped to a single line for every analyzer.
+func TestAllowDirectives(t *testing.T) {
+	analysistest.RunWithSuite(t, analysistest.Testdata(), registry.Analyzers(), "allow")
+}

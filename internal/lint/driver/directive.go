@@ -1,0 +1,92 @@
+package driver
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"alm/internal/lint/analysis"
+)
+
+// Suppression directives.
+//
+// A finding is silenced by a comment on the SAME line as the reported
+// position:
+//
+//	start := time.Now() //almvet:allow detnow -- wall-clock is the point here
+//
+// The directive names one or more analyzers (comma-separated) and should
+// carry a justification after " -- "; the justification is for reviewers,
+// the driver does not parse it. Scoping is strictly per line: the same
+// violation one line down is reported again. There is deliberately no
+// file- or package-level escape hatch — broad waivers are what let ALG
+// checkpoint writes rot silently, which is the failure mode this suite
+// exists to prevent.
+
+// allowIndex maps file name -> line -> set of allowed analyzer names.
+type allowIndex map[string]map[int]map[string]bool
+
+// collectAllows scans the comments of the given files for directives.
+func collectAllows(fset *token.FileSet, files []*ast.File) allowIndex {
+	idx := make(allowIndex)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					idx[pos.Filename] = lines
+				}
+				set := lines[pos.Line]
+				if set == nil {
+					set = make(map[string]bool)
+					lines[pos.Line] = set
+				}
+				for _, n := range names {
+					set[n] = true
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// parseAllow extracts analyzer names from one comment's text, or reports
+// that the comment is not a directive.
+func parseAllow(text string) ([]string, bool) {
+	rest, ok := strings.CutPrefix(text, "//almvet:allow")
+	if !ok {
+		return nil, false
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil, false // e.g. //almvet:allowsomething
+	}
+	if j := strings.Index(rest, "--"); j >= 0 {
+		rest = rest[:j]
+	}
+	var names []string
+	for _, field := range strings.Fields(rest) {
+		for _, n := range strings.Split(field, ",") {
+			if n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	return names, len(names) > 0
+}
+
+// suppressed reports whether d is covered by a same-line directive.
+func (idx allowIndex) suppressed(fset *token.FileSet, d analysis.Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	lines, ok := idx[pos.Filename]
+	if !ok {
+		return false
+	}
+	set := lines[pos.Line]
+	return set[d.Category] || set["all"]
+}

@@ -1,0 +1,30 @@
+package driver
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text  string
+		names []string
+		ok    bool
+	}{
+		{"//almvet:allow detnow", []string{"detnow"}, true},
+		{"//almvet:allow detnow -- wall-clock is the point", []string{"detnow"}, true},
+		{"//almvet:allow detnow,locksafe -- two at once", []string{"detnow", "locksafe"}, true},
+		{"//almvet:allow detnow locksafe", []string{"detnow", "locksafe"}, true},
+		{"//almvet:allow", nil, false},
+		{"//almvet:allow -- justification but no names", nil, false},
+		{"// almvet:allow detnow", nil, false}, // directives must not have a space after //
+		{"// regular comment", nil, false},
+		{"//almvet:allowdetnow", nil, false},
+	}
+	for _, c := range cases {
+		names, ok := parseAllow(c.text)
+		if ok != c.ok || !reflect.DeepEqual(names, c.names) {
+			t.Errorf("parseAllow(%q) = %v, %v; want %v, %v", c.text, names, ok, c.names, c.ok)
+		}
+	}
+}

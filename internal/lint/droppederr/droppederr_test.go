@@ -1,0 +1,12 @@
+package droppederr_test
+
+import (
+	"testing"
+
+	"alm/internal/lint/analysistest"
+	"alm/internal/lint/droppederr"
+)
+
+func TestDroppederr(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(), droppederr.Analyzer, "droppederr")
+}

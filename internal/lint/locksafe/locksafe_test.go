@@ -1,0 +1,12 @@
+package locksafe_test
+
+import (
+	"testing"
+
+	"alm/internal/lint/analysistest"
+	"alm/internal/lint/locksafe"
+)
+
+func TestLocksafe(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(), locksafe.Analyzer, "locksafe")
+}

@@ -1,0 +1,12 @@
+package seedflow_test
+
+import (
+	"testing"
+
+	"alm/internal/lint/analysistest"
+	"alm/internal/lint/seedflow"
+)
+
+func TestSeedflow(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(), seedflow.Analyzer, "seedflow")
+}

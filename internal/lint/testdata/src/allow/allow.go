@@ -1,0 +1,53 @@
+// Package allow proves the //almvet:allow directive: each analyzer has a
+// violation silenced by a same-line directive, immediately followed by
+// the identical violation one line down, which must still be reported —
+// demonstrating that suppression is scoped to exactly one line.
+package allow
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"alm/internal/core"
+)
+
+func detnowPair() time.Time {
+	a := time.Now() //almvet:allow detnow -- fixture: proves same-line suppression
+	b := time.Now() // want `time\.Now in deterministic simulation code`
+	if a.After(b) {
+		return a
+	}
+	return b
+}
+
+func seedflowPair() (*rand.Rand, *rand.Rand) {
+	r1 := rand.New(rand.NewSource(7)) //almvet:allow seedflow -- fixture: proves same-line suppression
+	r2 := rand.New(rand.NewSource(7)) // want `literal-only seed`
+	return r1, r2
+}
+
+func droppederrPair(rec *core.LogRecord) {
+	rec.Validate() //almvet:allow droppederr -- fixture: proves same-line suppression
+	rec.Validate() // want `result error of .*Validate is discarded`
+}
+
+type guarded struct {
+	mu sync.Mutex
+	v  int // guarded by mu
+}
+
+func locksafePair(g *guarded) (int, int) {
+	x := g.v //almvet:allow locksafe -- fixture: proves same-line suppression
+	y := g.v // want `access to field "v" \(guarded by mu\)`
+	return x, y
+}
+
+func multiName(m map[string]int) {
+	for range m { //almvet:allow detnow,locksafe -- fixture: comma-separated names parse
+		break
+	}
+	for range m { // want `map iteration with order-dependent body`
+		break
+	}
+}

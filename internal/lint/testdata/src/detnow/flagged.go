@@ -1,0 +1,50 @@
+package detnow
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now() // want `time\.Now in deterministic simulation code`
+	if start.IsZero() {
+		end := time.Now() // want `time\.Now in deterministic simulation code`
+		return end.Sub(start)
+	}
+	return 0
+}
+
+func globalRand() int {
+	n := rand.Intn(10) // want `rand\.Intn draws from the process-global random source`
+	f := rand.Float64() // want `rand\.Float64 draws from the process-global random source`
+	return n + int(f)
+}
+
+func mapOrderLeaks(m map[string]int) {
+	for k := range m { // want `map iteration with order-dependent body`
+		fmt.Println(k)
+	}
+}
+
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration appends to "keys" without sorting it afterwards`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func slotAppend(m map[string]int, byLen map[int][]string) {
+	for k := range m { // want `map iteration with order-dependent body`
+		byLen[len(k)] = append(byLen[len(k)], k)
+	}
+}
+
+func lastWriterWins(m map[string]int) string {
+	var last string
+	for k := range m { // want `map iteration with order-dependent body`
+		last = k
+	}
+	return last
+}

@@ -1,0 +1,36 @@
+package droppederr
+
+import (
+	"alm/internal/core"
+	"alm/internal/dfs"
+)
+
+func discardedResult(rec *core.LogRecord) {
+	rec.Marshal() // want `result error of .*Marshal is discarded`
+	rec.Validate() // want `result error of .*Validate is discarded`
+}
+
+func blankError(rec *core.LogRecord) []byte {
+	data, _ := rec.Marshal() // want `error from .*Marshal assigned to _`
+	return data
+}
+
+func clobberedError(d *dfs.DFS) error {
+	var err error
+	_, err = d.Write("a", 0, 1, dfs.WriteOptions{}, nil) // want `error from .*Write is overwritten before being read`
+	_, err = d.Write("b", 0, 1, dfs.WriteOptions{}, nil)
+	return err
+}
+
+func swallowedCallback(d *dfs.DFS) error {
+	_, err := d.Write("c", 0, 1, dfs.WriteOptions{}, func(error) {}) // want `callback passed to .*Write discards its error parameter`
+	return err
+}
+
+func unusedCallbackParam(d *dfs.DFS) error {
+	_, err := d.Write("d", 0, 1, dfs.WriteOptions{},
+		func(werr error) { // want `callback passed to .*Write never reads error parameter "werr"`
+			println("write landed")
+		})
+	return err
+}

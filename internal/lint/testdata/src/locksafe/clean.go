@@ -1,0 +1,37 @@
+package locksafe
+
+import "sync"
+
+type gauge struct {
+	mu  sync.Mutex
+	val int // guarded by mu
+}
+
+// set follows the discipline: every access to val sits in a function
+// that takes mu.
+func (g *gauge) set(v int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.val = v
+}
+
+func (g *gauge) get() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.val
+}
+
+// construct initializes via composite literal (no copy of a live lock)
+// and hands out pointers only.
+func construct() *gauge {
+	g := gauge{}
+	return &g
+}
+
+func viaPointers(gs []*gauge) int {
+	total := 0
+	for _, g := range gs {
+		total += g.get()
+	}
+	return total
+}

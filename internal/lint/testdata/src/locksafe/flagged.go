@@ -1,0 +1,45 @@
+package locksafe
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func racyRead(c *counter) int {
+	return c.n // want `access to field "n" \(guarded by mu\) in a function that never locks mu`
+}
+
+func copiedMutex(c *counter) {
+	m := c.mu // want `assignment copies lock-bearing value of type sync\.Mutex`
+	m.Lock()
+	m.Unlock()
+}
+
+type badRecv struct {
+	mu sync.Mutex
+}
+
+func (b badRecv) lockIt() { // want `method lockIt has a value receiver of lock-bearing type`
+	b.mu.Lock()
+}
+
+func take(badRecv) {}
+
+func passByValue(b badRecv) {
+	take(b) // want `call copies lock-bearing value of type .*badRecv`
+}
+
+func rangeCopies(cs []counter) {
+	for _, c := range cs { // want `range value copies lock-bearing value of type .*counter`
+		c.mu.Lock()
+		c.mu.Unlock()
+	}
+}

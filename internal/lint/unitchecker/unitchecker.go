@@ -1,0 +1,206 @@
+// Package unitchecker implements the `go vet -vettool` protocol for the
+// almvet suite, mirroring golang.org/x/tools/go/analysis/unitchecker on
+// the standard library alone.
+//
+// The protocol, as driven by cmd/go:
+//
+//  1. `almvet -V=full` must print "<name> version <id>"; the line becomes
+//     the tool ID in the build cache key, so it embeds a content hash of
+//     the almvet binary (a rebuilt tool invalidates cached vet verdicts).
+//  2. `almvet -flags` must print a JSON array describing accepted flags.
+//  3. `almvet <dir>/vet.cfg` analyzes one package unit: the config names
+//     the source files and maps each import to the compiler's export
+//     data, which we feed to go/importer's gc importer for type-checking
+//     identical to the build's.
+//
+// Findings go to stderr and exit with status 2 (vet's convention); a
+// clean unit writes the facts file cmd/go expects (cfg.VetxOutput — the
+// suite exports no facts, so it is a fixed marker) and exits 0.
+package unitchecker
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+
+	"alm/internal/lint/analysis"
+	"alm/internal/lint/driver"
+	"alm/internal/lint/registry"
+)
+
+// Config is the vet.cfg schema written by cmd/go (see buildVetConfig in
+// cmd/go/internal/work/exec.go). Unknown fields are ignored.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main runs one protocol invocation and returns the process exit code.
+// enable narrows the suite to the named analyzers; nil means all.
+func Main(cfgPath string, enable map[string]bool, stderr io.Writer) int {
+	cfg, err := readConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "almvet: %v\n", err)
+		return 1
+	}
+	// Select the analyzers whose scope covers this package. Packages
+	// outside the module (stdlib units cmd/go schedules for facts) get
+	// none and are dismissed without parsing anything.
+	var analyzers []*registry.Scoped
+	for _, s := range registry.All() {
+		s := s
+		if enable != nil && !enable[s.Name] {
+			continue
+		}
+		if s.AppliesTo(cfg.ImportPath) {
+			analyzers = append(analyzers, &s)
+		}
+	}
+	if cfg.VetxOnly || len(analyzers) == 0 || len(cfg.GoFiles) == 0 {
+		if err := writeVetx(cfg); err != nil {
+			fmt.Fprintf(stderr, "almvet: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(stderr, "almvet: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []error
+	tconf := types.Config{
+		Importer: exportDataImporter(fset, cfg),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+		Sizes:    types.SizesFor(compilerOrGc(cfg.Compiler), buildArch()),
+	}
+	if v := cfg.GoVersion; v != "" && strings.HasPrefix(v, "go") {
+		tconf.GoVersion = v
+	}
+	pkg, _ := tconf.Check(cfg.ImportPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		for _, e := range typeErrs {
+			fmt.Fprintf(stderr, "almvet: %v\n", e)
+		}
+		return 1
+	}
+
+	diags, err := driver.Run(driver.Target{Fset: fset, Files: files, Pkg: pkg, Info: info},
+		scopedToPlain(analyzers), driver.Options{})
+	if err != nil {
+		fmt.Fprintf(stderr, "almvet: %v\n", err)
+		return 1
+	}
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintf(stderr, "%s\n", driver.Format(fset, d))
+		}
+		return 2
+	}
+	if err := writeVetx(cfg); err != nil {
+		fmt.Fprintf(stderr, "almvet: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func readConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// writeVetx emits the facts file cmd/go caches for dependent units. The
+// suite is fact-free, so the content is a constant marker.
+func writeVetx(cfg *Config) error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	return os.WriteFile(cfg.VetxOutput, []byte("almvet.facts.v1\n"), 0o666)
+}
+
+// exportDataImporter resolves imports through the compiler export data
+// cmd/go recorded in the config, so type identities match the build.
+func exportDataImporter(fset *token.FileSet, cfg *Config) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+func compilerOrGc(c string) string {
+	if c == "" {
+		return "gc"
+	}
+	return c
+}
+
+func buildArch() string {
+	if v := os.Getenv("GOARCH"); v != "" {
+		return v
+	}
+	return runtime.GOARCH
+}
+
+func scopedToPlain(scoped []*registry.Scoped) []*analysis.Analyzer {
+	out := make([]*analysis.Analyzer, len(scoped))
+	for i, s := range scoped {
+		out[i] = s.Analyzer
+	}
+	return out
+}
