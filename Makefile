@@ -4,7 +4,7 @@
 GO ?= go
 ALMVET := bin/almvet
 
-.PHONY: all build test race vet lint-test ci clean
+.PHONY: all build test race vet lint-test bench bench-smoke ci clean
 
 all: build
 
@@ -33,7 +33,21 @@ FORCE:
 lint-test:
 	$(GO) test ./internal/lint/...
 
-ci: build test race vet
+# bench runs the engine performance harness — per-figure benchmarks plus
+# the event-engine microbenchmarks (timer churn, fetch-session churn,
+# heap footprint under the Fig. 4 fault load) — and refreshes the
+# checked-in BENCH_engine.json baseline. Compare against `git diff
+# BENCH_engine.json` before committing a regression.
+bench:
+	$(GO) run ./cmd/almbench -perf -perf-out BENCH_engine.json
+
+# bench-smoke compiles and runs every benchmark exactly once — the CI
+# guard that keeps the harness from bit-rotting without paying full
+# measurement cost.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/sim ./internal/fairshare ./internal/perf
+
+ci: build test race vet bench-smoke
 
 clean:
 	rm -rf bin

@@ -9,6 +9,8 @@
 //	almbench -exp fig8,fig9   # run selected experiments
 //	almbench -scale 0.125     # 1/8-size datasets for a quick pass
 //	almbench -list            # list experiment IDs
+//	almbench -perf            # run the engine performance harness,
+//	                          # writing BENCH_engine.json
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"time"
 
 	"alm"
+	"alm/internal/perf"
 )
 
 func main() {
@@ -30,8 +33,32 @@ func main() {
 		listFlag = flag.Bool("list", false, "list experiment IDs and exit")
 		workers  = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
 		format   = flag.String("format", "text", "output format: text | json | csv")
+		perfFlag = flag.Bool("perf", false, "run the engine performance harness instead of experiments")
+		perfOut  = flag.String("perf-out", "BENCH_engine.json", "output path for -perf results ('-' for stdout)")
 	)
 	flag.Parse()
+
+	if *perfFlag {
+		results := perf.RunAll(os.Stderr)
+		out := os.Stdout
+		if *perfOut != "-" {
+			f, err := os.Create(*perfOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "perf: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := perf.WriteJSON(out, results); err != nil {
+			fmt.Fprintf(os.Stderr, "perf: %v\n", err)
+			os.Exit(1)
+		}
+		if *perfOut != "-" {
+			fmt.Printf("wrote %d benchmark results to %s\n", len(results), *perfOut)
+		}
+		return
+	}
 
 	if *listFlag {
 		for _, id := range alm.ExperimentIDs() {

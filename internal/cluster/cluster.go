@@ -105,13 +105,29 @@ type Cluster struct {
 	// call sites.
 	OnNodeLost func(id topology.NodeID)
 
-	lostListeners []func(topology.NodeID)
+	lostListeners  []func(topology.NodeID)
+	reachListeners []func(topology.NodeID, bool)
 }
 
 // AddNodeLostListener subscribes an additional node-loss observer (several
 // AppMasters can share one cluster).
 func (c *Cluster) AddNodeLostListener(fn func(topology.NodeID)) {
 	c.lostListeners = append(c.lostListeners, fn)
+}
+
+// AddReachabilityListener subscribes to node reachability transitions,
+// fired synchronously the instant NodeReachable(id) changes value
+// (StopNetwork/Crash going down, Restore coming back). Components that
+// cache "which host serves X" decisions — the reducers' fetch index —
+// use this instead of polling NodeReachable on every event.
+func (c *Cluster) AddReachabilityListener(fn func(id topology.NodeID, reachable bool)) {
+	c.reachListeners = append(c.reachListeners, fn)
+}
+
+func (c *Cluster) notifyReachability(id topology.NodeID, reachable bool) {
+	for _, fn := range c.reachListeners {
+		fn(id, reachable)
+	}
 }
 
 // New builds a cluster over a fresh substrate for the given topology.
@@ -202,6 +218,7 @@ func (c *Cluster) StopNetwork(id topology.NodeID) {
 	}
 	n.networkUp = false
 	c.Net.SetNodeDown(id)
+	c.notifyReachability(id, false)
 }
 
 // Crash kills the node process outright: unreachable, and its DFS
@@ -232,6 +249,7 @@ func (c *Cluster) SlowDisks(id topology.NodeID, factor float64) {
 // but needed for long-running harness tests).
 func (c *Cluster) Restore(id topology.NodeID) {
 	n := c.nodes[id]
+	wasReachable := n.alive && n.networkUp
 	n.alive = true
 	n.networkUp = true
 	n.declaredLost = false
@@ -239,6 +257,9 @@ func (c *Cluster) Restore(id topology.NodeID) {
 	n.freeMemMB = c.Topo.Node(id).HW.MemoryMB
 	c.Net.SetNodeUp(id)
 	c.DFS.NodeRecovered(id)
+	if !wasReachable {
+		c.notifyReachability(id, true)
+	}
 }
 
 // Allocate submits a container request; Grant is called (possibly at a

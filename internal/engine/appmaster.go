@@ -176,6 +176,11 @@ func newAppMaster(j *Job, inputName string) *appMaster {
 		am.reduces = append(am.reduces, &taskState{typ: faults.Reduce, idx: i})
 	}
 	j.Cluster.AddNodeLostListener(am.onNodeLost)
+	j.Cluster.AddReachabilityListener(func(id topology.NodeID, _ bool) {
+		for _, ex := range am.reduceExecs {
+			ex.onReachabilityChanged(id)
+		}
+	})
 	return am
 }
 

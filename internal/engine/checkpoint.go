@@ -153,6 +153,9 @@ func (r *reduceExec) tryCheckpointRestore() bool {
 	r.ckptSeq = img.seq
 	r.copied = append([]bool{}, img.copied...)
 	r.copiedCount = img.copiedCount
+	// The image wholesale-replaced r.copied; the incremental host index is
+	// now stale and must be recomputed before any fetch decision.
+	r.rebuildHostIndex()
 	r.shuffledLogical = img.shuffledLogical
 	r.onDisk = append([]*merge.Segment{}, img.onDisk...)
 	r.inMem = append([]*merge.Segment{}, img.inMem...)

@@ -170,6 +170,22 @@ type Result struct {
 
 	Counters mr.Counters
 	Trace    *trace.Collector
+
+	// Events reports discrete-event engine load for the run (filled by
+	// Run, zero when a Job is driven on a caller-owned engine).
+	Events EventStats
+}
+
+// EventStats summarises how hard the run worked the event engine.
+type EventStats struct {
+	// Processed is the number of events fired.
+	Processed uint64
+	// MaxQueue is the event-heap high-water mark — the metric the heap
+	// microbenchmarks watch for dead-timer bloat.
+	MaxQueue int
+	// Stopped counts events removed from the heap by Timer.Stop before
+	// their deadline.
+	Stopped uint64
 }
 
 // localNode is a worker node's local state outside YARN's view: the local

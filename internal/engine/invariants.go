@@ -1,0 +1,38 @@
+package engine
+
+import "fmt"
+
+// invariantsEnabled turns on internal consistency checks that are too
+// expensive for production runs: the reducer host-index cross-check
+// against a full scan (checkHostIndex) and the disk-op accounting
+// assertion (assertDiskOps). The engine's own test binary flips it on in
+// an init (see invariants_test.go), so every simulation the test suite
+// runs — including failure-injection scenarios — executes with the
+// checks armed.
+var invariantsEnabled = false
+
+// assertDiskOps verifies (testing builds only) that pendingDiskOps never
+// undercounts the disk-op flows still in flight. Equality cannot be
+// asserted at every instant — a flow that just finished keeps its counter
+// slot until its queued completion callback runs — but the gate that
+// matters is one-sided: the final merge must never start while a spill is
+// still on the disk. With pendingDiskOps == 0 this implies no active
+// disk-op flows at all.
+func (r *reduceExec) assertDiskOps() {
+	if !invariantsEnabled {
+		return
+	}
+	if r.pendingDiskOps < 0 {
+		panic(fmt.Sprintf("engine: %s pendingDiskOps went negative (%d)", r.a.id, r.pendingDiskOps))
+	}
+	active := 0
+	for _, f := range r.diskOps {
+		if !f.Done() && !f.Canceled() {
+			active++
+		}
+	}
+	if active > r.pendingDiskOps {
+		panic(fmt.Sprintf("engine: %s has %d in-flight disk ops but pendingDiskOps=%d",
+			r.a.id, active, r.pendingDiskOps))
+	}
+}

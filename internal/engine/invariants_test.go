@@ -1,0 +1,8 @@
+package engine
+
+// Every simulation the engine test binary runs — smoke, integration,
+// failure-injection, robustness — executes with the expensive internal
+// consistency checks armed: the reducer host index is cross-checked
+// against a full scan on every pickHost, and disk-op accounting is
+// asserted on every checkMergeReady.
+func init() { invariantsEnabled = true }

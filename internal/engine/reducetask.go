@@ -15,8 +15,12 @@ import (
 )
 
 // mapAvailListener is notified when a map's output becomes available
-// (first completion or regeneration).
-type mapAvailListener interface{ onMapAvailable(mapIdx int) }
+// (first completion or regeneration) and when a node's reachability
+// flips — the two events that move a pending map between serving hosts.
+type mapAvailListener interface {
+	onMapAvailable(mapIdx int)
+	onReachabilityChanged(id topology.NodeID)
+}
 
 // reduceExec runs one regular ReduceTask attempt through the three
 // stages: shuffle (fetch MOF partitions, spilling and merging in the
@@ -34,12 +38,25 @@ type reduceExec struct {
 
 	flows  []*fairshare.Flow
 	timers []*sim.Timer
+	// flowReapAt/timerReapAt are the amortized-compaction thresholds: once
+	// a slice reaches its threshold, finished entries are filtered out and
+	// the threshold is reset to twice the live count. Long shuffles retire
+	// thousands of flows and timers; without reaping, kill() and the append
+	// slices grow with the task's whole history instead of its live set.
+	flowReapAt  int
+	timerReapAt int
+	// diskOps tracks the in-flight disk-op flows counted by
+	// pendingDiskOps, so testing builds can assert the two agree.
+	diskOps []*fairshare.Flow
 
 	stage core.Stage
 
 	// Shuffle state.
 	copied           []bool
 	copiedCount      int
+	hostIdx          *hostIndex
+	candHosts        []topology.NodeID // pickHost scratch, reused per call
+	candMinIdx       []int
 	hostInSession    map[topology.NodeID]bool
 	hostFailures     map[topology.NodeID]int
 	lastFetchSuccess sim.Time
@@ -123,13 +140,84 @@ func (r *reduceExec) kill(string) {
 	for _, tm := range r.timers {
 		tm.Stop()
 	}
+	// Canceled disk ops never run their completion callbacks, so uncount
+	// them here. Ops that finished in this same completion batch still have
+	// their callbacks queued and decrement there — leave those counted.
+	for _, f := range r.diskOps {
+		if f.Canceled() {
+			r.pendingDiskOps--
+		}
+	}
 	if r.outWriter != nil {
 		r.outWriter.Abort()
 	}
 }
 
-func (r *reduceExec) addFlow(f *fairshare.Flow)  { r.flows = append(r.flows, f) }
-func (r *reduceExec) addTimer(t *sim.Timer)      { r.timers = append(r.timers, t) }
+const reapFloor = 32
+
+func (r *reduceExec) addFlow(f *fairshare.Flow) {
+	r.flows = append(r.flows, f)
+	if len(r.flows) >= max(reapFloor, r.flowReapAt) {
+		live := r.flows[:0]
+		for _, fl := range r.flows {
+			if !fl.Done() && !fl.Canceled() {
+				live = append(live, fl)
+			}
+		}
+		clearFlows(r.flows[len(live):])
+		r.flows = live
+		r.flowReapAt = 2 * len(live)
+	}
+}
+
+func (r *reduceExec) addTimer(t *sim.Timer) {
+	r.timers = append(r.timers, t)
+	if len(r.timers) >= max(reapFloor, r.timerReapAt) {
+		live := r.timers[:0]
+		for _, tm := range r.timers {
+			if tm.Active() {
+				live = append(live, tm)
+			}
+		}
+		clearTimers(r.timers[len(live):])
+		r.timers = live
+		r.timerReapAt = 2 * len(live)
+	}
+}
+
+func clearFlows(tail []*fairshare.Flow) {
+	for i := range tail {
+		tail[i] = nil
+	}
+}
+
+func clearTimers(tail []*sim.Timer) {
+	for i := range tail {
+		tail[i] = nil
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// addDiskFlow registers a flow whose completion decrements
+// pendingDiskOps, keeping the testing-build invariant checkable.
+func (r *reduceExec) addDiskFlow(f *fairshare.Flow) {
+	r.addFlow(f)
+	live := r.diskOps[:0]
+	for _, fl := range r.diskOps {
+		if !fl.Done() && !fl.Canceled() {
+			live = append(live, fl)
+		}
+	}
+	clearFlows(r.diskOps[len(live):])
+	r.diskOps = append(live, f)
+}
+
 func (r *reduceExec) after(d sim.Time, f func()) { r.addTimer(r.job.Eng.Schedule(d, f)) }
 
 func (r *reduceExec) start() {
@@ -142,6 +230,7 @@ func (r *reduceExec) begin() {
 		return
 	}
 	r.job.am.registerExec(r)
+	r.rebuildHostIndex()
 	r.shufflePort = r.job.Cluster.Net.System().NewPort(r.a.id+"/shuffle-cpu", r.conf.Costs.ShuffleCPURate)
 	r.livenessPing()
 	if r.job.Spec.Checkpoint.Enabled {
@@ -200,7 +289,20 @@ func (r *reduceExec) progress() float64 {
 			reduceF = 1
 		}
 	}
-	return (shuffle + mergeF + reduceF) / 3
+	// mergeNeeded is an estimate made before the first merge pass; deep
+	// merges (> 2 passes) can push mergeDone past it, and a stage fraction
+	// above 1 leaks into later stages' progress. Clamp each stage to [0,1].
+	return (clamp01(shuffle) + clamp01(mergeF) + clamp01(reduceF)) / 3
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
 }
 
 // ---- shuffle ----
@@ -229,58 +331,55 @@ func (r *reduceExec) fillFetchers() {
 // order; we draw uniformly from the eligible set (deterministically, via
 // the engine's seeded source) so no host's data is systematically drained
 // first.
+//
+// The eligible set comes from the per-host index instead of a scan over
+// every map. To keep runs byte-identical with the scanning version, the
+// candidate list is ordered exactly as the scan built it: hosts sorted by
+// their smallest pending map index that is not under the SFM wait
+// advisory (first-occurrence order in an ascending map sweep). Only then
+// is the seeded random draw made.
 func (r *reduceExec) pickHost() (topology.NodeID, bool) {
+	r.checkHostIndex()
 	am := r.job.am
-	seen := make(map[topology.NodeID]bool)
-	var eligible []topology.NodeID
-	for m := range r.copied {
-		if r.copied[m] {
+	hosts := r.candHosts[:0]
+	minIdx := r.candMinIdx[:0]
+	for n := range r.hostIdx.byHost {
+		host := topology.NodeID(n)
+		if r.hostInSession[host] {
 			continue
 		}
-		host, ok := am.mofHost(m)
-		if !ok {
-			if am.mofs[m] == nil {
-				continue // map not finished yet
+		first := -1
+		r.hostIdx.byHost[n].each(func(m int) bool {
+			if am.shouldWait(m) {
+				return true // SFM advisory: regeneration under way
 			}
-			// Output exists but is unreachable: still target the
-			// producing node so the stock retry/strike protocol applies.
-			host = am.mofs[m].node
-		}
-		if am.shouldWait(m) {
-			continue // SFM advisory: regeneration under way
-		}
-		if r.hostInSession[host] || seen[host] {
+			first = m
+			return false
+		})
+		if first < 0 {
 			continue
 		}
-		seen[host] = true
-		eligible = append(eligible, host)
+		i := len(hosts)
+		hosts = append(hosts, host)
+		minIdx = append(minIdx, first)
+		for i > 0 && minIdx[i-1] > minIdx[i] {
+			hosts[i], hosts[i-1] = hosts[i-1], hosts[i]
+			minIdx[i], minIdx[i-1] = minIdx[i-1], minIdx[i]
+			i--
+		}
 	}
-	if len(eligible) == 0 {
+	r.candHosts, r.candMinIdx = hosts, minIdx
+	if len(hosts) == 0 {
 		return topology.Invalid, false
 	}
-	return eligible[r.job.Eng.Rand().Intn(len(eligible))], true
+	return hosts[r.job.Eng.Rand().Intn(len(hosts))], true
 }
 
 // pendingOn lists pending map indices currently served by the node
-// (either the producing node or, under ISS, a replica host).
+// (either the producing node or, under ISS, a replica host), in ascending
+// map order.
 func (r *reduceExec) pendingOn(host topology.NodeID) []int {
-	am := r.job.am
-	var out []int
-	for m := range r.copied {
-		if r.copied[m] {
-			continue
-		}
-		if h, ok := am.mofHost(m); ok {
-			if h == host {
-				out = append(out, m)
-			}
-			continue
-		}
-		if mof := am.mofs[m]; mof != nil && mof.node == host {
-			out = append(out, m)
-		}
-	}
-	return out
+	return r.hostIdx.byHost[host].appendIndices(nil)
 }
 
 func (r *reduceExec) runSession(host topology.NodeID) {
@@ -312,7 +411,7 @@ func (r *reduceExec) runSession(host topology.NodeID) {
 	ports = append(ports, r.job.Cluster.Net.PortsFor(host, r.a.node)...)
 	flow := r.job.Cluster.Net.System().StartFlow(
 		fmt.Sprintf("%s<-%d", r.a.id, host), bytes, ports, 0,
-		func() { r.sessionDone(host, batch, gen, bytes) })
+		func() { r.sessionDone(host, batch, gen) })
 	r.addFlow(flow)
 	r.watchFetch(host, flow, flow.Remaining())
 }
@@ -334,11 +433,13 @@ func (r *reduceExec) watchFetch(host topology.NodeID, flow *fairshare.Flow, last
 	})
 }
 
-func (r *reduceExec) sessionDone(host topology.NodeID, batch []int, gen map[int]int, bytes int64) {
+func (r *reduceExec) sessionDone(host topology.NodeID, batch []int, gen map[int]int) {
 	if r.dead {
 		return
 	}
 	am := r.job.am
+	var delivered int64
+	anyDelivered := false
 	for _, m := range batch {
 		if r.copied[m] {
 			continue
@@ -347,13 +448,22 @@ func (r *reduceExec) sessionDone(host topology.NodeID, batch []int, gen map[int]
 		if mof == nil || mof.gen != gen[m] {
 			continue // MOF regenerated under us; refetch later
 		}
-		r.copied[m] = true
-		r.copiedCount++
-		r.deliver(m, mof.parts[r.t.idx])
+		seg := mof.parts[r.t.idx]
+		r.markCopied(m)
+		delivered += seg.LogicalBytes
+		anyDelivered = true
+		r.deliver(m, seg)
 	}
-	r.shuffledLogical += bytes
-	r.lastFetchSuccess = r.job.Eng.Now()
-	r.hostFailures[host] = 0
+	// Credit only the segments actually delivered: maps regenerated (or
+	// re-delivered by a racing session) mid-transfer still need fetching,
+	// so counting their bytes would overstate shuffle progress — and a
+	// session that delivered nothing is no evidence the host is healthy,
+	// so it must not reset the stall clock or the host's strike count.
+	r.shuffledLogical += delivered
+	if anyDelivered {
+		r.lastFetchSuccess = r.job.Eng.Now()
+		r.hostFailures[host] = 0
+	}
 	r.job.am.reportProgress(r.a, r.progress())
 	r.endSession(host)
 }
@@ -411,14 +521,12 @@ func (r *reduceExec) selfFail(reason string) {
 func (r *reduceExec) unavailablePending() []int {
 	am := r.job.am
 	var out []int
-	for m := range r.copied {
-		if r.copied[m] {
-			continue
-		}
+	r.hostIdx.pending.each(func(m int) bool {
 		if mof := am.mofs[m]; mof != nil && !r.job.Cluster.NodeReachable(mof.node) {
 			out = append(out, m)
 		}
-	}
+		return true
+	})
 	return out
 }
 
@@ -428,19 +536,19 @@ func (r *reduceExec) unavailablePending() []int {
 // advisory active there is nothing to strike about, so no self-kill.
 func (r *reduceExec) anyStrikeablePending() bool {
 	am := r.job.am
-	for m := range r.copied {
-		if r.copied[m] {
-			continue
-		}
+	found := false
+	r.hostIdx.pending.each(func(m int) bool {
 		mof := am.mofs[m]
 		if mof == nil || am.shouldWait(m) {
-			continue
-		}
-		if !r.job.Cluster.NodeReachable(mof.node) {
 			return true
 		}
-	}
-	return false
+		if !r.job.Cluster.NodeReachable(mof.node) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
 }
 
 func (r *reduceExec) endSession(host topology.NodeID) {
@@ -453,7 +561,13 @@ func (r *reduceExec) endSession(host topology.NodeID) {
 
 // onMapAvailable wakes the fetch loop when a MOF appears or regenerates.
 func (r *reduceExec) onMapAvailable(mapIdx int) {
-	if r.dead || r.stage != core.StageShuffle || r.copied[mapIdx] {
+	if r.dead || r.stage != core.StageShuffle {
+		return
+	}
+	// The map's serving host may have just appeared or moved (regeneration
+	// on a different node); fold it into the index before re-picking.
+	r.reindexMap(mapIdx)
+	if r.copied[mapIdx] {
 		return
 	}
 	r.fillFetchers()
@@ -475,10 +589,13 @@ func (r *reduceExec) deliver(mapIdx int, seg *merge.Segment) {
 		path := fmt.Sprintf("%s/spill-%d", r.a.id, r.spillSeq)
 		r.pendingDiskOps++
 		f := r.job.Cluster.Disks.Write(r.a.node, cp.LogicalBytes, func() {
+			// Decrement before the dead check: the op is no longer in
+			// flight either way, and bailing first would leak the counter
+			// when the flow completes in the same batch that killed us.
+			r.pendingDiskOps--
 			if r.dead {
 				return
 			}
-			r.pendingDiskOps--
 			cp.Spill(path)
 			r.onDisk = append(r.onDisk, cp)
 			local := r.job.local(r.a.node)
@@ -486,7 +603,7 @@ func (r *reduceExec) deliver(mapIdx int, seg *merge.Segment) {
 			local.segMaps[path] = []int{mapIdx}
 			r.checkMergeReady()
 		})
-		r.addFlow(f)
+		r.addDiskFlow(f)
 		return
 	}
 	r.inMem = append(r.inMem, cp)
@@ -527,10 +644,10 @@ func (r *reduceExec) mergeInMemory(done func()) {
 		r.conf.Costs.MergeCPURate,
 		func() {
 			r.inMemMergeBusy = false
+			r.pendingDiskOps--
 			if r.dead {
 				return
 			}
-			r.pendingDiskOps--
 			merged.Spill(path)
 			r.onDisk = append(r.onDisk, merged)
 			local := r.job.local(r.a.node)
@@ -541,12 +658,13 @@ func (r *reduceExec) mergeInMemory(done func()) {
 			}
 			r.checkMergeReady()
 		})
-	r.addFlow(f)
+	r.addDiskFlow(f)
 }
 
 // checkMergeReady starts the final merge passes once the shuffle has
 // ended and every outstanding spill has landed.
 func (r *reduceExec) checkMergeReady() {
+	r.assertDiskOps()
 	if r.dead || r.stage != core.StageMerge || r.mergeStarted || r.pendingDiskOps > 0 || r.inMemMergeBusy {
 		return
 	}
@@ -1017,9 +1135,8 @@ func (r *reduceExec) tryLocalRestore() bool {
 		}
 		r.onDisk = segs
 		for _, m := range rec.FetchedMOFs {
-			if m >= 0 && m < len(r.copied) && !r.copied[m] {
-				r.copied[m] = true
-				r.copiedCount++
+			if m >= 0 && m < len(r.copied) {
+				r.markCopied(m)
 			}
 		}
 		r.shuffledLogical = rec.ShuffledLogicalBytes
@@ -1037,10 +1154,7 @@ func (r *reduceExec) tryLocalRestore() bool {
 			}
 			r.onDisk = segs
 			for m := range r.copied {
-				if !r.copied[m] {
-					r.copied[m] = true
-					r.copiedCount++
-				}
+				r.markCopied(m)
 			}
 			restored = true
 			break

@@ -76,12 +76,16 @@ func Run(spec JobSpec, cs ClusterSpec, plan *faults.Plan) (Result, error) {
 		return Result{}, err
 	}
 	eng.Run(sim.Time(cs.MaxVirtualTime))
+	res := job.Result()
+	res.Events = EventStats{
+		Processed: eng.Processed(),
+		MaxQueue:  eng.MaxQueueLen(),
+		Stopped:   eng.StoppedEvents(),
+	}
 	if !job.Finished() {
-		res := job.Result()
 		res.Failed = true
 		res.FailReason = fmt.Sprintf("job did not finish within %v of virtual time", cs.MaxVirtualTime)
 		res.Duration = cs.MaxVirtualTime
-		return res, nil
 	}
-	return job.Result(), nil
+	return res, nil
 }

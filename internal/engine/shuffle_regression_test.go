@@ -1,0 +1,216 @@
+package engine
+
+import (
+	"testing"
+
+	"alm/internal/cluster"
+	"alm/internal/core"
+	"alm/internal/faults"
+	"alm/internal/mr"
+	"alm/internal/sim"
+	"alm/internal/topology"
+)
+
+// newSteppingJob builds a job on the paper testbed but keeps control of
+// the engine, so tests can single-step to interesting internal states.
+func newSteppingJob(t *testing.T, spec JobSpec, plan *faults.Plan) (*sim.Engine, *Job) {
+	t.Helper()
+	topo, err := topology.New(topology.Options{
+		Racks: 2, NodesPerRack: 10, HW: topology.DefaultHardware(), Oversubscription: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specD, err := spec.Defaulted()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(specD.Seed)
+	eng.SetMaxEvents(50_000_000)
+	cl := cluster.New(eng, topo, cluster.Options{
+		HeartbeatInterval: specD.Conf.HeartbeatInterval,
+		NodeExpiry:        specD.Conf.NodeExpiry,
+	})
+	job, err := NewJob(specD, cl, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Start(func() { eng.Stop() }); err != nil {
+		t.Fatal(err)
+	}
+	return eng, job
+}
+
+// stepUntilExec fires events until some live shuffling reduceExec
+// satisfies cond, and returns it.
+func stepUntilExec(t *testing.T, eng *sim.Engine, job *Job, cond func(*reduceExec) bool) *reduceExec {
+	t.Helper()
+	for eng.Pending() && !job.Finished() {
+		eng.Step()
+		for _, ex := range job.am.reduceExecs {
+			r, ok := ex.(*reduceExec)
+			if ok && !r.dead && r.stage == core.StageShuffle && cond(r) {
+				return r
+			}
+		}
+	}
+	t.Fatal("job finished before reaching the requested state")
+	return nil
+}
+
+// A fetch session that raced with MOF regeneration must not credit the
+// skipped segments: the regenerated maps still need fetching, so the
+// session's bytes must not count as shuffle progress, and a session that
+// delivered nothing must not reset the stall clock or the host's strike
+// count (resetting them used to let a stalled reducer dodge its
+// too-many-fetch-failures verdict indefinitely).
+func TestSessionDoneSkipsRegeneratedMOFs(t *testing.T) {
+	eng, job := newSteppingJob(t, wordcountSpec(ModeYARN), nil)
+	r := stepUntilExec(t, eng, job, func(r *reduceExec) bool {
+		return r.hostIdx != nil && r.copiedCount > 0 && r.copiedCount < len(r.copied) &&
+			!r.hostIdx.pending.empty()
+	})
+
+	// Pick any host currently serving pending maps.
+	host := topology.Invalid
+	for n := range r.hostIdx.byHost {
+		if !r.hostIdx.byHost[n].empty() {
+			host = topology.NodeID(n)
+			break
+		}
+	}
+	if host == topology.Invalid {
+		t.Fatal("no host serves pending maps")
+	}
+	batch := r.pendingOn(host)
+	if len(batch) == 0 {
+		t.Fatal("pendingOn returned nothing for an indexed host")
+	}
+
+	preShuffled := r.shuffledLogical
+	preCopied := r.copiedCount
+	preSuccess := r.lastFetchSuccess
+	r.hostFailures[host] = 2
+
+	// The session completes, but every MOF in it regenerated mid-transfer.
+	stale := make(map[int]int, len(batch))
+	for _, m := range batch {
+		stale[m] = job.am.mofs[m].gen - 1
+	}
+	r.sessionDone(host, batch, stale)
+
+	if r.copiedCount != preCopied {
+		t.Errorf("stale session delivered %d maps, want 0", r.copiedCount-preCopied)
+	}
+	if r.shuffledLogical != preShuffled {
+		t.Errorf("stale session credited %d logical bytes, want 0", r.shuffledLogical-preShuffled)
+	}
+	if r.lastFetchSuccess != preSuccess {
+		t.Error("stale session reset the fetch-stall clock")
+	}
+	if r.hostFailures[host] != 2 {
+		t.Errorf("stale session reset host strike count to %d, want 2", r.hostFailures[host])
+	}
+
+	// The same session with matching generations must deliver and credit.
+	batch2 := r.pendingOn(host)
+	if len(batch2) == 0 {
+		t.Fatal("maps vanished between sessions")
+	}
+	fresh := make(map[int]int, len(batch2))
+	var want int64
+	for _, m := range batch2 {
+		fresh[m] = job.am.mofs[m].gen
+		want += job.am.mofs[m].parts[r.t.idx].LogicalBytes
+	}
+	r.sessionDone(host, batch2, fresh)
+	if r.copiedCount != preCopied+len(batch2) {
+		t.Errorf("fresh session delivered %d maps, want %d", r.copiedCount-preCopied, len(batch2))
+	}
+	if got := r.shuffledLogical - preShuffled; got != want {
+		t.Errorf("fresh session credited %d bytes, want %d", got, want)
+	}
+	if r.hostFailures[host] != 0 {
+		t.Errorf("fresh session left strike count at %d, want 0", r.hostFailures[host])
+	}
+}
+
+// progress() must clamp each stage fraction: mergeNeeded is estimated
+// before the first pass, and deep merges push mergeDone past it.
+func TestProgressClampsMergeOverrun(t *testing.T) {
+	r := &reduceExec{
+		stage:       core.StageMerge,
+		copied:      make([]bool, 4),
+		copiedCount: 4,
+		mergeNeeded: 100,
+		mergeDone:   350,
+	}
+	if got, want := r.progress(), 2.0/3.0; got != want {
+		t.Fatalf("progress with merge overrun = %v, want %v (shuffle=1, merge clamped to 1, reduce=0)", got, want)
+	}
+}
+
+// End-to-end clamp check: a tiny shuffle buffer and io.sort.factor 2
+// force well over 2*factor on-disk runs, so the polyphase merge runs deep
+// enough for mergeDone to exceed the mergeNeeded estimate. Reported
+// progress must stay within [0,1] throughout.
+func TestProgressBoundedUnderDeepMerge(t *testing.T) {
+	spec := wordcountSpec(ModeYARN)
+	spec.Conf = mr.DefaultConfig()
+	spec.Conf.IOSortFactor = 2
+	spec.Conf.ReduceMemoryMB = 256
+	eng, job := newSteppingJob(t, spec, nil)
+
+	sawOverrun := false
+	maxProgress := 0.0
+	runs := 0
+	for eng.Pending() && !job.Finished() {
+		eng.Step()
+		for _, ex := range job.am.reduceExecs {
+			r, ok := ex.(*reduceExec)
+			if !ok || r.dead {
+				continue
+			}
+			if p := r.progress(); p > maxProgress {
+				maxProgress = p
+			}
+			if len(r.onDisk) > runs {
+				runs = len(r.onDisk)
+			}
+			if r.mergeNeeded > 0 && r.mergeDone > r.mergeNeeded {
+				sawOverrun = true
+			}
+		}
+	}
+	if !job.Finished() {
+		t.Fatal("job did not finish")
+	}
+	if runs <= 2*spec.Conf.IOSortFactor {
+		t.Fatalf("scenario too shallow: peak on-disk runs %d, want > %d", runs, 2*spec.Conf.IOSortFactor)
+	}
+	if !sawOverrun {
+		t.Fatal("mergeDone never exceeded the mergeNeeded estimate; clamp not exercised")
+	}
+	if maxProgress > 1 {
+		t.Fatalf("reported progress reached %v, must stay <= 1", maxProgress)
+	}
+	t.Logf("peak on-disk runs=%d maxProgress=%v", runs, maxProgress)
+}
+
+// Killing a reducer with spills in flight must leave its disk-op
+// accounting exact: canceled ops are uncounted immediately, so a corpse
+// reports zero pending disk ops (there is no completion batch in flight
+// between engine steps).
+func TestKillReconcilesPendingDiskOps(t *testing.T) {
+	spec := wordcountSpec(ModeYARN)
+	spec.Conf = mr.DefaultConfig()
+	spec.Conf.ReduceMemoryMB = 512
+	eng, job := newSteppingJob(t, spec, nil)
+	r := stepUntilExec(t, eng, job, func(r *reduceExec) bool { return r.pendingDiskOps > 0 })
+
+	r.kill("test: cancel in-flight spills")
+	if r.pendingDiskOps != 0 {
+		t.Fatalf("pendingDiskOps = %d after kill with all ops canceled, want 0", r.pendingDiskOps)
+	}
+	r.assertDiskOps() // must not panic
+}

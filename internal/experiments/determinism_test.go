@@ -1,0 +1,35 @@
+package experiments
+
+import "testing"
+
+// Two runs of the same experiment with the same options must render
+// byte-identically — the repo's reproducibility contract. fig3 (temporal
+// amplification) and fig4 (spatial amplification) together cover the
+// fetch-session, host-index and timer paths the event-engine rework
+// touched; the CI race job runs this test under -race as well.
+func TestExperimentsDeterministicAcrossRuns(t *testing.T) {
+	for _, id := range []string{"fig3", "fig4"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			f, ok := ByID(id)
+			if !ok {
+				t.Fatalf("experiment %s not registered", id)
+			}
+			first, err := f(quick())
+			if err != nil {
+				t.Fatal(err)
+			}
+			second, err := f(quick())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a, b := first.Render(), second.Render(); a != b {
+				t.Errorf("Render differs between identical runs:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+			}
+			if a, b := first.RenderCSV(), second.RenderCSV(); a != b {
+				t.Errorf("RenderCSV differs between identical runs:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+			}
+		})
+	}
+}

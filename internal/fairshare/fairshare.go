@@ -28,6 +28,14 @@ type Port struct {
 	capacity float64 // bytes per second; 0 means the port is down
 	sys      *System
 	flows    map[*Flow]struct{}
+
+	// allocate() scratch, valid only while p.allocEpoch == sys.allocEpoch.
+	// Epoch tagging lets the hot path reuse ports across allocation passes
+	// without per-call map construction (rates are recomputed on every
+	// flow start/finish, so this is the simulator's hottest loop).
+	allocEpoch uint64
+	residual   float64
+	unfrozen   int
 }
 
 // Name returns the port's diagnostic name.
@@ -65,6 +73,9 @@ type Flow struct {
 	done      func()
 	finished  bool
 	canceled  bool
+	// frozen is allocate() scratch: whether the flow's rate is fixed in
+	// the current progressive-filling pass.
+	frozen bool
 }
 
 // Name returns the flow's diagnostic name.
@@ -140,6 +151,10 @@ type System struct {
 	lastUpdate sim.Time
 	completion *sim.Timer
 	nextSeq    uint64
+
+	// allocate() scratch, reused across calls.
+	allocEpoch   uint64
+	portsScratch []*Port
 }
 
 // NewSystem returns a fair-share system bound to the engine.
@@ -290,41 +305,50 @@ func sortFlows(fs []*Flow) {
 // allocate computes max-min fair rates via progressive filling: repeatedly
 // find the port with the smallest per-flow fair share, freeze its flows at
 // that rate, subtract their consumption everywhere, and continue.
+//
+// The pass keeps its working state (per-port residual capacity and
+// unfrozen-flow count, per-flow frozen bit) in epoch-tagged scratch fields
+// instead of freshly built maps: allocate runs on every flow start and
+// finish, and at paper scale the map churn dominated the recompute cost.
+// The bottleneck choice is by (share, name), so the result is independent
+// of the order ports were gathered in.
 func (s *System) allocate() {
 	if len(s.flows) == 0 {
 		return
 	}
-	residual := make(map[*Port]float64)
-	unfrozen := make(map[*Port]int)
-	addPort := func(p *Port) {
-		if _, ok := residual[p]; !ok {
-			residual[p] = p.capacity
-			unfrozen[p] = 0
-		}
-	}
-	frozen := make(map[*Flow]bool, len(s.flows))
+	s.allocEpoch++
+	ports := s.portsScratch[:0]
+	remaining := 0
 	for f := range s.flows {
 		f.rate = 0
 		for _, p := range f.ports {
-			addPort(p)
-			unfrozen[p]++
+			if p.allocEpoch != s.allocEpoch {
+				p.allocEpoch = s.allocEpoch
+				p.residual = p.capacity
+				p.unfrozen = 0
+				ports = append(ports, p)
+			}
+			p.unfrozen++
 		}
 		if len(f.ports) == 0 {
 			// Unconstrained flow: complete "instantly" at a huge rate.
 			f.rate = math.MaxFloat64 / 4
-			frozen[f] = true
+			f.frozen = true
+		} else {
+			f.frozen = false
+			remaining++
 		}
 	}
-	remaining := len(s.flows) - len(frozen)
+	s.portsScratch = ports
 	for remaining > 0 {
 		// Find the bottleneck port: the one with the least fair share.
 		var bottleneck *Port
 		share := math.Inf(1)
-		for p, n := range unfrozen {
-			if n == 0 {
+		for _, p := range ports {
+			if p.unfrozen == 0 {
 				continue
 			}
-			ps := residual[p] / float64(n)
+			ps := p.residual / float64(p.unfrozen)
 			if ps < share || (ps == share && bottleneck != nil && p.name < bottleneck.name) {
 				share = ps
 				bottleneck = p
@@ -338,18 +362,18 @@ func (s *System) allocate() {
 		}
 		// Freeze every unfrozen flow crossing the bottleneck at the share.
 		for f := range bottleneck.flows {
-			if frozen[f] {
+			if f.frozen {
 				continue
 			}
 			f.rate = share
-			frozen[f] = true
+			f.frozen = true
 			remaining--
 			for _, p := range f.ports {
-				residual[p] -= share
-				if residual[p] < 0 {
-					residual[p] = 0
+				p.residual -= share
+				if p.residual < 0 {
+					p.residual = 0
 				}
-				unfrozen[p]--
+				p.unfrozen--
 			}
 		}
 	}

@@ -1,0 +1,211 @@
+// Package perf is the engine performance harness behind `make bench` and
+// `almbench -perf`. It runs a curated set of benchmarks — per-figure
+// reproductions plus microbenchmarks targeting the event-engine hot
+// paths (timer churn, fetch-session churn, event-heap footprint under
+// the Fig. 4 spatial-amplification load) — through testing.Benchmark and
+// renders the results as the BENCH_engine.json baseline checked into the
+// repo root.
+//
+// The workloads run at 1/8 of the paper's dataset sizes, matching the
+// root-package `go test -bench` suite, so numbers from either harness
+// are directly comparable.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"alm/internal/engine"
+	"alm/internal/experiments"
+	"alm/internal/faults"
+	"alm/internal/sim"
+	"alm/internal/workloads"
+)
+
+// Scale is the dataset scale factor every harness workload runs at.
+const Scale = 1.0 / 8
+
+// Bench is one named entry in the harness.
+type Bench struct {
+	Name string
+	Desc string
+	Func func(b *testing.B)
+}
+
+// Benchmarks returns the harness entries in a fixed, reproducible order.
+func Benchmarks() []Bench {
+	return []Bench{
+		{
+			Name: "timer_churn",
+			Desc: "schedule/cancel cycles against a full watchdog window (the watchFetch pattern)",
+			Func: benchTimerChurn,
+		},
+		{
+			Name: "fetch_session_churn",
+			Desc: "shuffle-heavy terasort (20 reducers), fetch sessions dominate",
+			Func: benchFetchSessionChurn,
+		},
+		{
+			Name: "fig4_heap_load",
+			Desc: "event-heap footprint under the Fig. 4 spatial-amplification fault load",
+			Func: benchFig4HeapLoad,
+		},
+		{
+			Name: "fig3_temporal_amplification",
+			Desc: "reproduce Fig. 3 (temporal amplification timeline)",
+			Func: func(b *testing.B) { benchExperiment(b, "fig3") },
+		},
+		{
+			Name: "fig4_spatial_amplification",
+			Desc: "reproduce Fig. 4 (healthy reducers infected by one node failure)",
+			Func: func(b *testing.B) { benchExperiment(b, "fig4") },
+		},
+		{
+			Name: "table2_spatial_cure",
+			Desc: "reproduce Table II (additional failures, YARN vs SFM)",
+			Func: func(b *testing.B) { benchExperiment(b, "table2") },
+		},
+	}
+}
+
+// benchTimerChurn measures the watchFetch pattern: keep a sliding window
+// of armed timers, canceling the oldest as each new one is armed. With
+// lazy cancellation the event heap grows with the total number of
+// schedules; with sift-removal it stays at the window size, which the
+// max_event_queue metric makes visible.
+func benchTimerChurn(b *testing.B) {
+	const window = 1024
+	eng := sim.NewEngine(1)
+	ring := make([]*sim.Timer, window)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slot := i % window
+		if ring[slot] != nil {
+			ring[slot].Stop()
+		}
+		ring[slot] = eng.Schedule(sim.Time(1<<40), fn)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(eng.MaxQueueLen()), "max_event_queue")
+}
+
+func scaled(bytes int64) int64 { return int64(float64(bytes) * Scale) }
+
+func benchJob(b *testing.B, spec engine.JobSpec, plan func() *faults.Plan) {
+	b.Helper()
+	var res engine.Result
+	for i := 0; i < b.N; i++ {
+		var p *faults.Plan
+		if plan != nil {
+			p = plan()
+		}
+		var err error
+		res, err = engine.Run(spec, engine.DefaultClusterSpec(), p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Completed {
+			b.Fatalf("job failed: %s", res.FailReason)
+		}
+	}
+	b.ReportMetric(res.Duration.Seconds(), "virtual_s")
+	b.ReportMetric(float64(res.Events.Processed), "events")
+	b.ReportMetric(float64(res.Events.MaxQueue), "max_event_queue")
+	b.ReportMetric(float64(res.Events.Stopped), "stopped_events")
+}
+
+func benchFetchSessionChurn(b *testing.B) {
+	benchJob(b, engine.JobSpec{
+		Workload:   workloads.Terasort(),
+		InputBytes: scaled(100 << 30),
+		NumReduces: 20,
+		Mode:       engine.ModeYARN,
+		Seed:       11,
+	}, nil)
+}
+
+func benchFig4HeapLoad(b *testing.B) {
+	benchJob(b, engine.JobSpec{
+		Workload:   workloads.Terasort(),
+		InputBytes: scaled(100 << 30),
+		NumReduces: 20,
+		Mode:       engine.ModeYARN,
+		Seed:       11,
+	}, func() *faults.Plan { return faults.StopMOFNodeAtJobProgress(0.55) })
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	f, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := f(experiments.Options{Scale: Scale}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Result is one harness entry's measurement.
+type Result struct {
+	Name        string             `json:"name"`
+	Desc        string             `json:"desc"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the BENCH_engine.json document.
+type File struct {
+	Schema  string   `json:"schema"`
+	Scale   float64  `json:"bench_scale"`
+	GoOS    string   `json:"goos"`
+	GoArch  string   `json:"goarch"`
+	Results []Result `json:"results"`
+}
+
+// RunAll executes every harness benchmark, streaming one progress line
+// per entry to log (if non-nil).
+func RunAll(log io.Writer) []Result {
+	var out []Result
+	for _, bm := range Benchmarks() {
+		r := testing.Benchmark(bm.Func)
+		res := Result{
+			Name:        bm.Name,
+			Desc:        bm.Desc,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Metrics:     r.Extra,
+		}
+		if log != nil {
+			fmt.Fprintf(log, "%-32s %8d iter  %14.0f ns/op  %10d B/op  %8d allocs/op\n",
+				bm.Name, res.Iterations, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// WriteJSON renders results in the BENCH_engine.json format.
+func WriteJSON(w io.Writer, results []Result) error {
+	f := File{
+		Schema:  "alm/bench-engine/v1",
+		Scale:   Scale,
+		GoOS:    runtime.GOOS,
+		GoArch:  runtime.GOARCH,
+		Results: results,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}

@@ -24,9 +24,36 @@ func BenchmarkTimerChurn(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		t := e.Schedule(time.Hour, func() {})
 		t.Stop()
-		if i%1024 == 0 {
-			e.Run(0) // let the heap drain canceled entries
+	}
+	if e.QueueLen() != 0 {
+		b.Fatalf("%d canceled events retained in the heap", e.QueueLen())
+	}
+}
+
+// BenchmarkTimerStopChurn is the watchdog pattern that used to bloat the
+// event heap: keep a window of armed far-future timers, canceling the
+// oldest as each new one is armed. Stop sift-removes the event, so the
+// heap's high-water mark stays at the window size instead of growing
+// with the total number of schedules.
+func BenchmarkTimerStopChurn(b *testing.B) {
+	const window = 1024
+	e := NewEngine(1)
+	ring := make([]*Timer, window)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slot := i % window
+		if ring[slot] != nil {
+			ring[slot].Stop()
 		}
+		ring[slot] = e.Schedule(Time(1<<40), fn)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(e.MaxQueueLen()), "max_event_queue")
+	if b.N > 2*window && e.MaxQueueLen() > window+1 {
+		b.Fatalf("heap high-water mark %d exceeds the live window %d: canceled timers are being retained",
+			e.MaxQueueLen(), window)
 	}
 }
 

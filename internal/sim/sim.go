@@ -27,29 +27,41 @@ type event struct {
 	at  Time
 	seq uint64
 	fn  func()
-	// canceled events stay in the heap but are skipped when popped.
-	canceled bool
+	// idx is the event's position in the heap, maintained by the heap
+	// methods; -1 once the event fired or was removed by Timer.Stop.
+	idx int
 }
 
 // Timer is a handle to a scheduled event that can be canceled or
 // rescheduled. The zero value is not usable; timers are created by
 // Engine.Schedule and Engine.At.
 type Timer struct {
-	ev *event
+	eng *Engine
+	ev  *event
 }
 
 // Stop cancels the timer. It reports whether the call prevented the event
 // from firing (false when the event already fired or was stopped before).
+//
+// Stop removes the event from the heap immediately (an O(log n) sift),
+// so canceled timers cost nothing at pop time and never inflate the
+// queue. This matters at paper scale: watchFetch and completion timers
+// are stopped by the thousands, and retaining them until their deadline
+// made the heap grow quadratically under fetch-session churn.
 func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.canceled {
+	if t == nil || t.ev == nil || t.ev.idx < 0 {
 		return false
 	}
-	t.ev.canceled = true
+	heap.Remove(&t.eng.queue, t.ev.idx)
+	t.ev.idx = -1
+	t.ev.fn = nil // release the closure for GC
+	t.eng.stopsRemoved++
 	return true
 }
 
-// Active reports whether the timer is still pending.
-func (t *Timer) Active() bool { return t != nil && t.ev != nil && !t.ev.canceled }
+// Active reports whether the timer is still pending (not yet fired and
+// not stopped).
+func (t *Timer) Active() bool { return t != nil && t.ev != nil && t.ev.idx >= 0 }
 
 type eventHeap []*event
 
@@ -60,13 +72,22 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x interface{}) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
 func (h *eventHeap) Pop() interface{} {
 	old := *h
 	n := len(old)
 	ev := old[n-1]
 	old[n-1] = nil
+	ev.idx = -1
 	*h = old[:n-1]
 	return ev
 }
@@ -83,6 +104,11 @@ type Engine struct {
 	processed uint64
 	// maxEvents aborts runaway simulations. Zero means no limit.
 	maxEvents uint64
+	// maxQueue tracks the high-water mark of the event heap — the metric
+	// the heap-size microbenchmarks watch.
+	maxQueue int
+	// stopsRemoved counts events removed from the heap by Timer.Stop.
+	stopsRemoved uint64
 }
 
 // NewEngine returns an engine whose random source is seeded with seed.
@@ -98,6 +124,16 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 
 // Processed returns the number of events fired so far.
 func (e *Engine) Processed() uint64 { return e.processed }
+
+// QueueLen returns the number of pending events.
+func (e *Engine) QueueLen() int { return len(e.queue) }
+
+// MaxQueueLen returns the high-water mark of the event heap.
+func (e *Engine) MaxQueueLen() int { return e.maxQueue }
+
+// StoppedEvents returns how many scheduled events were removed from the
+// heap by Timer.Stop before firing.
+func (e *Engine) StoppedEvents() uint64 { return e.stopsRemoved }
 
 // SetMaxEvents sets an upper bound on fired events; Run panics when the
 // bound is exceeded. Zero disables the bound.
@@ -124,41 +160,36 @@ func (e *Engine) At(t Time, fn func()) *Timer {
 	e.seq++
 	ev := &event{at: t, seq: e.seq, fn: fn}
 	heap.Push(&e.queue, ev)
-	return &Timer{ev: ev}
+	if len(e.queue) > e.maxQueue {
+		e.maxQueue = len(e.queue)
+	}
+	return &Timer{eng: e, ev: ev}
 }
 
 // Stop makes Run return after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
-// Pending reports whether any non-canceled events remain.
-func (e *Engine) Pending() bool {
-	for _, ev := range e.queue {
-		if !ev.canceled {
-			return true
-		}
-	}
-	return false
-}
+// Pending reports whether any events remain. Stopped timers are removed
+// from the heap eagerly, so the queue holds only live events.
+func (e *Engine) Pending() bool { return len(e.queue) > 0 }
 
 // Step fires the next event, if any, and reports whether one fired.
 func (e *Engine) Step() bool {
-	for e.queue.Len() > 0 {
-		ev := heap.Pop(&e.queue).(*event)
-		if ev.canceled {
-			continue
-		}
-		if ev.at < e.now {
-			panic(fmt.Sprintf("sim: time went backwards: %v -> %v", e.now, ev.at))
-		}
-		e.now = ev.at
-		e.processed++
-		if e.maxEvents != 0 && e.processed > e.maxEvents {
-			panic(fmt.Sprintf("sim: exceeded max events (%d) at t=%v", e.maxEvents, e.now))
-		}
-		ev.fn()
-		return true
+	if e.queue.Len() == 0 {
+		return false
 	}
-	return false
+	ev := heap.Pop(&e.queue).(*event)
+	if ev.at < e.now {
+		panic(fmt.Sprintf("sim: time went backwards: %v -> %v", e.now, ev.at))
+	}
+	e.now = ev.at
+	e.processed++
+	if e.maxEvents != 0 && e.processed > e.maxEvents {
+		panic(fmt.Sprintf("sim: exceeded max events (%d) at t=%v", e.maxEvents, e.now))
+	}
+	ev.fn()
+	ev.fn = nil
+	return true
 }
 
 // Run fires events until the queue drains, Stop is called, or the clock
@@ -171,10 +202,7 @@ func (e *Engine) Run(until Time) {
 			return
 		}
 		// Peek without popping to honour the until bound.
-		next := e.peek()
-		if next == nil {
-			return
-		}
+		next := e.queue[0]
 		if until >= 0 && next.at > until {
 			e.now = until
 			return
@@ -185,15 +213,3 @@ func (e *Engine) Run(until Time) {
 
 // RunAll fires events until none remain or Stop is called.
 func (e *Engine) RunAll() { e.Run(-1) }
-
-func (e *Engine) peek() *event {
-	for e.queue.Len() > 0 {
-		ev := e.queue[0]
-		if ev.canceled {
-			heap.Pop(&e.queue)
-			continue
-		}
-		return ev
-	}
-	return nil
-}
