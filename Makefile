@@ -4,7 +4,7 @@
 GO ?= go
 ALMVET := bin/almvet
 
-.PHONY: all build test race vet lint-test bench bench-smoke ci clean
+.PHONY: all build test race vet lint-test bench bench-smoke chaos chaos-smoke ci clean
 
 all: build
 
@@ -47,7 +47,18 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/sim ./internal/fairshare ./internal/perf
 
-ci: build test race vet bench-smoke
+# chaos sweeps 50 seeded random gray-failure schedules under all four
+# modes and asserts the recovery invariants (DESIGN.md §11). A failing
+# seed prints a one-line reproducer.
+chaos:
+	$(GO) run ./cmd/almrun -chaos -seeds 50
+
+# chaos-smoke is the CI-sized batch: a fixed handful of seeds under the
+# race detector.
+chaos-smoke:
+	$(GO) run -race ./cmd/almrun -chaos -seed 11 -seeds 8
+
+ci: build test race vet bench-smoke chaos-smoke
 
 clean:
 	rm -rf bin

@@ -29,6 +29,8 @@
 package alm
 
 import (
+	"time"
+
 	"alm/internal/core"
 	"alm/internal/engine"
 	"alm/internal/experiments"
@@ -177,6 +179,27 @@ func StopMOFNodeAtJobProgress(frac float64) *FaultPlan {
 // node whose local relaunches straggle.
 func SlowNodeOfTaskAtReduceProgress(typ TaskType, idx int, frac, factor float64) *FaultPlan {
 	return faults.SlowNodeOfTaskAtReduceProgress(typ, idx, frac, factor)
+}
+
+// PartitionNodeOfTaskAtReduceProgress transiently partitions the node
+// hosting the task when the reduce phase reaches the fraction; the
+// network heals after healAfter and the cluster re-admits the node.
+func PartitionNodeOfTaskAtReduceProgress(typ TaskType, idx int, frac float64, healAfter time.Duration) *FaultPlan {
+	return faults.PartitionNodeOfTaskAtReduceProgress(typ, idx, frac, healAfter)
+}
+
+// FlakyLinkAtTime makes the (a, b) link flaky at time t: connection
+// attempts fail with probability failProb and, when 0 < bwFactor < 1,
+// the pair's bandwidth drops to bwFactor of the narrower NIC. The link
+// stabilises after healAfter (zero: stays flaky).
+func FlakyLinkAtTime(t time.Duration, a, b int, failProb, bwFactor float64, healAfter time.Duration) *FaultPlan {
+	return faults.FlakyLinkAtTime(t, a, b, failProb, bwFactor, healAfter)
+}
+
+// CrashRackAtTime crashes every node of the rack at time t (a correlated
+// PDU or top-of-rack switch failure).
+func CrashRackAtTime(t time.Duration, rack int) *FaultPlan {
+	return faults.CrashRackAtTime(t, rack)
 }
 
 // RunExperiment reproduces one paper artifact by ID (fig1, fig2, fig3,

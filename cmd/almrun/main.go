@@ -8,6 +8,12 @@
 //	       -fail node-of-reduce -at 0.5 -timeline
 //	almrun -workload terasort -size-gb 100 -reduces 20 -mode alm \
 //	       -fail mof-node -at 0.55 -events
+//
+// Chaos mode sweeps seeded random gray-failure schedules under all four
+// engine modes, asserting the recovery invariants (see DESIGN.md §11):
+//
+//	almrun -chaos -seeds 50          # seeds 11..60 (from -seed)
+//	almrun -chaos -seed 1234 -seeds 1 -v   # reproduce one seed, verbose
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"os"
 
 	"alm"
+	"alm/internal/chaos"
 )
 
 func main() {
@@ -33,8 +40,15 @@ func main() {
 		iss      = flag.Bool("iss", false, "enable ISS intermediate-data replication (related work)")
 		ckpt     = flag.Bool("checkpoint", false, "enable heavyweight full-image checkpointing (related work)")
 		slow     = flag.Float64("slow-factor", 0, "with -fail slow-node: disk bandwidth multiplier (e.g. 0.05)")
+		chaosRun = flag.Bool("chaos", false, "run the chaos invariant checker instead of a single job")
+		seeds    = flag.Int("seeds", 50, "with -chaos: how many consecutive seeds to sweep (starting at -seed)")
+		verbose  = flag.Bool("v", false, "with -chaos: print each generated schedule")
 	)
 	flag.Parse()
+
+	if *chaosRun {
+		os.Exit(runChaos(*seed, *seeds, *verbose))
+	}
 
 	w, err := alm.WorkloadByName(*workload)
 	if err != nil {
@@ -120,6 +134,42 @@ func main() {
 	if !res.Completed {
 		os.Exit(1)
 	}
+}
+
+// runChaos sweeps n consecutive chaos seeds under all four engine modes
+// and reports invariant violations with a minimal reproducer command
+// line each. Returns the process exit code.
+func runChaos(first int64, n int, verbose bool) int {
+	if n < 1 {
+		n = 1
+	}
+	budget := chaos.DefaultBudget()
+	fmt.Printf("chaos: sweeping %d seed(s) from %d under modes yarn|alg|sfm|alm\n", n, first)
+	if verbose {
+		sh, _ := chaos.CheckShape()
+		for seed := first; seed < first+int64(n); seed++ {
+			sched := chaos.Generate(seed, budget, sh)
+			fmt.Print(sched.String())
+		}
+	}
+	checked := 0
+	all := chaos.CheckSeeds(first, n, budget, func(seed int64, bad []chaos.Violation) {
+		checked++
+		status := "ok"
+		if len(bad) > 0 {
+			status = fmt.Sprintf("%d VIOLATION(S)", len(bad))
+		}
+		fmt.Printf("  seed %-6d [%d/%d] %s\n", seed, checked, n, status)
+	})
+	if len(all) == 0 {
+		fmt.Printf("chaos: all invariants held over %d seed(s) x %d modes\n", n, len(chaos.Modes))
+		return 0
+	}
+	fmt.Printf("\nchaos: %d invariant violation(s):\n", len(all))
+	for _, v := range all {
+		fmt.Printf("  %s\n      reproduce: %s\n", v, v.Reproducer())
+	}
+	return 1
 }
 
 func fatal(err error) {

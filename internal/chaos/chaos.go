@@ -1,0 +1,389 @@
+// Package chaos generates seeded random fault schedules over the full
+// gray-failure action vocabulary and checks the recovery invariants the
+// paper claims — under every engine mode, not just the scripted figure
+// scenarios.
+//
+// A Schedule is a pure function of its seed: the generator draws every
+// decision from one rand.Rand seeded with it, so `almrun -chaos -seed S
+// -seeds 1` reproduces any failure exactly. The checker (check.go) runs
+// each schedule under all four modes and asserts termination, recovered
+// output equal to the failure-free output, byte-determinism across
+// repeat runs, the SFM no-amplification invariants, and the cluster's
+// resource-conservation identity.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"alm/internal/faults"
+)
+
+// Shape tells the generator what it may target: without it, random node
+// and task indices would be meaningless or out of range.
+type Shape struct {
+	Nodes   int
+	Racks   int
+	Maps    int
+	Reduces int
+}
+
+// Budget bounds how hostile a generated schedule may get. The point is
+// not to forbid failure — it is to keep every schedule *recoverable*, so
+// that non-termination or wrong output is always a bug and never "the
+// schedule destroyed all copies of the input".
+type Budget struct {
+	// MaxActions bounds injections per schedule (at least one is always
+	// generated).
+	MaxActions int
+	// MaxConcurrent bounds how many heal-able faults may be active
+	// (injected but not yet healed) at once; an action that would exceed
+	// it degrades to a task kill.
+	MaxConcurrent int
+	// MinSpacing separates consecutive injection times.
+	MinSpacing time.Duration
+	// Horizon is the virtual-time window injections are drawn from.
+	Horizon time.Duration
+	// MinFraction/MaxFraction bound progress-trigger fractions (the
+	// progress window).
+	MinFraction, MaxFraction float64
+	// MaxHeal bounds HealAfter for transient faults.
+	MaxHeal time.Duration
+	// MaxDark bounds actions that make nodes unreachable (stop,
+	// partition, crash). Two dark nodes at once is legal; destroying
+	// both replicas of a block is not, which is why...
+	MaxDark int
+	// ...at most one *data-destroying* action (CrashNode or CrashRack;
+	// DFS replication is 2 with the second replica off-rack, so one of
+	// either is always recoverable) is generated, and only when AllowCrash
+	// / AllowRackCrash permit it.
+	AllowCrash     bool
+	AllowRackCrash bool
+}
+
+// DefaultBudget is hostile but always recoverable.
+func DefaultBudget() Budget {
+	return Budget{
+		MaxActions:     6,
+		MaxConcurrent:  2,
+		MinSpacing:     15 * time.Second,
+		Horizon:        8 * time.Minute,
+		MinFraction:    0.05,
+		MaxFraction:    0.9,
+		MaxHeal:        110 * time.Second,
+		MaxDark:        2,
+		AllowCrash:     true,
+		AllowRackCrash: true,
+	}
+}
+
+// Schedule is one generated fault scenario. Injections are value
+// templates: Plan materialises fresh stateful copies per run, so one
+// schedule can be executed many times (modes × repeats) independently.
+type Schedule struct {
+	Seed       int64
+	Injections []faults.Injection
+}
+
+// Plan materialises a fresh, unfired fault plan from the templates.
+func (s *Schedule) Plan() *faults.Plan {
+	p := &faults.Plan{}
+	for _, inj := range s.Injections {
+		inj.Done = false
+		inj.Fired = 0
+		cp := inj
+		p.Injections = append(p.Injections, &cp)
+	}
+	return p
+}
+
+// darkKind reports whether the action makes one or more nodes
+// unreachable.
+func darkKind(k faults.ActionKind) bool {
+	switch k {
+	case faults.StopNodeNetwork, faults.PartitionNode, faults.CrashNode, faults.CrashRack:
+		return true
+	}
+	return false
+}
+
+// CrashCount counts data-destroying actions (node or rack crashes).
+func (s *Schedule) CrashCount() int {
+	n := 0
+	for _, inj := range s.Injections {
+		if inj.Do.Kind == faults.CrashNode || inj.Do.Kind == faults.CrashRack {
+			n++
+		}
+	}
+	return n
+}
+
+// AllHealFast reports whether every node-darkening fault heals within the
+// limit (and none destroys data). When true, no node should ever be
+// declared lost by heartbeat expiry: the partitions all heal before the
+// liveness timer fires. This is the invariant that catches a regression
+// to permanent-only StopNodeNetwork — strip the heal and detection events
+// appear.
+func (s *Schedule) AllHealFast(limit time.Duration) bool {
+	for _, inj := range s.Injections {
+		if !darkKind(inj.Do.Kind) {
+			continue
+		}
+		if inj.Do.Kind == faults.CrashNode || inj.Do.Kind == faults.CrashRack {
+			return false
+		}
+		if inj.Do.HealAfter <= 0 || inj.Do.HealAfter > limit {
+			return false
+		}
+	}
+	return true
+}
+
+// SingleDark reports whether at most one node ever goes dark — the
+// paper's single-failure regime, under which SFM/ALM guarantee zero
+// additional reduce failures. With two simultaneous dark nodes the stock
+// strike protocol can legitimately self-kill a reducer (the wait
+// advisory covers only the reported host), so the checker applies the
+// no-amplification invariant only to SingleDark schedules.
+func (s *Schedule) SingleDark() bool {
+	n := 0
+	for _, inj := range s.Injections {
+		switch inj.Do.Kind {
+		case faults.CrashRack:
+			return false
+		case faults.StopNodeNetwork, faults.PartitionNode, faults.CrashNode:
+			n += inj.MaxFirings()
+		}
+	}
+	return n <= 1
+}
+
+func (s *Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule seed=%d (%d injections)\n", s.Seed, len(s.Injections))
+	for i := range s.Injections {
+		fmt.Fprintf(&b, "  [%d] %s\n", i, describe(&s.Injections[i]))
+	}
+	return b.String()
+}
+
+func describe(inj *faults.Injection) string {
+	var when string
+	switch inj.When.Kind {
+	case faults.AtTime:
+		when = fmt.Sprintf("t=%v", inj.When.Time)
+	case faults.AtTaskProgress:
+		when = fmt.Sprintf("%s[%d]@%.0f%%", inj.When.Task, inj.When.TaskIdx, inj.When.Fraction*100)
+	case faults.AtReducePhaseProgress:
+		when = fmt.Sprintf("reduce-phase@%.0f%%", inj.When.Fraction*100)
+	case faults.AtJobProgress:
+		when = fmt.Sprintf("job@%.0f%%", inj.When.Fraction*100)
+	}
+	a := inj.Do
+	var do string
+	switch a.Kind {
+	case faults.FailTask:
+		do = fmt.Sprintf("fail %s[%d]", a.Task, a.TaskIdx)
+	case faults.StopNodeNetwork:
+		do = fmt.Sprintf("stop-net node=%d heal=%v", a.Node, a.HealAfter)
+	case faults.PartitionNode:
+		do = fmt.Sprintf("partition node=%d heal=%v", a.Node, a.HealAfter)
+	case faults.CrashNode:
+		do = fmt.Sprintf("crash node=%d", a.Node)
+	case faults.CrashRack:
+		do = fmt.Sprintf("crash rack=%d", a.Rack)
+	case faults.SlowNode:
+		do = fmt.Sprintf("slow-disks node=%d x%.2f heal=%v", a.Node, a.Factor, a.HealAfter)
+	case faults.DegradeNIC:
+		do = fmt.Sprintf("degrade-nic node=%d x%.2f heal=%v", a.Node, a.Factor, a.HealAfter)
+	case faults.FlakyLink:
+		do = fmt.Sprintf("flaky-link %d<->%d p=%.2f bw=x%.2f heal=%v", a.Node, a.Node2, a.FailProb, a.Factor, a.HealAfter)
+	case faults.HealNode:
+		do = fmt.Sprintf("heal node=%d", a.Node)
+	}
+	s := when + " -> " + do
+	if inj.Every > 0 {
+		s += fmt.Sprintf(" (every %v x%d)", inj.Every, inj.MaxFirings())
+	}
+	return s
+}
+
+// Generate builds the schedule for one seed. Identical (seed, budget,
+// shape) always yield an identical schedule: every decision flows from
+// one seeded source.
+func Generate(seed int64, b Budget, sh Shape) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	s := Schedule{Seed: seed}
+	if b.MaxActions < 1 {
+		b.MaxActions = 1
+	}
+	if b.MaxHeal < 12*time.Second {
+		b.MaxHeal = 12 * time.Second
+	}
+	if b.MaxFraction <= b.MinFraction {
+		b.MaxFraction = b.MinFraction + 0.01
+	}
+	nActions := 1 + rng.Intn(b.MaxActions)
+
+	type window struct{ from, to time.Duration }
+	var active []window
+	overlapping := func(from, to time.Duration) int {
+		n := 0
+		for _, w := range active {
+			if from < w.to && w.from < to {
+				n++
+			}
+		}
+		return n
+	}
+
+	darkUsed, crashUsed := 0, false
+	taskKills := make(map[int]int)
+	slot := b.Horizon / time.Duration(b.MaxActions)
+	if slot <= b.MinSpacing {
+		slot = b.MinSpacing + time.Second
+	}
+	t := 30 * time.Second // let the job get off the ground first
+	for i := 0; i < nActions; i++ {
+		t += b.MinSpacing + time.Duration(rng.Int63n(int64(slot-b.MinSpacing)))
+		frac := b.MinFraction + rng.Float64()*(b.MaxFraction-b.MinFraction)
+		heal := 10*time.Second + time.Duration(rng.Int63n(int64(b.MaxHeal-10*time.Second)))
+		node := rng.Intn(sh.Nodes)
+		node2 := rng.Intn(sh.Nodes)
+		if node2 == node {
+			node2 = (node2 + 1) % sh.Nodes
+		}
+		reduceIdx := rng.Intn(sh.Reduces)
+		mapIdx := rng.Intn(sh.Maps)
+		roll := rng.Intn(100)
+
+		// Degrade a pick that would break the budget into a task kill:
+		// always legal, always recoverable.
+		failTask := func() faults.Injection {
+			typ, idx := faults.Reduce, reduceIdx
+			if roll%3 == 0 {
+				typ, idx = faults.Map, mapIdx
+			}
+			key := int(typ)*1000 + idx
+			if taskKills[key] >= 2 { // stay far from MaxTaskAttempts
+				return faults.Injection{
+					When: faults.Trigger{Kind: faults.AtTime, Time: t},
+					Do:   faults.Action{Kind: faults.SlowNode, Selector: faults.NodeExplicit, Node: node, Factor: 0.25, HealAfter: heal},
+				}
+			}
+			taskKills[key]++
+			when := faults.Trigger{Kind: faults.AtTime, Time: t}
+			if roll%2 == 0 {
+				when = faults.Trigger{Kind: faults.AtTaskProgress, Task: typ, TaskIdx: idx, Fraction: frac}
+			}
+			return faults.Injection{When: when, Do: faults.Action{Kind: faults.FailTask, Task: typ, TaskIdx: idx}}
+		}
+
+		var inj faults.Injection
+		switch {
+		case roll < 25:
+			inj = failTask()
+		case roll < 45: // transient partition
+			if darkUsed >= b.MaxDark || overlapping(t, t+heal) >= b.MaxConcurrent {
+				inj = failTask()
+				break
+			}
+			darkUsed++
+			active = append(active, window{t, t + heal})
+			when := faults.Trigger{Kind: faults.AtTime, Time: t}
+			if roll%2 == 0 {
+				when = faults.Trigger{Kind: faults.AtReducePhaseProgress, Fraction: frac}
+			}
+			inj = faults.Injection{
+				When: when,
+				Do:   faults.Action{Kind: faults.PartitionNode, Selector: faults.NodeExplicit, Node: node, HealAfter: heal},
+			}
+		case roll < 60: // flaky link
+			if overlapping(t, t+heal) >= b.MaxConcurrent {
+				inj = failTask()
+				break
+			}
+			active = append(active, window{t, t + heal})
+			inj = faults.Injection{
+				When: faults.Trigger{Kind: faults.AtTime, Time: t},
+				Do: faults.Action{Kind: faults.FlakyLink, Selector: faults.NodeExplicit,
+					Node: node, Node2: node2,
+					FailProb: 0.2 + 0.6*rng.Float64(), Factor: 0.3 + 0.7*rng.Float64(), HealAfter: heal},
+			}
+		case roll < 70: // degraded NIC
+			if overlapping(t, t+heal) >= b.MaxConcurrent {
+				inj = failTask()
+				break
+			}
+			active = append(active, window{t, t + heal})
+			inj = faults.Injection{
+				When: faults.Trigger{Kind: faults.AtTime, Time: t},
+				Do: faults.Action{Kind: faults.DegradeNIC, Selector: faults.NodeExplicit,
+					Node: node, Factor: 0.1 + 0.4*rng.Float64(), HealAfter: heal},
+			}
+		case roll < 80: // slow disks (the paper's faulty node)
+			if overlapping(t, t+heal) >= b.MaxConcurrent {
+				inj = failTask()
+				break
+			}
+			active = append(active, window{t, t + heal})
+			inj = faults.Injection{
+				When: faults.Trigger{Kind: faults.AtTime, Time: t},
+				Do: faults.Action{Kind: faults.SlowNode, Selector: faults.NodeExplicit,
+					Node: node, Factor: 0.05 + 0.45*rng.Float64(), HealAfter: heal},
+			}
+		case roll < 90: // network stop, healing on its own schedule
+			if darkUsed >= b.MaxDark || overlapping(t, t+heal) >= b.MaxConcurrent {
+				inj = failTask()
+				break
+			}
+			darkUsed++
+			active = append(active, window{t, t + heal})
+			inj = faults.Injection{
+				When: faults.Trigger{Kind: faults.AtTime, Time: t},
+				Do:   faults.Action{Kind: faults.StopNodeNetwork, Selector: faults.NodeExplicit, Node: node, HealAfter: heal},
+			}
+		case roll < 95: // node crash (permanent, data gone)
+			if !b.AllowCrash || crashUsed || darkUsed >= b.MaxDark {
+				inj = failTask()
+				break
+			}
+			crashUsed = true
+			darkUsed++
+			when := faults.Trigger{Kind: faults.AtTime, Time: t}
+			if roll%2 == 0 {
+				when = faults.Trigger{Kind: faults.AtJobProgress, Fraction: frac}
+			}
+			inj = faults.Injection{
+				When: when,
+				Do:   faults.Action{Kind: faults.CrashNode, Selector: faults.NodeExplicit, Node: node},
+			}
+		default: // correlated rack crash
+			if !b.AllowRackCrash || crashUsed || darkUsed >= b.MaxDark {
+				inj = failTask()
+				break
+			}
+			crashUsed = true
+			darkUsed = b.MaxDark // a whole rack: no further dark actions
+			inj = faults.Injection{
+				When: faults.Trigger{Kind: faults.AtTime, Time: t},
+				Do:   faults.Action{Kind: faults.CrashRack, Rack: rng.Intn(sh.Racks)},
+			}
+		}
+
+		// Occasionally make an AtTime task kill recurring — the same task
+		// hit twice, a little apart (still within the taskKills budget).
+		if inj.Do.Kind == faults.FailTask && inj.When.Kind == faults.AtTime && roll%5 == 0 {
+			key := int(inj.Do.Task)*1000 + inj.Do.TaskIdx
+			if taskKills[key] < 2 {
+				taskKills[key]++
+				inj.Every = 45 * time.Second
+				inj.Times = 2
+			}
+		}
+		s.Injections = append(s.Injections, inj)
+	}
+	return s
+}

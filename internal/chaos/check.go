@@ -1,0 +1,195 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"alm/internal/engine"
+	"alm/internal/faults"
+	"alm/internal/mr"
+	"alm/internal/trace"
+	"alm/internal/workloads"
+)
+
+// Violation is one invariant failure for one (seed, mode) pair.
+type Violation struct {
+	Seed      int64
+	Mode      engine.Mode
+	Invariant string
+	Detail    string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("seed=%d mode=%s invariant=%s: %s", v.Seed, v.Mode, v.Invariant, v.Detail)
+}
+
+// Reproducer returns the command line that replays exactly this seed.
+func (v Violation) Reproducer() string {
+	return fmt.Sprintf("go run ./cmd/almrun -chaos -seed %d -seeds 1", v.Seed)
+}
+
+// Modes is the full mode matrix every schedule is checked under.
+var Modes = []engine.Mode{engine.ModeYARN, engine.ModeALG, engine.ModeSFM, engine.ModeALM}
+
+// CheckShape is the fixed small job/cluster geometry chaos runs use:
+// the paper's 2×10 testbed, 8 map splits (1 GiB at the default 128 MB
+// block size), 4 reducers.
+func CheckShape() (Shape, engine.ClusterSpec) {
+	cs := engine.DefaultClusterSpec()
+	cs.MaxVirtualTime = 2 * time.Hour
+	return Shape{
+		Nodes:   cs.Racks * cs.NodesPerRack,
+		Racks:   cs.Racks,
+		Maps:    8,
+		Reduces: 4,
+	}, cs
+}
+
+// specFor builds the job spec for one (seed, mode) run. The workload
+// rotates with the seed so all three benchmarks see chaos. MaxTaskAttempts
+// is raised from the stock 4: a compound schedule can legitimately charge
+// a task several attempt failures (an injected kill plus strandings on
+// partitioned nodes) without anything being wrong, and the invariants
+// under test are about amplification and recovery, not the attempt cap.
+func specFor(seed int64, mode engine.Mode, sh Shape) engine.JobSpec {
+	wls := []*workloads.Workload{workloads.Terasort(), workloads.Wordcount(), workloads.Secondarysort()}
+	conf := mr.DefaultConfig()
+	conf.MaxTaskAttempts = 8
+	return engine.JobSpec{
+		Workload:   wls[int(((seed%3)+3)%3)],
+		InputBytes: int64(sh.Maps) * conf.BlockSizeBytes,
+		NumReduces: sh.Reduces,
+		Conf:       conf,
+		Mode:       mode,
+		Seed:       seed,
+	}
+}
+
+// runOne executes one job, converting an engine invariant panic (armed
+// via engine.EnableInvariantChecks) into an error instead of killing the
+// whole sweep. conservationErr carries the post-run cluster accounting
+// check.
+func runOne(spec engine.JobSpec, cs engine.ClusterSpec, plan *faults.Plan) (res engine.Result, conservationErr, runErr error) {
+	defer func() {
+		if r := recover(); r != nil {
+			runErr = fmt.Errorf("engine panic: %v", r)
+		}
+	}()
+	res, cl, err := engine.RunInstrumented(spec, cs, plan)
+	if err != nil {
+		return res, nil, err
+	}
+	return res, cl.CheckConservation(), nil
+}
+
+func sameOutput(a, b []mr.Record) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckSeed generates the schedule for one seed and verifies every
+// invariant under every mode: three runs per mode (failure-free
+// baseline, chaos, chaos again for determinism). It returns all
+// violations found (nil means the seed is clean).
+func CheckSeed(seed int64, budget Budget) []Violation {
+	engine.EnableInvariantChecks()
+	sh, cs := CheckShape()
+	sched := Generate(seed, budget, sh)
+	var vs []Violation
+	add := func(mode engine.Mode, invariant, detail string) {
+		vs = append(vs, Violation{Seed: seed, Mode: mode, Invariant: invariant, Detail: detail})
+	}
+
+	for _, mode := range Modes {
+		spec := specFor(seed, mode, sh)
+
+		base, baseCons, err := runOne(spec, cs, nil)
+		if err != nil {
+			add(mode, "baseline-run", err.Error())
+			continue
+		}
+		if !base.Completed {
+			add(mode, "baseline-termination", base.FailReason)
+			continue
+		}
+		if baseCons != nil {
+			add(mode, "conservation", "baseline: "+baseCons.Error())
+		}
+
+		res, cons, err := runOne(spec, cs, sched.Plan())
+		if err != nil {
+			add(mode, "chaos-run", err.Error())
+			continue
+		}
+		if !res.Completed {
+			add(mode, "termination", fmt.Sprintf("job did not complete: %s", res.FailReason))
+			continue
+		}
+		if cons != nil {
+			add(mode, "conservation", cons.Error())
+		}
+		if !sameOutput(res.Output, base.Output) {
+			add(mode, "output-identity", fmt.Sprintf(
+				"recovered output differs from failure-free run (%d vs %d records)",
+				len(res.Output), len(base.Output)))
+		}
+		if mode.SFMEnabled() && sched.SingleDark() && res.AdditionalReduceFailures != 0 {
+			add(mode, "no-amplification", fmt.Sprintf(
+				"%d healthy reducers infected under a single-failure schedule",
+				res.AdditionalReduceFailures))
+		}
+		if sched.AllHealFast(healFastLimit(spec.Conf)) && sched.CrashCount() == 0 {
+			if n := res.Trace.Count(trace.KindNodeDetected); n != 0 {
+				add(mode, "no-lost-nodes", fmt.Sprintf(
+					"%d nodes declared lost although every fault heals before the liveness timer", n))
+			}
+		}
+
+		res2, _, err := runOne(spec, cs, sched.Plan())
+		if err != nil {
+			add(mode, "determinism", "repeat run failed: "+err.Error())
+			continue
+		}
+		switch {
+		case res2.Duration != res.Duration:
+			add(mode, "determinism", fmt.Sprintf("durations differ: %v vs %v", res.Duration, res2.Duration))
+		case res2.Events.Processed != res.Events.Processed:
+			add(mode, "determinism", fmt.Sprintf("event counts differ: %d vs %d", res.Events.Processed, res2.Events.Processed))
+		case !sameOutput(res2.Output, res.Output):
+			add(mode, "determinism", "outputs differ between identical runs")
+		case res2.FetchRetries != res.FetchRetries:
+			add(mode, "determinism", fmt.Sprintf("fetch retries differ: %d vs %d", res.FetchRetries, res2.FetchRetries))
+		}
+	}
+	return vs
+}
+
+// healFastLimit is the largest HealAfter that provably beats the
+// liveness timer: the node must heal and get a heartbeat in before
+// NodeExpiry elapses since its last pre-fault heartbeat (worst case one
+// full heartbeat interval before the fault, plus one after the heal).
+func healFastLimit(conf mr.Config) time.Duration {
+	return conf.NodeExpiry - 3*conf.HeartbeatInterval
+}
+
+// CheckSeeds sweeps n consecutive seeds starting at first, invoking
+// report after each seed (for progress output; may be nil). It returns
+// all violations.
+func CheckSeeds(first int64, n int, budget Budget, report func(seed int64, bad []Violation)) []Violation {
+	var all []Violation
+	for seed := first; seed < first+int64(n); seed++ {
+		bad := CheckSeed(seed, budget)
+		if report != nil {
+			report(seed, bad)
+		}
+		all = append(all, bad...)
+	}
+	return all
+}

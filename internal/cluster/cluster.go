@@ -185,6 +185,7 @@ func (c *Cluster) declareLost(n *nodeState) {
 		}
 	}
 	n.containers = make(map[*Container]struct{})
+	n.freeMemMB = c.Topo.Node(n.id).HW.MemoryMB
 	if c.OnNodeLost != nil {
 		c.OnNodeLost(n.id)
 	}
@@ -237,29 +238,47 @@ func (c *Cluster) Crash(id topology.NodeID) {
 // responsive node). The node keeps heartbeating and hosting containers;
 // only its I/O suffers.
 func (c *Cluster) SlowDisks(id topology.NodeID, factor float64) {
-	if factor <= 0 {
-		factor = 0.01
-	}
-	hw := c.Topo.Node(id).HW
-	c.Disks.ReadPort(id).SetCapacity(hw.DiskReadBW * factor)
-	c.Disks.WritePort(id).SetCapacity(hw.DiskWriteBW * factor)
+	c.Disks.Degrade(id, factor)
 }
 
-// Restore brings a stopped node back (not used by the paper's scenarios,
-// but needed for long-running harness tests).
+// RestoreDisks heals a degraded node's disks back to hardware rate.
+func (c *Cluster) RestoreDisks(id topology.NodeID) {
+	c.Disks.Heal(id)
+}
+
+// Restore brings a stopped node back: the network heals, heartbeats
+// resume (the liveness timer resets), DFS placement re-admits the node,
+// and queued container requests get a chance at its capacity.
+//
+// A partition that heals before the RM declares the node lost keeps its
+// running containers — only when the process died or the RM already
+// expired the node (killing its containers) does the memory pool reset.
+// Resetting unconditionally would double-count memory: a surviving
+// container's Release would credit capacity that Restore already
+// returned.
 func (c *Cluster) Restore(id topology.NodeID) {
 	n := c.nodes[id]
 	wasReachable := n.alive && n.networkUp
+	if !n.alive || n.declaredLost {
+		for ct := range n.containers {
+			ct.released = true
+			if ct.OnKill != nil {
+				ct.OnKill("node restarted")
+			}
+		}
+		n.containers = make(map[*Container]struct{})
+		n.freeMemMB = c.Topo.Node(id).HW.MemoryMB
+	}
 	n.alive = true
 	n.networkUp = true
 	n.declaredLost = false
 	n.lastHeartbeat = c.Eng.Now()
-	n.freeMemMB = c.Topo.Node(id).HW.MemoryMB
 	c.Net.SetNodeUp(id)
 	c.DFS.NodeRecovered(id)
 	if !wasReachable {
 		c.notifyReachability(id, true)
 	}
+	c.Eng.Schedule(0, c.serve)
 }
 
 // Allocate submits a container request; Grant is called (possibly at a
@@ -348,6 +367,28 @@ func (c *Cluster) ContainersOn(id topology.NodeID) int { return len(c.nodes[id].
 
 // QueueLen reports pending container requests.
 func (c *Cluster) QueueLen() int { return c.queue.Len() }
+
+// CheckConservation verifies the resource-accounting identity on every
+// node: free memory plus the memory of tracked containers equals hardware
+// memory, and no tracked container is marked released. The chaos harness
+// asserts this after every run — a heal-path double-count (the bug class
+// Restore's guarded reset prevents) breaks it immediately.
+func (c *Cluster) CheckConservation() error {
+	for _, n := range c.nodes {
+		used := 0
+		for ct := range n.containers {
+			if ct.released {
+				return fmt.Errorf("cluster: node %d tracks released container %d", n.id, ct.ID)
+			}
+			used += ct.MemMB
+		}
+		if hw := c.Topo.Node(n.id).HW.MemoryMB; n.freeMemMB+used != hw {
+			return fmt.Errorf("cluster: node %d memory leak: free %d + used %d != hw %d",
+				n.id, n.freeMemMB, used, hw)
+		}
+	}
+	return nil
+}
 
 // String summarises cluster state for debugging.
 func (c *Cluster) String() string {

@@ -218,3 +218,81 @@ func TestLostNodeNotPicked(t *testing.T) {
 	}
 	e.Run(e.Now())
 }
+
+func TestRestoreAfterLostReadmits(t *testing.T) {
+	e, c := rig()
+	c.StopNetwork(2)
+	e.Run(30 * time.Second) // NodeExpiry is 10s in rig(): node 2 is declared lost
+	if c.NodeUsable(2) {
+		t.Fatal("lost node still usable")
+	}
+	if err := c.CheckConservation(); err != nil {
+		t.Fatalf("conservation broken while node lost: %v", err)
+	}
+	c.Restore(2)
+	if !c.NodeUsable(2) {
+		t.Fatal("healed node not re-admitted")
+	}
+	var got *Container
+	c.Allocate(&Request{MemMB: 1024, Preferred: []topology.NodeID{2}, Grant: func(ct *Container) { got = ct }})
+	e.Run(e.Now())
+	if got == nil || got.Node != 2 {
+		t.Fatalf("allocation on re-admitted node failed: %+v", got)
+	}
+	if err := c.CheckConservation(); err != nil {
+		t.Fatalf("conservation broken after re-admission: %v", err)
+	}
+}
+
+func TestConservationAcrossFaultChurn(t *testing.T) {
+	e, c := rig()
+	var cts []*Container
+	for i := 0; i < 4; i++ {
+		c.Allocate(&Request{MemMB: 1024, Grant: func(ct *Container) { cts = append(cts, ct) }})
+	}
+	e.Run(0)
+	c.StopNetwork(0)
+	c.Crash(1)
+	e.Run(30 * time.Second) // node 0 declared lost; both had containers killed
+	c.Restore(0)
+	for _, ct := range cts {
+		c.Release(ct) // releasing already-killed containers must not double-count
+	}
+	e.Run(e.Now())
+	if err := c.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConservationDetectsLeak(t *testing.T) {
+	_, c := rig()
+	c.nodes[3].freeMemMB -= 7
+	if err := c.CheckConservation(); err == nil {
+		t.Fatal("tampered free-memory accounting not detected")
+	}
+}
+
+func TestRestoreDisksHeals(t *testing.T) {
+	e, c := rig()
+	baseline := func() time.Duration {
+		done := sim.Time(-1)
+		start := e.Now()
+		c.Disks.Read(4, 1000, func() { done = e.Now() })
+		e.Run(start + sim.Time(5*time.Minute))
+		if done < 0 {
+			t.Fatal("read never completed")
+		}
+		return time.Duration(done - start)
+	}
+	t0 := baseline()
+	c.SlowDisks(4, 0.1)
+	t1 := baseline()
+	c.RestoreDisks(4)
+	t2 := baseline()
+	if t1 <= t0*5 {
+		t.Fatalf("degraded read not slower: %v vs %v", t1, t0)
+	}
+	if t2 != t0 {
+		t.Fatalf("healed read time %v differs from baseline %v", t2, t0)
+	}
+}

@@ -176,9 +176,9 @@ func newAppMaster(j *Job, inputName string) *appMaster {
 		am.reduces = append(am.reduces, &taskState{typ: faults.Reduce, idx: i})
 	}
 	j.Cluster.AddNodeLostListener(am.onNodeLost)
-	j.Cluster.AddReachabilityListener(func(id topology.NodeID, _ bool) {
+	j.Cluster.AddReachabilityListener(func(id topology.NodeID, reachable bool) {
 		for _, ex := range am.reduceExecs {
-			ex.onReachabilityChanged(id)
+			ex.onReachabilityChanged(id, reachable)
 		}
 	})
 	return am
@@ -701,7 +701,6 @@ func (am *appMaster) mofAvailable(mapIdx int) bool {
 	return ok
 }
 
-
 // onFetchFailureReport handles a reducer's report that maps on a host
 // could not be fetched.
 func (am *appMaster) onFetchFailureReport(reduceIdx int, host topology.NodeID, mapIdxs []int) {
@@ -717,6 +716,8 @@ func (am *appMaster) onFetchFailureReport(reduceIdx int, host topology.NodeID, m
 		lost := am.mapsWithMOFOn(host)
 		if len(lost) > 0 {
 			if am.job.Spec.SFM.WaitAdvisory {
+				am.job.result.WaitAdvisories++
+				am.job.result.Counters.Add("sfm.wait_advisories", 1)
 				am.job.Tracer.Emit(am.job.Eng.Now(), trace.KindWaitAdvisory,
 					attemptID(faults.Reduce, reduceIdx, 0), am.job.Cluster.Topo.Node(host).Name,
 					fmt.Sprintf("wait for regeneration of %d maps", len(lost)))

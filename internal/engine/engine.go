@@ -167,6 +167,14 @@ type Result struct {
 	// starvation or progress timeout while their own node was healthy —
 	// the paper's "infected healthy ReduceTasks" (Table II).
 	AdditionalReduceFailures int
+	// FetchRetries counts failed fetch sessions (connect timeouts against
+	// unreachable hosts, flaky-link connection failures) that the reducer
+	// backed off and retried — what a healing partition or gray link costs
+	// in Fig. 10-style timelines.
+	FetchRetries int
+	// WaitAdvisories counts SFM wait advisories issued to reducers (each
+	// one suppresses a self-kill while a lost map regenerates).
+	WaitAdvisories int
 
 	Counters mr.Counters
 	Trace    *trace.Collector
@@ -237,10 +245,15 @@ type flushedOutput struct {
 }
 
 // NewJob builds a job over an existing cluster. The cluster must have at
-// least one usable node.
+// least one usable node. A structurally malformed fault plan (fractions
+// outside [0,1], negative times or indices, ...) is rejected here rather
+// than silently never firing.
 func NewJob(spec JobSpec, cl *cluster.Cluster, plan *faults.Plan) (*Job, error) {
 	spec, err := spec.Defaulted()
 	if err != nil {
+		return nil, err
+	}
+	if err := plan.Validate(); err != nil {
 		return nil, err
 	}
 	j := &Job{
@@ -276,10 +289,37 @@ func (j *Job) Start(onFinish func()) error {
 			return err
 		}
 	}
+	if err := j.validatePlanTargets(); err != nil {
+		return err
+	}
 	j.am = newAppMaster(j, inputName)
 	j.am.start()
 	j.scheduleTimedInjections()
 	j.Eng.Schedule(2*time.Second, j.sampleTick)
+	return nil
+}
+
+// validatePlanTargets checks the plan references that only the cluster
+// can bound: explicit node and rack indices. (Task indices above the
+// job's split count stay legal — scaled experiment plans deliberately
+// over-request task kills, and the surplus triggers never fire.)
+func (j *Job) validatePlanTargets() error {
+	if j.plan == nil {
+		return nil
+	}
+	nodes, racks := j.Cluster.Topo.NumNodes(), j.Cluster.Topo.NumRacks()
+	for i, inj := range j.plan.Injections {
+		a := inj.Do
+		if a.Kind == faults.CrashRack && a.Rack >= racks {
+			return fmt.Errorf("engine: injection %d targets rack %d of %d", i, a.Rack, racks)
+		}
+		if a.Kind == faults.FlakyLink && (a.Node >= nodes || a.Node2 >= nodes) {
+			return fmt.Errorf("engine: injection %d targets link (%d,%d) of %d nodes", i, a.Node, a.Node2, nodes)
+		}
+		if a.Selector == faults.NodeExplicit && a.Kind != faults.FailTask && a.Kind != faults.CrashRack && a.Node >= nodes {
+			return fmt.Errorf("engine: injection %d targets node %d of %d", i, a.Node, nodes)
+		}
+	}
 	return nil
 }
 
@@ -372,6 +412,7 @@ func (j *Job) sampleTick() {
 	j.Tracer.Sample("reduce-progress", now, j.reducePhaseFraction())
 	j.Tracer.Sample("map-progress", now, j.mapPhaseFraction())
 	j.Tracer.Sample("failed-reduce-attempts", now, float64(j.result.ReduceAttemptFailures))
+	j.Tracer.Sample("fetch-retries", now, float64(j.result.FetchRetries))
 	j.checkInjections()
 	j.Eng.Schedule(2*time.Second, j.sampleTick)
 }
@@ -417,42 +458,127 @@ func (j *Job) checkInjections() {
 	}
 }
 
-// fire applies one injection.
+// fire applies one injection, re-arming recurring AtTime triggers until
+// their firing budget runs out.
 func (j *Job) fire(inj *faults.Injection) {
 	if inj.Done || j.finished {
 		return
 	}
-	inj.Done = true
-	switch inj.Do.Kind {
+	inj.Fired++
+	if inj.When.Kind == faults.AtTime && inj.Every > 0 && inj.Fired < inj.MaxFirings() {
+		j.Eng.Schedule(sim.Time(inj.Every), func() { j.fire(inj) })
+	} else {
+		inj.Done = true
+	}
+	j.apply(inj.Do)
+}
+
+// apply executes one fault action against the cluster.
+func (j *Job) apply(do faults.Action) {
+	now := j.Eng.Now()
+	switch do.Kind {
 	case faults.FailTask:
-		if t := j.am.task(inj.Do.Task, inj.Do.TaskIdx); t != nil {
+		if t := j.am.task(do.Task, do.TaskIdx); t != nil {
 			if a := t.runningAttempt(); a != nil {
 				j.am.attemptFailed(a, "injected out-of-memory error")
 			}
 		}
-	case faults.StopNodeNetwork, faults.CrashNode:
-		node := j.selectNode(inj.Do)
+	case faults.StopNodeNetwork, faults.PartitionNode, faults.CrashNode:
+		node := j.selectNode(do)
 		if node == topology.Invalid {
 			return
 		}
-		j.Tracer.Emit(j.Eng.Now(), trace.KindNodeCrashed, "", j.Cluster.Topo.Node(node).Name,
-			fmt.Sprintf("injected %v", inj.Do.Kind))
-		if inj.Do.Kind == faults.CrashNode {
+		j.Tracer.Emit(now, trace.KindNodeCrashed, "", j.Cluster.Topo.Node(node).Name,
+			fmt.Sprintf("injected %v", do.Kind))
+		if do.Kind == faults.CrashNode {
 			j.Cluster.Crash(node)
 			j.crashWipe(node)
 		} else {
 			j.Cluster.StopNetwork(node)
+			if do.HealAfter > 0 {
+				j.Eng.Schedule(sim.Time(do.HealAfter), func() { j.healNode(node) })
+			}
 		}
 		j.am.nodeWentDark(node)
-	case faults.SlowNode:
-		node := j.selectNode(inj.Do)
+	case faults.HealNode:
+		node := j.selectNode(do)
 		if node == topology.Invalid {
 			return
 		}
-		j.Tracer.Emit(j.Eng.Now(), trace.KindNodeCrashed, "", j.Cluster.Topo.Node(node).Name,
-			fmt.Sprintf("injected slow disks x%.2f", inj.Do.Factor))
-		j.Cluster.SlowDisks(node, inj.Do.Factor)
+		j.healNode(node)
+	case faults.CrashRack:
+		for _, node := range j.Cluster.Topo.RackNodes(do.Rack) {
+			if !j.Cluster.NodeAlive(node) {
+				continue
+			}
+			j.Tracer.Emit(now, trace.KindNodeCrashed, "", j.Cluster.Topo.Node(node).Name,
+				fmt.Sprintf("injected rack %d crash", do.Rack))
+			j.Cluster.Crash(node)
+			j.crashWipe(node)
+			j.am.nodeWentDark(node)
+		}
+	case faults.SlowNode:
+		node := j.selectNode(do)
+		if node == topology.Invalid {
+			return
+		}
+		j.Tracer.Emit(now, trace.KindNodeCrashed, "", j.Cluster.Topo.Node(node).Name,
+			fmt.Sprintf("injected slow disks x%.2f", do.Factor))
+		j.Cluster.SlowDisks(node, do.Factor)
+		if do.HealAfter > 0 {
+			j.Eng.Schedule(sim.Time(do.HealAfter), func() {
+				if j.finished {
+					return
+				}
+				j.Tracer.Emit(j.Eng.Now(), trace.KindNodeHealed, "", j.Cluster.Topo.Node(node).Name, "disks healed")
+				j.Cluster.RestoreDisks(node)
+			})
+		}
+	case faults.DegradeNIC:
+		node := j.selectNode(do)
+		if node == topology.Invalid {
+			return
+		}
+		j.Tracer.Emit(now, trace.KindLinkFlaky, "", j.Cluster.Topo.Node(node).Name,
+			fmt.Sprintf("injected NIC degrade x%.2f", do.Factor))
+		j.Cluster.Net.SetNICFactor(node, do.Factor)
+		if do.HealAfter > 0 {
+			j.Eng.Schedule(sim.Time(do.HealAfter), func() {
+				if j.finished {
+					return
+				}
+				j.Tracer.Emit(j.Eng.Now(), trace.KindLinkHealed, "", j.Cluster.Topo.Node(node).Name, "nic healed")
+				j.Cluster.Net.SetNICFactor(node, 1)
+			})
+		}
+	case faults.FlakyLink:
+		a, b := topology.NodeID(do.Node), topology.NodeID(do.Node2)
+		j.Tracer.Emit(now, trace.KindLinkFlaky, "", j.Cluster.Topo.Node(a).Name,
+			fmt.Sprintf("link to %s flaky p=%.2f bw=x%.2f", j.Cluster.Topo.Node(b).Name, do.FailProb, do.Factor))
+		j.Cluster.Net.SetLinkFlaky(a, b, do.FailProb, do.Factor)
+		if do.HealAfter > 0 {
+			j.Eng.Schedule(sim.Time(do.HealAfter), func() {
+				if j.finished {
+					return
+				}
+				j.Tracer.Emit(j.Eng.Now(), trace.KindLinkHealed, "", j.Cluster.Topo.Node(a).Name,
+					fmt.Sprintf("link to %s healed", j.Cluster.Topo.Node(b).Name))
+				j.Cluster.Net.HealLink(a, b)
+			})
+		}
 	}
+}
+
+// healNode re-admits a partitioned node: the network heals, heartbeats
+// resume, and the cluster serves queued requests from its capacity. A
+// node whose process died in the meantime stays dead — healing a network
+// cannot resurrect a crashed process.
+func (j *Job) healNode(node topology.NodeID) {
+	if j.finished || !j.Cluster.NodeAlive(node) || j.Cluster.NodeReachable(node) {
+		return
+	}
+	j.Tracer.Emit(j.Eng.Now(), trace.KindNodeHealed, "", j.Cluster.Topo.Node(node).Name, "network healed")
+	j.Cluster.Restore(node)
 }
 
 func (j *Job) selectNode(a faults.Action) topology.NodeID {
@@ -482,4 +608,3 @@ func attemptID(typ faults.TaskType, taskIdx, attemptNo int) string {
 	}
 	return fmt.Sprintf("%s_%03d_%d", c, taskIdx, attemptNo)
 }
-

@@ -82,7 +82,7 @@ func (f *fcmExec) onMapAvailable(int) {
 
 // onReachabilityChanged is required by mapAvailListener; FCM keeps no
 // host-indexed state, so there is nothing to update.
-func (f *fcmExec) onReachabilityChanged(topology.NodeID) {}
+func (f *fcmExec) onReachabilityChanged(topology.NodeID, bool) {}
 
 func (f *fcmExec) start() {
 	f.after(f.job.Spec.Conf.TaskLaunchOverhead, f.begin)

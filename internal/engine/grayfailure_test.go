@@ -1,0 +1,219 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"alm/internal/faults"
+	"alm/internal/trace"
+	"alm/internal/workloads"
+)
+
+// tinySpec is a compact job for the gray-failure unit tests: 1 GiB of
+// wordcount over the paper testbed, two reducers so shuffle crosses
+// nodes.
+func tinySpec(mode Mode) JobSpec {
+	return JobSpec{
+		Workload:   workloads.Wordcount(),
+		InputBytes: 1 << 30,
+		NumReduces: 2,
+		Mode:       mode,
+		Seed:       11,
+	}
+}
+
+// A trigger fraction of exactly 0.0 is legal and fires as soon as the
+// target task has a running attempt.
+func TestTriggerAtExactlyZeroFires(t *testing.T) {
+	free := mustRun(t, tinySpec(ModeYARN), paperCluster(), nil)
+	res := mustRun(t, tinySpec(ModeYARN), paperCluster(),
+		faults.FailTaskAtProgress(faults.Reduce, 0, 0.0))
+	if res.ReduceAttemptFailures == 0 {
+		t.Fatal("fraction-0.0 injection never fired")
+	}
+	if outputKey(res) != outputKey(free) {
+		t.Fatal("recovered output differs from failure-free output")
+	}
+}
+
+// A trigger fraction of exactly 1.0 is legal: it either fires at the
+// completion boundary or never finds a running attempt there — both
+// must leave the job completing with correct output, never wedged.
+func TestTriggerAtExactlyOneTerminates(t *testing.T) {
+	free := mustRun(t, tinySpec(ModeYARN), paperCluster(), nil)
+	for _, plan := range []*faults.Plan{
+		faults.FailTaskAtProgress(faults.Reduce, 0, 1.0),
+		faults.FailTaskAtProgress(faults.Map, 0, 1.0),
+	} {
+		res := mustRun(t, tinySpec(ModeYARN), paperCluster(), plan)
+		if outputKey(res) != outputKey(free) {
+			t.Fatal("recovered output differs from failure-free output")
+		}
+	}
+}
+
+// NodeExplicit targets the named node: the trace must record exactly
+// that node going dark.
+func TestExplicitNodeSelector(t *testing.T) {
+	plan := (&faults.Plan{}).Add(
+		faults.Trigger{Kind: faults.AtTime, Time: 40 * time.Second},
+		faults.Action{Kind: faults.PartitionNode, Selector: faults.NodeExplicit, Node: 7,
+			HealAfter: 30 * time.Second},
+	)
+	res := mustRun(t, wordcountSpec(ModeYARN), paperCluster(), plan)
+	wantName := "node-07"
+	var crashed []string
+	for _, e := range res.Trace.Events {
+		if e.Kind == trace.KindNodeCrashed {
+			crashed = append(crashed, e.Node)
+		}
+	}
+	if len(crashed) != 1 || !strings.Contains(crashed[0], "07") {
+		t.Fatalf("node-crashed events = %v, want exactly one on %s", crashed, wantName)
+	}
+}
+
+// Start must reject plans whose explicit targets exceed the cluster
+// geometry — a silent no-op injection would invalidate an experiment.
+func TestOutOfRangeTargetsRejected(t *testing.T) {
+	cs := paperCluster()
+	nodes := cs.Racks * cs.NodesPerRack
+	plans := map[string]*faults.Plan{
+		"rack":       faults.CrashRackAtTime(time.Minute, cs.Racks),
+		"flaky-link": faults.FlakyLinkAtTime(time.Minute, 0, nodes, 0.5, 1, 0),
+		"node": (&faults.Plan{}).Add(
+			faults.Trigger{Kind: faults.AtTime, Time: time.Minute},
+			faults.Action{Kind: faults.CrashNode, Selector: faults.NodeExplicit, Node: nodes},
+		),
+	}
+	for name, plan := range plans {
+		if _, err := Run(tinySpec(ModeYARN), cs, plan); err == nil {
+			t.Errorf("%s: out-of-range target accepted", name)
+		}
+	}
+}
+
+// A malformed plan must be rejected before the simulation starts.
+func TestInvalidPlanRejected(t *testing.T) {
+	if _, err := Run(tinySpec(ModeYARN), paperCluster(),
+		faults.FailTaskAtProgress(faults.Reduce, 0, 1.5)); err == nil {
+		t.Fatal("fraction 1.5 accepted")
+	}
+	if _, err := Run(tinySpec(ModeYARN), paperCluster(),
+		faults.FailTaskAtProgress(faults.Reduce, -1, 0.5)); err == nil {
+		t.Fatal("negative task index accepted")
+	}
+}
+
+// A partition that heals within the liveness window must never get the
+// node declared lost, the cluster must re-admit it, and the job must
+// produce the failure-free output. This is the invariant that catches a
+// regression dropping the HealAfter schedule in apply().
+func TestHealFastPartitionNeverDeclaredLost(t *testing.T) {
+	for _, mode := range []Mode{ModeYARN, ModeSFM, ModeALM} {
+		free := mustRun(t, tinySpec(mode), paperCluster(), nil)
+		plan := faults.PartitionNodeOfTaskAtReduceProgress(faults.Reduce, 0, 0.3, 30*time.Second)
+		res := mustRun(t, tinySpec(mode), paperCluster(), plan)
+		if n := res.Trace.Count(trace.KindNodeDetected); n != 0 {
+			t.Fatalf("%v: %d nodes declared lost although the partition heals in 30s (< NodeExpiry)", mode, n)
+		}
+		if res.Trace.Count(trace.KindNodeHealed) == 0 {
+			t.Fatalf("%v: no node-healed event; the heal never ran", mode)
+		}
+		if outputKey(res) != outputKey(free) {
+			t.Fatalf("%v: output differs after transient partition", mode)
+		}
+	}
+}
+
+// A partition that outlives NodeExpiry must be declared lost, then
+// re-admitted once it heals — and the job must still finish correctly.
+func TestSlowHealingPartitionIsLostThenReadmitted(t *testing.T) {
+	free := mustRun(t, wordcountSpec(ModeYARN), paperCluster(), nil)
+	// Partition at 40s, heal at 130s: NodeExpiry (70s) elapses at 110s,
+	// so the node is declared lost before the heal re-admits it.
+	plan := (&faults.Plan{}).Add(
+		faults.Trigger{Kind: faults.AtTime, Time: 40 * time.Second},
+		faults.Action{Kind: faults.PartitionNode, Selector: faults.NodeExplicit, Node: 3,
+			HealAfter: 90 * time.Second},
+	)
+	res := mustRun(t, wordcountSpec(ModeYARN), paperCluster(), plan)
+	if res.Trace.Count(trace.KindNodeDetected) == 0 {
+		t.Fatal("90-second partition (> NodeExpiry) not declared lost")
+	}
+	if res.Trace.Count(trace.KindNodeHealed) == 0 {
+		t.Fatal("partition never healed")
+	}
+	if outputKey(res) != outputKey(free) {
+		t.Fatal("output differs after lost-then-readmitted partition")
+	}
+}
+
+// Flaky links make connection attempts fail without darkening either
+// node: the retry path must absorb them, count them in the result, and
+// still deliver the failure-free output.
+func TestFlakyLinksRetryAndComplete(t *testing.T) {
+	free := mustRun(t, wordcountSpec(ModeYARN), paperCluster(), nil)
+	plan := &faults.Plan{}
+	// Every link to/from nodes 0-4 drops 60% of connection attempts for
+	// 90 seconds starting just after the map phase gets going.
+	for a := 0; a < 5; a++ {
+		for b := 5; b < 20; b++ {
+			plan.Add(
+				faults.Trigger{Kind: faults.AtTime, Time: 20 * time.Second},
+				faults.Action{Kind: faults.FlakyLink, Selector: faults.NodeExplicit,
+					Node: a, Node2: b, FailProb: 0.6, Factor: 1, HealAfter: 90 * time.Second},
+			)
+		}
+	}
+	res := mustRun(t, wordcountSpec(ModeYARN), paperCluster(), plan)
+	if res.FetchRetries == 0 {
+		t.Fatal("no fetch retries under 60% connection loss")
+	}
+	if got := res.Counters["shuffle.fetch_retries"]; got != int64(res.FetchRetries) {
+		t.Fatalf("counter shuffle.fetch_retries = %d, Result.FetchRetries = %d", got, res.FetchRetries)
+	}
+	if res.Trace.Count(trace.KindFetchRetry) != res.FetchRetries {
+		t.Fatalf("trace fetch-retry events = %d, Result.FetchRetries = %d",
+			res.Trace.Count(trace.KindFetchRetry), res.FetchRetries)
+	}
+	if outputKey(res) != outputKey(free) {
+		t.Fatal("output differs under flaky links")
+	}
+	if res.Trace.Count(trace.KindLinkHealed) == 0 {
+		t.Fatal("links never healed")
+	}
+}
+
+// SFM wait advisories must be surfaced in the result when the MOF-node
+// scenario triggers fetch-failure reports.
+func TestWaitAdvisoriesSurfaced(t *testing.T) {
+	res := mustRun(t, wordcountSpec(ModeSFM), paperCluster(),
+		faults.StopMOFNodeAtJobProgress(0.55))
+	if res.WaitAdvisories == 0 {
+		t.Fatal("no wait advisories surfaced for the Fig. 4 MOF-node scenario under SFM")
+	}
+	if got := res.Counters["sfm.wait_advisories"]; got != int64(res.WaitAdvisories) {
+		t.Fatalf("counter sfm.wait_advisories = %d, Result.WaitAdvisories = %d", got, res.WaitAdvisories)
+	}
+}
+
+// A recurring AtTime kill fires exactly MaxFirings times.
+func TestRecurringInjectionFiresBoundedly(t *testing.T) {
+	free := mustRun(t, wordcountSpec(ModeYARN), paperCluster(), nil)
+	// The lone reducer runs from ~18s to past 150s: both firings (30s,
+	// 75s) find a running attempt.
+	plan := (&faults.Plan{}).AddRecurring(
+		faults.Trigger{Kind: faults.AtTime, Time: 30 * time.Second},
+		faults.Action{Kind: faults.FailTask, Task: faults.Reduce, TaskIdx: 0},
+		45*time.Second, 2,
+	)
+	res := mustRun(t, wordcountSpec(ModeYARN), paperCluster(), plan)
+	if res.ReduceAttemptFailures != 2 {
+		t.Fatalf("reduce attempt failures = %d, want 2 (one per firing)", res.ReduceAttemptFailures)
+	}
+	if outputKey(res) != outputKey(free) {
+		t.Fatal("output differs after recurring kills")
+	}
+}

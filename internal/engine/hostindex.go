@@ -174,7 +174,14 @@ func (r *reduceExec) rebuildHostIndex() {
 // instant a node's network state flips. Reachability events are rare
 // (a handful per run), so the O(pending) rebuild is cheap — and it keeps
 // pickHost/pendingOn exactly as fresh as the live scans they replaced.
-func (r *reduceExec) onReachabilityChanged(topology.NodeID) {
+//
+// On an up-transition (a partition healed) the reducer also wakes its
+// fetchers: an idle shuffle whose only pending maps sat on the dark node
+// has no other event that would restart it, so without the wake the
+// healed node's MOFs would wait for an unrelated session to end. The
+// wake goes through a zero-delay event, not a direct call, so a heal
+// never starts sessions from inside the cluster's notification sweep.
+func (r *reduceExec) onReachabilityChanged(_ topology.NodeID, reachable bool) {
 	if r.dead || r.stage != core.StageShuffle || r.hostIdx == nil {
 		return
 	}
@@ -182,6 +189,9 @@ func (r *reduceExec) onReachabilityChanged(topology.NodeID) {
 		r.reindexMap(m)
 		return true
 	})
+	if reachable {
+		r.job.Eng.Schedule(0, r.fillFetchers)
+	}
 }
 
 // checkHostIndex verifies the index against a full scan (testing builds

@@ -290,7 +290,10 @@ func TestQuickRandomFailurePlansPreserveOutput(t *testing.T) {
 		case 0:
 			plan = faults.FailTaskAtProgress(faults.Reduce, int(seed)&1, frac)
 		case 1:
-			plan = faults.FailTaskAtProgress(faults.Map, int(seed%8), frac)
+			// Plan validation rejects negative indices, so fold the seed
+			// into [0, 8) rather than letting negative seeds build an
+			// invalid plan.
+			plan = faults.FailTaskAtProgress(faults.Map, int(((seed%8)+8)%8), frac)
 		case 2:
 			plan = faults.StopNodeOfTaskAtReduceProgress(faults.Reduce, 0, frac)
 		case 3:

@@ -11,6 +11,15 @@ import "fmt"
 // checks armed.
 var invariantsEnabled = false
 
+// EnableInvariantChecks arms the internal consistency checks for
+// non-test callers. The chaos harness (internal/chaos, almrun -chaos)
+// turns them on so randomized schedules run with the same cross-checks
+// the unit suite gets; the checks panic on violation, which the harness
+// converts into reported invariant failures. There is deliberately no
+// way to turn them back off — a process that wants checked runs wants
+// all of them checked.
+func EnableInvariantChecks() { invariantsEnabled = true }
+
 // assertDiskOps verifies (testing builds only) that pendingDiskOps never
 // undercounts the disk-op flows still in flight. Equality cannot be
 // asserted at every instant — a flow that just finished keeps its counter

@@ -19,7 +19,7 @@ import (
 // flips — the two events that move a pending map between serving hosts.
 type mapAvailListener interface {
 	onMapAvailable(mapIdx int)
-	onReachabilityChanged(id topology.NodeID)
+	onReachabilityChanged(id topology.NodeID, reachable bool)
 }
 
 // reduceExec runs one regular ReduceTask attempt through the three
@@ -399,6 +399,16 @@ func (r *reduceExec) runSession(host topology.NodeID) {
 		r.after(r.conf.FetchConnectTimeout, func() { r.sessionFailed(host) })
 		return
 	}
+	if r.job.Cluster.Net.AttemptFails(host, r.a.node, r.job.Eng.Rand()) {
+		// Gray link: the host is reachable, but this connection attempt
+		// fails (RST / handshake loss). Fails the session after the same
+		// connect timeout a real fetcher would burn. Note the stock strike
+		// protocol never self-kills on this path — strikes require pending
+		// maps on an *unreachable* host — which is exactly the blind spot
+		// that lets flaky links degrade jobs without tripping recovery.
+		r.after(r.conf.FetchConnectTimeout, func() { r.sessionFailed(host) })
+		return
+	}
 	var bytes int64
 	for _, m := range batch {
 		bytes += r.job.am.mofs[m].parts[r.t.idx].LogicalBytes
@@ -473,6 +483,10 @@ func (r *reduceExec) sessionFailed(host topology.NodeID) {
 		return
 	}
 	r.hostFailures[host]++
+	r.job.result.FetchRetries++
+	r.job.result.Counters.Add("shuffle.fetch_retries", 1)
+	r.job.Tracer.Emit(r.job.Eng.Now(), trace.KindFetchRetry, r.a.id,
+		r.job.Cluster.Topo.Node(host).Name, "")
 	pending := r.pendingOn(host)
 	// Hadoop reducers notify the AM of fetch failures only after several
 	// consecutive failed rounds on a host — the slow rediscovery that

@@ -40,6 +40,15 @@ func DefaultClusterSpec() ClusterSpec {
 // result. It is the main entry point used by experiments, examples and
 // tests.
 func Run(spec JobSpec, cs ClusterSpec, plan *faults.Plan) (Result, error) {
+	res, _, err := RunInstrumented(spec, cs, plan)
+	return res, err
+}
+
+// RunInstrumented is Run, additionally returning the cluster the job ran
+// on so callers can audit post-run state — the chaos harness checks
+// resource-conservation invariants (cluster.CheckConservation) that only
+// the control plane can see.
+func RunInstrumented(spec JobSpec, cs ClusterSpec, plan *faults.Plan) (Result, *cluster.Cluster, error) {
 	if cs.Racks == 0 {
 		cs = DefaultClusterSpec()
 	}
@@ -56,11 +65,11 @@ func Run(spec JobSpec, cs ClusterSpec, plan *faults.Plan) (Result, error) {
 		Oversubscription: cs.Oversubscription,
 	})
 	if err != nil {
-		return Result{}, err
+		return Result{}, nil, err
 	}
 	specD, err := spec.Defaulted()
 	if err != nil {
-		return Result{}, err
+		return Result{}, nil, err
 	}
 	eng := sim.NewEngine(specD.Seed)
 	eng.SetMaxEvents(cs.MaxEvents)
@@ -70,10 +79,10 @@ func Run(spec JobSpec, cs ClusterSpec, plan *faults.Plan) (Result, error) {
 	})
 	job, err := NewJob(specD, cl, plan)
 	if err != nil {
-		return Result{}, err
+		return Result{}, nil, err
 	}
 	if err := job.Start(func() { eng.Stop() }); err != nil {
-		return Result{}, err
+		return Result{}, nil, err
 	}
 	eng.Run(sim.Time(cs.MaxVirtualTime))
 	res := job.Result()
@@ -87,5 +96,5 @@ func Run(spec JobSpec, cs ClusterSpec, plan *faults.Plan) (Result, error) {
 		res.FailReason = fmt.Sprintf("job did not finish within %v of virtual time", cs.MaxVirtualTime)
 		res.Duration = cs.MaxVirtualTime
 	}
-	return res, nil
+	return res, cl, nil
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"alm/internal/engine"
@@ -232,9 +233,18 @@ func meanTaskRecovery(res engine.Result) float64 {
 			doneAt[task] = e.At.Seconds()
 		}
 	}
+	// Sum in sorted task order: float addition is not associative, and
+	// iterating the map directly would make the mean depend on Go's
+	// randomized map order, breaking byte-identical benchmark output.
+	tasks := make([]string, 0, len(failedAt))
+	for task := range failedAt {
+		tasks = append(tasks, task)
+	}
+	sort.Strings(tasks)
 	var sum float64
 	n := 0
-	for task, f := range failedAt {
+	for _, task := range tasks {
+		f := failedAt[task]
 		if d, ok := doneAt[task]; ok && d > f {
 			sum += d - f
 			n++

@@ -3,10 +3,17 @@
 // boundaries and virtual-time points and applies the actions, mirroring
 // the paper's methodology ("we inject out-of-memory exceptions to crash a
 // task ... and stop the network services on a node for node failures").
+//
+// Beyond the paper's clean faults (task OOM, permanent network stop, node
+// crash), the vocabulary covers the gray failures real clusters exhibit:
+// partitions that heal, probabilistically flaky links, degraded NICs and
+// disks, and correlated rack-wide crashes — the conditions under which
+// the chaos harness (internal/chaos) checks the recovery invariants.
 package faults
 
 import (
 	"fmt"
+	"math"
 	"time"
 )
 
@@ -62,14 +69,35 @@ const (
 	// (the paper's injected OOM).
 	FailTask ActionKind = iota
 	// StopNodeNetwork makes a node unreachable while its process and disk
-	// survive (the paper's "stop the network services").
+	// survive (the paper's "stop the network services"). With a positive
+	// HealAfter the stop is transient: the network comes back after that
+	// long and the cluster re-admits the node.
 	StopNodeNetwork
 	// CrashNode kills the node process and loses its local data.
 	CrashNode
 	// SlowNode degrades a node's disk bandwidth by Action.Factor — the
 	// paper's "faulty node ... still responsive but very slow in I/O"
-	// case that makes local relaunch produce stragglers.
+	// case that makes local relaunch produce stragglers. A positive
+	// HealAfter restores full bandwidth after that long.
 	SlowNode
+	// PartitionNode is a transient network partition: StopNodeNetwork that
+	// must heal (HealAfter is required). Modelled separately so a plan
+	// reads as what it means.
+	PartitionNode
+	// HealNode restores a partitioned node's network immediately (the
+	// explicit counterpart of PartitionNode's timed heal).
+	HealNode
+	// FlakyLink makes connection attempts between Node and Node2 fail with
+	// probability FailProb and, when 0 < Factor < 1, degrades the pair's
+	// bandwidth to Factor of the narrower NIC. Both nodes stay reachable —
+	// the gray failure the stock fetch-failure protocol cannot strike on.
+	FlakyLink
+	// DegradeNIC scales a node's NIC bandwidth to Factor (a renegotiated
+	// 10GbE->1GbE link, a half-broken bond). Heartbeats still flow.
+	DegradeNIC
+	// CrashRack crashes every node of rack Action.Rack at once — a
+	// correlated failure (PDU or top-of-rack switch loss).
+	CrashRack
 )
 
 // NodeSelector picks the node an action targets.
@@ -92,19 +120,53 @@ type Action struct {
 	Task     TaskType // FailTask / NodeOfTask
 	TaskIdx  int
 	Selector NodeSelector
-	Node     int     // NodeExplicit
-	Factor   float64 // SlowNode: disk bandwidth multiplier (e.g. 0.1)
+	Node     int     // NodeExplicit; FlakyLink endpoint A
+	Node2    int     // FlakyLink endpoint B
+	Rack     int     // CrashRack
+	Factor   float64 // SlowNode/DegradeNIC/FlakyLink: bandwidth multiplier
+	// FailProb is FlakyLink's per-connection-attempt failure probability.
+	FailProb float64
+	// HealAfter undoes the action after this long: a network stop heals, a
+	// slow disk or NIC recovers, a flaky link stabilises. Zero means
+	// permanent (required positive for PartitionNode).
+	HealAfter time.Duration
 }
 
-// Injection pairs a trigger with an action. Each fires at most once.
+// Injection pairs a trigger with an action. By default each fires at most
+// once; AtTime injections can recur by setting Every (and optionally
+// Times) via AddRecurring.
 type Injection struct {
 	When Trigger
 	Do   Action
+	// Every re-arms an AtTime injection this long after each firing.
+	Every time.Duration
+	// Times bounds total firings of a recurring injection; <= 0 with a
+	// positive Every means 2 (fire, recur once).
+	Times int
+
+	// Done is set by the engine once the injection will not fire again.
 	Done bool
+	// Fired counts how many times the injection has been applied.
+	Fired int
 }
 
 func (i *Injection) String() string {
-	return fmt.Sprintf("when{kind=%d t=%v frac=%.2f} do{kind=%d}", i.When.Kind, i.When.Time, i.When.Fraction, i.Do.Kind)
+	s := fmt.Sprintf("when{kind=%d t=%v frac=%.2f} do{kind=%d}", i.When.Kind, i.When.Time, i.When.Fraction, i.Do.Kind)
+	if i.Every > 0 {
+		s += fmt.Sprintf(" every{%v x%d}", i.Every, i.MaxFirings())
+	}
+	return s
+}
+
+// MaxFirings returns how many times the injection may fire in total.
+func (i *Injection) MaxFirings() int {
+	if i.Every <= 0 {
+		return 1
+	}
+	if i.Times <= 0 {
+		return 2
+	}
+	return i.Times
 }
 
 // Plan is a set of injections applied to one job run.
@@ -116,6 +178,153 @@ type Plan struct {
 func (p *Plan) Add(when Trigger, do Action) *Plan {
 	p.Injections = append(p.Injections, &Injection{When: when, Do: do})
 	return p
+}
+
+// AddRecurring appends an AtTime injection that re-fires every interval,
+// up to times total firings (<= 0 means twice). Recurrence is only
+// meaningful for AtTime triggers; Validate rejects it elsewhere.
+func (p *Plan) AddRecurring(when Trigger, do Action, every time.Duration, times int) *Plan {
+	p.Injections = append(p.Injections, &Injection{When: when, Do: do, Every: every, Times: times})
+	return p
+}
+
+// Validate rejects malformed plans at construction time with a
+// descriptive error, instead of letting a bad trigger silently never
+// fire: fractions outside [0,1], negative times and indices, missing
+// FlakyLink endpoints, probabilities and factors outside range, a
+// PartitionNode with no heal, recurrence on progress triggers.
+//
+// Upper task-index bounds are deliberately not checked here: a plan is
+// built before the job's split count is known, and the scaled experiment
+// harness legitimately requests "fail the first n tasks" with n above the
+// reduced-scale task count (surplus injections never fire).
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	for i, inj := range p.Injections {
+		if err := inj.validate(); err != nil {
+			return fmt.Errorf("faults: injection %d (%s): %w", i, inj, err)
+		}
+	}
+	return nil
+}
+
+func (inj *Injection) validate() error {
+	w, a := inj.When, inj.Do
+	switch w.Kind {
+	case AtTime:
+		if w.Time < 0 {
+			return fmt.Errorf("negative trigger time %v", w.Time)
+		}
+	case AtTaskProgress, AtReducePhaseProgress, AtJobProgress:
+		if math.IsNaN(w.Fraction) || w.Fraction < 0 || w.Fraction > 1 {
+			return fmt.Errorf("trigger fraction %v outside [0,1]", w.Fraction)
+		}
+		if w.Kind == AtTaskProgress && w.TaskIdx < 0 {
+			return fmt.Errorf("negative trigger task index %d", w.TaskIdx)
+		}
+		if inj.Every > 0 {
+			return fmt.Errorf("recurrence (Every=%v) requires an AtTime trigger", inj.Every)
+		}
+	default:
+		return fmt.Errorf("unknown trigger kind %d", w.Kind)
+	}
+	if inj.Every < 0 {
+		return fmt.Errorf("negative recurrence interval %v", inj.Every)
+	}
+	if inj.Times < 0 {
+		return fmt.Errorf("negative recurrence count %d", inj.Times)
+	}
+	if inj.Times > 0 && inj.Every <= 0 {
+		return fmt.Errorf("Times=%d without a recurrence interval", inj.Times)
+	}
+	if a.HealAfter < 0 {
+		return fmt.Errorf("negative HealAfter %v", a.HealAfter)
+	}
+	switch a.Kind {
+	case FailTask:
+		if a.TaskIdx < 0 {
+			return fmt.Errorf("negative action task index %d", a.TaskIdx)
+		}
+	case StopNodeNetwork, CrashNode, HealNode:
+		return inj.validateNodeTarget()
+	case SlowNode, DegradeNIC:
+		if a.Factor <= 0 || a.Factor > 1 {
+			return fmt.Errorf("%s factor %v outside (0,1]", kindName(a.Kind), a.Factor)
+		}
+		return inj.validateNodeTarget()
+	case PartitionNode:
+		if a.HealAfter <= 0 {
+			return fmt.Errorf("PartitionNode requires a positive HealAfter (use StopNodeNetwork for a permanent stop)")
+		}
+		return inj.validateNodeTarget()
+	case FlakyLink:
+		if a.Selector != NodeExplicit {
+			return fmt.Errorf("FlakyLink requires explicit endpoints")
+		}
+		if a.Node < 0 || a.Node2 < 0 {
+			return fmt.Errorf("negative FlakyLink endpoint (%d, %d)", a.Node, a.Node2)
+		}
+		if a.Node == a.Node2 {
+			return fmt.Errorf("FlakyLink endpoints must differ (both %d)", a.Node)
+		}
+		if math.IsNaN(a.FailProb) || a.FailProb < 0 || a.FailProb > 1 {
+			return fmt.Errorf("FlakyLink probability %v outside [0,1]", a.FailProb)
+		}
+		if a.Factor < 0 || a.Factor > 1 {
+			return fmt.Errorf("FlakyLink bandwidth factor %v outside [0,1]", a.Factor)
+		}
+	case CrashRack:
+		if a.Rack < 0 {
+			return fmt.Errorf("negative rack index %d", a.Rack)
+		}
+	default:
+		return fmt.Errorf("unknown action kind %d", a.Kind)
+	}
+	return nil
+}
+
+func (inj *Injection) validateNodeTarget() error {
+	a := inj.Do
+	switch a.Selector {
+	case NodeExplicit:
+		if a.Node < 0 {
+			return fmt.Errorf("negative explicit node %d", a.Node)
+		}
+	case NodeOfTask:
+		if a.TaskIdx < 0 {
+			return fmt.Errorf("negative action task index %d", a.TaskIdx)
+		}
+	case NodeWithMOFsOnly:
+	default:
+		return fmt.Errorf("unknown node selector %d", a.Selector)
+	}
+	return nil
+}
+
+func kindName(k ActionKind) string {
+	switch k {
+	case FailTask:
+		return "FailTask"
+	case StopNodeNetwork:
+		return "StopNodeNetwork"
+	case CrashNode:
+		return "CrashNode"
+	case SlowNode:
+		return "SlowNode"
+	case PartitionNode:
+		return "PartitionNode"
+	case HealNode:
+		return "HealNode"
+	case FlakyLink:
+		return "FlakyLink"
+	case DegradeNIC:
+		return "DegradeNIC"
+	case CrashRack:
+		return "CrashRack"
+	}
+	return fmt.Sprintf("ActionKind(%d)", int(k))
 }
 
 // FailTaskAtProgress is a convenience plan: kill task (typ, idx)'s running
@@ -151,6 +360,18 @@ func StopNodeOfTaskAtReduceProgress(typ TaskType, idx int, frac float64) *Plan {
 	)
 }
 
+// PartitionNodeOfTaskAtReduceProgress stops the network of the node
+// hosting the task when the reduce phase reaches the fraction, healing it
+// after healAfter — the transient partition whose fetch retries and
+// re-admission the gray-failure model exercises.
+func PartitionNodeOfTaskAtReduceProgress(typ TaskType, idx int, frac float64, healAfter time.Duration) *Plan {
+	p := &Plan{}
+	return p.Add(
+		Trigger{Kind: AtReducePhaseProgress, Fraction: frac},
+		Action{Kind: PartitionNode, Selector: NodeOfTask, Task: typ, TaskIdx: idx, HealAfter: healAfter},
+	)
+}
+
 // StopMOFNodeAtJobProgress stops a node that hosts MOFs but no reducer
 // when overall job progress reaches the fraction (Fig. 4 / Table II).
 func StopMOFNodeAtJobProgress(frac float64) *Plan {
@@ -169,5 +390,28 @@ func SlowNodeOfTaskAtReduceProgress(typ TaskType, idx int, frac, factor float64)
 	return p.Add(
 		Trigger{Kind: AtReducePhaseProgress, Fraction: frac},
 		Action{Kind: SlowNode, Selector: NodeOfTask, Task: typ, TaskIdx: idx, Factor: factor},
+	)
+}
+
+// FlakyLinkAtTime makes the (a, b) link flaky at time t: connection
+// attempts fail with probability failProb and, when 0 < bwFactor < 1, the
+// pair's bandwidth drops to bwFactor of the narrower NIC. The link
+// stabilises after healAfter (zero: stays flaky).
+func FlakyLinkAtTime(t time.Duration, a, b int, failProb, bwFactor float64, healAfter time.Duration) *Plan {
+	p := &Plan{}
+	return p.Add(
+		Trigger{Kind: AtTime, Time: t},
+		Action{Kind: FlakyLink, Selector: NodeExplicit, Node: a, Node2: b,
+			FailProb: failProb, Factor: bwFactor, HealAfter: healAfter},
+	)
+}
+
+// CrashRackAtTime crashes every node of the rack at time t (correlated
+// failure).
+func CrashRackAtTime(t time.Duration, rack int) *Plan {
+	p := &Plan{}
+	return p.Add(
+		Trigger{Kind: AtTime, Time: t},
+		Action{Kind: CrashRack, Rack: rack},
 	)
 }

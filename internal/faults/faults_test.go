@@ -1,8 +1,10 @@
 package faults
 
 import (
+	"math"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestTaskTypeString(t *testing.T) {
@@ -76,5 +78,158 @@ func TestInjectionString(t *testing.T) {
 	p := FailTaskAtProgress(Map, 0, 0.25)
 	if s := p.Injections[0].String(); !strings.Contains(s, "0.25") {
 		t.Fatalf("String() = %q, want fraction included", s)
+	}
+}
+
+// validPartition is a well-formed transient partition used as the base
+// for the mutation cases below.
+func validPartition() *Injection {
+	return &Injection{
+		When: Trigger{Kind: AtReducePhaseProgress, Fraction: 0.5},
+		Do:   Action{Kind: PartitionNode, Selector: NodeOfTask, Task: Reduce, HealAfter: 30 * time.Second},
+	}
+}
+
+func TestValidateAcceptsFractionEdges(t *testing.T) {
+	// Exactly 0.0 and exactly 1.0 are legal trigger fractions: 0.0 fires
+	// as soon as the phase exists, 1.0 at its completion boundary.
+	for _, frac := range []float64{0.0, 1.0} {
+		for _, kind := range []TriggerKind{AtTaskProgress, AtReducePhaseProgress, AtJobProgress} {
+			p := (&Plan{}).Add(
+				Trigger{Kind: kind, Task: Reduce, Fraction: frac},
+				Action{Kind: FailTask, Task: Reduce},
+			)
+			if err := p.Validate(); err != nil {
+				t.Errorf("fraction %v on trigger kind %d rejected: %v", frac, kind, err)
+			}
+		}
+	}
+}
+
+func TestValidateRejectsBadTriggers(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Injection)
+		want string
+	}{
+		{"negative time", func(i *Injection) {
+			i.When = Trigger{Kind: AtTime, Time: -time.Second}
+		}, "negative trigger time"},
+		{"fraction below zero", func(i *Injection) { i.When.Fraction = -0.01 }, "outside [0,1]"},
+		{"fraction above one", func(i *Injection) { i.When.Fraction = 1.01 }, "outside [0,1]"},
+		{"fraction NaN", func(i *Injection) { i.When.Fraction = math.NaN() }, "outside [0,1]"},
+		{"negative task index", func(i *Injection) {
+			i.When = Trigger{Kind: AtTaskProgress, Task: Map, TaskIdx: -1, Fraction: 0.5}
+		}, "negative trigger task index"},
+		{"recurrence on progress trigger", func(i *Injection) { i.Every = time.Minute }, "requires an AtTime trigger"},
+		{"unknown trigger kind", func(i *Injection) { i.When.Kind = TriggerKind(99) }, "unknown trigger kind"},
+	}
+	for _, tc := range cases {
+		inj := validPartition()
+		tc.mut(inj)
+		err := (&Plan{Injections: []*Injection{inj}}).Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestValidateRejectsBadActions(t *testing.T) {
+	cases := []struct {
+		name string
+		do   Action
+		want string
+	}{
+		{"FailTask negative index", Action{Kind: FailTask, TaskIdx: -2}, "negative action task index"},
+		{"negative HealAfter", Action{Kind: StopNodeNetwork, HealAfter: -time.Second}, "negative HealAfter"},
+		{"explicit negative node", Action{Kind: CrashNode, Selector: NodeExplicit, Node: -1}, "negative explicit node"},
+		{"NodeOfTask negative index", Action{Kind: StopNodeNetwork, Selector: NodeOfTask, TaskIdx: -1}, "negative action task index"},
+		{"unknown selector", Action{Kind: CrashNode, Selector: NodeSelector(42)}, "unknown node selector"},
+		{"SlowNode zero factor", Action{Kind: SlowNode, Factor: 0}, "outside (0,1]"},
+		{"SlowNode factor above one", Action{Kind: SlowNode, Factor: 1.5}, "outside (0,1]"},
+		{"DegradeNIC negative factor", Action{Kind: DegradeNIC, Factor: -0.5}, "outside (0,1]"},
+		{"PartitionNode without heal", Action{Kind: PartitionNode}, "positive HealAfter"},
+		{"FlakyLink non-explicit selector", Action{Kind: FlakyLink, Selector: NodeOfTask, Node2: 1, FailProb: 0.5, Factor: 1}, "explicit endpoints"},
+		{"FlakyLink negative endpoint", Action{Kind: FlakyLink, Node: -1, Node2: 1, FailProb: 0.5, Factor: 1}, "negative FlakyLink endpoint"},
+		{"FlakyLink equal endpoints", Action{Kind: FlakyLink, Node: 2, Node2: 2, FailProb: 0.5, Factor: 1}, "endpoints must differ"},
+		{"FlakyLink probability above one", Action{Kind: FlakyLink, Node: 0, Node2: 1, FailProb: 1.2, Factor: 1}, "probability"},
+		{"FlakyLink NaN probability", Action{Kind: FlakyLink, Node: 0, Node2: 1, FailProb: math.NaN(), Factor: 1}, "probability"},
+		{"FlakyLink factor above one", Action{Kind: FlakyLink, Node: 0, Node2: 1, FailProb: 0.5, Factor: 1.1}, "bandwidth factor"},
+		{"CrashRack negative rack", Action{Kind: CrashRack, Rack: -1}, "negative rack"},
+		{"unknown action kind", Action{Kind: ActionKind(77)}, "unknown action kind"},
+	}
+	for _, tc := range cases {
+		p := (&Plan{}).Add(Trigger{Kind: AtTime, Time: time.Minute}, tc.do)
+		err := p.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestValidateRecurrenceRules(t *testing.T) {
+	do := Action{Kind: FailTask, Task: Map}
+	at := Trigger{Kind: AtTime, Time: time.Minute}
+	if err := (&Plan{}).AddRecurring(at, do, 30*time.Second, 3).Validate(); err != nil {
+		t.Errorf("legal recurrence rejected: %v", err)
+	}
+	if err := (&Plan{}).AddRecurring(at, do, -time.Second, 0).Validate(); err == nil ||
+		!strings.Contains(err.Error(), "negative recurrence interval") {
+		t.Errorf("negative Every: err = %v", err)
+	}
+	if err := (&Plan{}).AddRecurring(at, do, -time.Second, -1).Validate(); err == nil ||
+		!strings.Contains(err.Error(), "negative recurrence") {
+		t.Errorf("negative Times: err = %v", err)
+	}
+	bare := &Plan{Injections: []*Injection{{When: at, Do: do, Times: 2}}}
+	if err := bare.Validate(); err == nil || !strings.Contains(err.Error(), "without a recurrence interval") {
+		t.Errorf("Times without Every: err = %v", err)
+	}
+}
+
+func TestMaxFirings(t *testing.T) {
+	cases := []struct {
+		every time.Duration
+		times int
+		want  int
+	}{
+		{0, 0, 1},           // one-shot
+		{time.Minute, 0, 2}, // recurring, default twice
+		{time.Minute, 5, 5}, // explicit bound
+	}
+	for _, tc := range cases {
+		inj := &Injection{Every: tc.every, Times: tc.times}
+		if got := inj.MaxFirings(); got != tc.want {
+			t.Errorf("MaxFirings(every=%v times=%d) = %d, want %d", tc.every, tc.times, got, tc.want)
+		}
+	}
+}
+
+func TestNilPlanValidates(t *testing.T) {
+	var p *Plan
+	if err := p.Validate(); err != nil {
+		t.Fatalf("nil plan: %v", err)
+	}
+}
+
+func TestGrayFailureHelpersValidate(t *testing.T) {
+	plans := map[string]*Plan{
+		"partition": PartitionNodeOfTaskAtReduceProgress(Reduce, 0, 0.5, 45*time.Second),
+		"flaky":     FlakyLinkAtTime(time.Minute, 2, 7, 0.5, 0.6, 90*time.Second),
+		"rack":      CrashRackAtTime(2*time.Minute, 1),
+	}
+	for name, p := range plans {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s helper builds invalid plan: %v", name, err)
+		}
+	}
+	if inj := plans["partition"].Injections[0]; inj.Do.Kind != PartitionNode || inj.Do.HealAfter != 45*time.Second {
+		t.Errorf("partition helper: %+v", inj.Do)
+	}
+	if inj := plans["flaky"].Injections[0]; inj.Do.Node != 2 || inj.Do.Node2 != 7 || inj.Do.FailProb != 0.5 {
+		t.Errorf("flaky helper: %+v", inj.Do)
+	}
+	if inj := plans["rack"].Injections[0]; inj.Do.Rack != 1 {
+		t.Errorf("rack helper: %+v", inj.Do)
 	}
 }

@@ -32,6 +32,7 @@ var detnowScope = []string{
 	ModulePath + "/internal/engine",
 	ModulePath + "/internal/merge",
 	ModulePath + "/internal/experiments",
+	ModulePath + "/internal/chaos",
 	ModulePath + "/cmd",
 }
 

@@ -23,6 +23,11 @@ type Disks struct {
 	read  []*fairshare.Port
 	write []*fairshare.Port
 
+	// baseRead/baseWrite remember hardware rates so a degraded node
+	// (Degrade) can be restored (Heal) without consulting the topology.
+	baseRead  []float64
+	baseWrite []float64
+
 	// BytesRead/BytesWritten accumulate per-node traffic. Diagnostic only.
 	BytesRead    []int64
 	BytesWritten []int64
@@ -40,14 +45,36 @@ func New(e *sim.Engine, topo *topology.Topology, sys *fairshare.System) *Disks {
 		sys:          sys,
 		read:         make([]*fairshare.Port, topo.NumNodes()),
 		write:        make([]*fairshare.Port, topo.NumNodes()),
+		baseRead:     make([]float64, topo.NumNodes()),
+		baseWrite:    make([]float64, topo.NumNodes()),
 		BytesRead:    make([]int64, topo.NumNodes()),
 		BytesWritten: make([]int64, topo.NumNodes()),
 	}
 	for _, node := range topo.Nodes() {
 		d.read[node.ID] = sys.NewPort(fmt.Sprintf("%s/disk-r", node.Name), node.HW.DiskReadBW)
 		d.write[node.ID] = sys.NewPort(fmt.Sprintf("%s/disk-w", node.Name), node.HW.DiskWriteBW)
+		d.baseRead[node.ID] = node.HW.DiskReadBW
+		d.baseWrite[node.ID] = node.HW.DiskWriteBW
 	}
 	return d
+}
+
+// Degrade scales a node's disk bandwidth to factor of hardware rate — the
+// paper's "faulty node" that is responsive but very slow in I/O. A
+// non-positive factor is clamped to 1% rather than zero so in-flight I/O
+// crawls instead of deadlocking.
+func (d *Disks) Degrade(id topology.NodeID, factor float64) {
+	if factor <= 0 {
+		factor = 0.01
+	}
+	d.read[id].SetCapacity(d.baseRead[id] * factor)
+	d.write[id].SetCapacity(d.baseWrite[id] * factor)
+}
+
+// Heal restores a node's disks to hardware rate.
+func (d *Disks) Heal(id topology.NodeID) {
+	d.read[id].SetCapacity(d.baseRead[id])
+	d.write[id].SetCapacity(d.baseWrite[id])
 }
 
 // ReadPort returns a node's disk read port.

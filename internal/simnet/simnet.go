@@ -14,11 +14,20 @@ package simnet
 
 import (
 	"fmt"
+	"math/rand"
 
 	"alm/internal/fairshare"
 	"alm/internal/sim"
 	"alm/internal/topology"
 )
+
+// linkState is the gray-failure state of one node pair: connection
+// attempts fail with probability prob, and (when degraded) the pair's
+// traffic additionally crosses a narrowed link port.
+type linkState struct {
+	prob float64
+	port *fairshare.Port // nil when only loss, not bandwidth, is degraded
+}
 
 // Network is the flow-level network model for one cluster.
 type Network struct {
@@ -29,6 +38,15 @@ type Network struct {
 	egress  []*fairshare.Port
 	uplinks []*fairshare.Port
 	down    []bool
+
+	// nicFactor scales each node's NIC bandwidth (1 = healthy). Applied on
+	// top of down/up transitions so a degraded NIC stays degraded across a
+	// partition heal.
+	nicFactor []float64
+
+	// flaky holds per-pair gray-failure state, keyed by the ordered
+	// (min, max) node pair; flakiness is symmetric like a bad cable.
+	flaky map[[2]topology.NodeID]*linkState
 
 	// BytesSent accumulates total payload bytes for which transfers were
 	// started, by source node. Diagnostic only.
@@ -45,7 +63,11 @@ func New(e *sim.Engine, topo *topology.Topology) *Network {
 		egress:    make([]*fairshare.Port, topo.NumNodes()),
 		uplinks:   make([]*fairshare.Port, topo.NumRacks()),
 		down:      make([]bool, topo.NumNodes()),
+		nicFactor: make([]float64, topo.NumNodes()),
 		BytesSent: make([]int64, topo.NumNodes()),
+	}
+	for i := range n.nicFactor {
+		n.nicFactor[i] = 1
 	}
 	for _, node := range topo.Nodes() {
 		n.ingress[node.ID] = n.sys.NewPort(fmt.Sprintf("%s/in", node.Name), node.HW.NICBandwidth)
@@ -90,15 +112,123 @@ func (n *Network) SetNodeDown(id topology.NodeID) {
 	n.egress[id].SetCapacity(0)
 }
 
-// SetNodeUp re-enables a node's network.
+// SetNodeUp re-enables a node's network at its current NIC factor:
+// in-flight flows that stalled at zero capacity resume, and Reachable
+// reports true again — the heal half of a transient partition.
 func (n *Network) SetNodeUp(id topology.NodeID) {
 	if !n.down[id] {
 		return
 	}
 	n.down[id] = false
-	hw := n.topo.Node(id).HW
-	n.ingress[id].SetCapacity(hw.NICBandwidth)
-	n.egress[id].SetCapacity(hw.NICBandwidth)
+	bw := n.topo.Node(id).HW.NICBandwidth * n.nicFactor[id]
+	n.ingress[id].SetCapacity(bw)
+	n.egress[id].SetCapacity(bw)
+}
+
+// SetNICFactor scales a node's NIC bandwidth to factor of hardware rate
+// (factor 1 restores full speed). The factor persists across down/up
+// transitions; it is a no-op on the ports while the node is down.
+func (n *Network) SetNICFactor(id topology.NodeID, factor float64) {
+	if factor <= 0 {
+		factor = 0.01
+	}
+	n.nicFactor[id] = factor
+	if n.down[id] {
+		return
+	}
+	bw := n.topo.Node(id).HW.NICBandwidth * factor
+	n.ingress[id].SetCapacity(bw)
+	n.egress[id].SetCapacity(bw)
+}
+
+func linkKey(a, b topology.NodeID) [2]topology.NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]topology.NodeID{a, b}
+}
+
+// SetLinkFlaky makes the (a, b) pair a gray link: AttemptFails reports
+// connection failures with probability prob, and when 0 < bwFactor < 1
+// the pair's traffic additionally crosses a link port narrowed to
+// bwFactor of the slower endpoint's NIC. Calling it again replaces the
+// pair's flakiness parameters.
+func (n *Network) SetLinkFlaky(a, b topology.NodeID, prob, bwFactor float64) {
+	if a == b {
+		return
+	}
+	if n.flaky == nil {
+		n.flaky = make(map[[2]topology.NodeID]*linkState)
+	}
+	key := linkKey(a, b)
+	st := n.flaky[key]
+	if st == nil {
+		st = &linkState{}
+		n.flaky[key] = st
+	}
+	st.prob = prob
+	if bwFactor > 0 && bwFactor < 1 {
+		nic := n.topo.Node(a).HW.NICBandwidth
+		if other := n.topo.Node(b).HW.NICBandwidth; other < nic {
+			nic = other
+		}
+		if st.port == nil {
+			st.port = n.sys.NewPort(fmt.Sprintf("link:%d-%d", key[0], key[1]), nic*bwFactor)
+		} else {
+			st.port.SetCapacity(nic * bwFactor)
+		}
+	} else if st.port != nil {
+		// Loss-only flakiness: open the narrowed port back up so it stops
+		// constraining flows that still cross it.
+		nic := n.topo.Node(a).HW.NICBandwidth
+		if other := n.topo.Node(b).HW.NICBandwidth; other < nic {
+			nic = other
+		}
+		st.port.SetCapacity(nic)
+	}
+}
+
+// HealLink removes the (a, b) pair's flakiness. In-flight flows pinned to
+// the link port are released by restoring its capacity to the endpoints'
+// NIC rate before the state is dropped.
+func (n *Network) HealLink(a, b topology.NodeID) {
+	key := linkKey(a, b)
+	st := n.flaky[key]
+	if st == nil {
+		return
+	}
+	if st.port != nil {
+		nic := n.topo.Node(a).HW.NICBandwidth
+		if other := n.topo.Node(b).HW.NICBandwidth; other < nic {
+			nic = other
+		}
+		st.port.SetCapacity(nic)
+	}
+	delete(n.flaky, key)
+}
+
+// LinkFlaky reports whether the (a, b) pair currently has gray-failure
+// state.
+func (n *Network) LinkFlaky(a, b topology.NodeID) bool {
+	if len(n.flaky) == 0 {
+		return false
+	}
+	return n.flaky[linkKey(a, b)] != nil
+}
+
+// AttemptFails reports whether a connection attempt from src to dst fails
+// due to link flakiness, drawing from rng only when the pair actually has
+// flaky state — healthy clusters make no draws, preserving byte-for-byte
+// trace identity of fault-free runs.
+func (n *Network) AttemptFails(src, dst topology.NodeID, rng *rand.Rand) bool {
+	if len(n.flaky) == 0 || src == dst {
+		return false
+	}
+	st := n.flaky[linkKey(src, dst)]
+	if st == nil || st.prob <= 0 {
+		return false
+	}
+	return rng.Float64() < st.prob
 }
 
 // PortsFor returns the set of network ports a transfer from src to dst
@@ -110,6 +240,11 @@ func (n *Network) PortsFor(src, dst topology.NodeID) []*fairshare.Port {
 	ports := []*fairshare.Port{n.egress[src], n.ingress[dst]}
 	if !n.topo.SameRack(src, dst) {
 		ports = append(ports, n.uplinks[n.topo.RackOf(src)], n.uplinks[n.topo.RackOf(dst)])
+	}
+	if len(n.flaky) > 0 {
+		if st := n.flaky[linkKey(src, dst)]; st != nil && st.port != nil {
+			ports = append(ports, st.port)
+		}
 	}
 	return ports
 }

@@ -137,3 +137,96 @@ func TestBytesSentAccounting(t *testing.T) {
 		t.Fatalf("BytesSent[0] = %d, want 1000", n.BytesSent[0])
 	}
 }
+
+func TestAttemptFailsWithoutFlakyLinksDrawsNothing(t *testing.T) {
+	// Two engines with the same seed: consuming AttemptFails on one must
+	// not advance its RNG when no link is flaky, or every existing
+	// scenario's event stream would shift.
+	e1, e2 := sim.NewEngine(7), sim.NewEngine(7)
+	n := New(e1, testTopo())
+	for i := 0; i < 5; i++ {
+		if n.AttemptFails(0, 1, e1.Rand()) {
+			t.Fatal("attempt failed with no flaky links")
+		}
+	}
+	if a, b := e1.Rand().Int63(), e2.Rand().Int63(); a != b {
+		t.Fatalf("AttemptFails consumed randomness on a clean network: %d vs %d", a, b)
+	}
+}
+
+func TestFlakyLinkFailureProbabilityEdges(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := New(e, testTopo())
+	n.SetLinkFlaky(0, 1, 1.0, 1.0)
+	// Probability 1.0: every attempt fails, both directions.
+	for i := 0; i < 10; i++ {
+		if !n.AttemptFails(0, 1, e.Rand()) || !n.AttemptFails(1, 0, e.Rand()) {
+			t.Fatal("attempt survived a p=1.0 flaky link")
+		}
+	}
+	// Other pairs are untouched.
+	if n.AttemptFails(0, 2, e.Rand()) {
+		t.Fatal("attempt failed on a clean link")
+	}
+	n.SetLinkFlaky(0, 1, 0.0, 1.0)
+	for i := 0; i < 10; i++ {
+		if n.AttemptFails(0, 1, e.Rand()) {
+			t.Fatal("attempt failed on a p=0.0 flaky link")
+		}
+	}
+	if !n.LinkFlaky(0, 1) {
+		t.Fatal("link not tracked as flaky")
+	}
+	n.HealLink(0, 1)
+	if n.LinkFlaky(0, 1) {
+		t.Fatal("healed link still flaky")
+	}
+}
+
+func TestFlakyLinkBandwidthCap(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := New(e, testTopo())
+	n.SetLinkFlaky(0, 1, 0, 0.5) // 50 B/s on a 100 B/s NIC pair
+	var done sim.Time = -1
+	n.Transfer(0, 1, 1000, func() { done = e.Now() })
+	e.RunAll()
+	if !almostEqual(done.Seconds(), 20, 0.1) {
+		t.Fatalf("capped transfer completed at %v, want ~20s at 50 B/s", done)
+	}
+	n.HealLink(0, 1)
+	start := e.Now()
+	n.Transfer(0, 1, 1000, func() { done = e.Now() })
+	e.RunAll()
+	if got := (done - start).Seconds(); !almostEqual(got, 10, 0.1) {
+		t.Fatalf("healed transfer took %vs, want ~10s at full NIC rate", got)
+	}
+}
+
+func TestNICDegradeAndHeal(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := New(e, testTopo())
+	n.SetNICFactor(0, 0.25) // 25 B/s
+	var done sim.Time = -1
+	n.Transfer(0, 1, 1000, func() { done = e.Now() })
+	e.RunAll()
+	if !almostEqual(done.Seconds(), 40, 0.2) {
+		t.Fatalf("degraded transfer completed at %v, want ~40s at 25 B/s", done)
+	}
+	// A node bounce must come back at the degraded rate, not silently
+	// restore full bandwidth.
+	n.SetNodeDown(0)
+	n.SetNodeUp(0)
+	start := e.Now()
+	n.Transfer(0, 1, 1000, func() { done = e.Now() })
+	e.RunAll()
+	if got := (done - start).Seconds(); !almostEqual(got, 40, 0.2) {
+		t.Fatalf("bounced NIC transfer took %vs, want ~40s (factor preserved)", got)
+	}
+	n.SetNICFactor(0, 1)
+	start = e.Now()
+	n.Transfer(0, 1, 1000, func() { done = e.Now() })
+	e.RunAll()
+	if got := (done - start).Seconds(); !almostEqual(got, 10, 0.1) {
+		t.Fatalf("healed NIC transfer took %vs, want ~10s", got)
+	}
+}

@@ -28,6 +28,10 @@ const (
 	KindLogRestored    Kind = "alg-log-restored"
 	KindFCMStarted     Kind = "fcm-started"
 	KindWaitAdvisory   Kind = "wait-advisory"
+	KindNodeHealed     Kind = "node-healed"
+	KindLinkFlaky      Kind = "link-flaky"
+	KindLinkHealed     Kind = "link-healed"
+	KindFetchRetry     Kind = "fetch-retry"
 	KindJobFinished    Kind = "job-finished"
 	KindJobFailed      Kind = "job-failed"
 )
