@@ -4,7 +4,7 @@
 GO ?= go
 ALMVET := bin/almvet
 
-.PHONY: all build test race vet lint-test bench bench-smoke chaos chaos-smoke ci clean
+.PHONY: all build test race vet lint-test bench bench-smoke chaos chaos-smoke metrics-smoke ci clean
 
 all: build
 
@@ -58,7 +58,16 @@ chaos:
 chaos-smoke:
 	$(GO) run -race ./cmd/almrun -chaos -seed 11 -seeds 8
 
-ci: build test race vet bench-smoke chaos-smoke
+# metrics-smoke runs the paper's Fig. 4 scenario (Terasort, MOF-node
+# failure at 55% job progress, stock YARN) at 1/8 scale twice and
+# asserts the snapshots are byte-identical. almrun validates the
+# Prometheus text through internal/metrics/lint before writing.
+metrics-smoke:
+	$(GO) run ./cmd/almrun -workload terasort -size-gb 12.5 -reduces 20 -mode yarn -fail mof-node -at 0.55 -metrics bin/metrics-a.prom
+	$(GO) run ./cmd/almrun -workload terasort -size-gb 12.5 -reduces 20 -mode yarn -fail mof-node -at 0.55 -metrics bin/metrics-b.prom
+	cmp bin/metrics-a.prom bin/metrics-b.prom
+
+ci: build test race vet bench-smoke chaos-smoke metrics-smoke
 
 clean:
 	rm -rf bin

@@ -18,23 +18,30 @@
 //		NumReduces: 1,
 //		Mode:       alm.ModeALM,
 //	}
-//	res, err := alm.Run(spec, alm.DefaultClusterSpec(), nil)
+//	res, err := alm.Run(spec, alm.DefaultClusterSpec())
 //
-// Inject the paper's failures with the fault helpers:
+// Everything optional arrives through functional options — inject the
+// paper's failures, watch the run live, or collect metrics:
 //
-//	plan := alm.StopNodeOfTaskAtReduceProgress(alm.ReduceTask, 0, 0.5)
-//	res, err := alm.Run(spec, alm.DefaultClusterSpec(), plan)
+//	res, err := alm.Run(spec, alm.DefaultClusterSpec(),
+//		alm.WithFaults(alm.StopNodeOfTaskAtReduceProgress(alm.ReduceTask, 0, 0.5)),
+//		alm.WithMetrics(),
+//		alm.WithObserver(alm.ObserverFuncs{
+//			Event: func(e alm.TraceEvent) { fmt.Println(e) },
+//		}))
 //
 // and reproduce any evaluation artifact via RunExperiment("fig8", ...).
 package alm
 
 import (
+	"strings"
 	"time"
 
 	"alm/internal/core"
 	"alm/internal/engine"
 	"alm/internal/experiments"
 	"alm/internal/faults"
+	"alm/internal/metrics"
 	"alm/internal/mr"
 	"alm/internal/topology"
 	"alm/internal/trace"
@@ -88,6 +95,26 @@ type (
 	// CheckpointOptions enables the heavyweight full-image checkpointing
 	// the paper's Section III contrasts ALG against.
 	CheckpointOptions = engine.CheckpointOptions
+	// RunOption configures a Run call (see WithFaults, WithObserver,
+	// WithMetrics, WithTrace).
+	RunOption = engine.RunOption
+	// Observer receives streaming callbacks — events, progress samples and
+	// metrics deltas — in deterministic sim-time order during a run.
+	Observer = engine.Observer
+	// ObserverFuncs adapts plain functions to Observer; nil fields are
+	// skipped.
+	ObserverFuncs = engine.ObserverFuncs
+	// ProgressSample is one point of the live job timeline.
+	ProgressSample = engine.ProgressSample
+	// MetricsSnapshot is an immutable, deterministically ordered metrics
+	// state with Prometheus-text and JSON exporters.
+	MetricsSnapshot = metrics.Snapshot
+	// MetricsSeries is one named, labelled series inside a snapshot or an
+	// observer delta.
+	MetricsSeries = metrics.Series
+	// MetricsDelta is the set of series that changed since the previous
+	// observer delivery, in sorted series order.
+	MetricsDelta = []metrics.Series
 )
 
 // Fault-tolerance modes.
@@ -116,10 +143,42 @@ const (
 	ReplicateCluster = mr.ReplicateCluster
 )
 
-// Run executes one job on a fresh simulated cluster.
-func Run(spec JobSpec, cs ClusterSpec, plan *FaultPlan) (Result, error) {
-	return engine.Run(spec, cs, plan)
+// Run executes one job on a fresh simulated cluster. The base run is
+// lean — no trace attached, no metrics exposed; opt in per call:
+//
+//	alm.Run(spec, cs,
+//		alm.WithFaults(plan),   // inject failures
+//		alm.WithObserver(obs),  // stream events/progress/metrics deltas
+//		alm.WithMetrics(),      // expose Result.Metrics
+//		alm.WithTrace())        // expose Result.Trace
+func Run(spec JobSpec, cs ClusterSpec, opts ...RunOption) (Result, error) {
+	all := make([]RunOption, 0, len(opts)+1)
+	all = append(all, engine.WithoutTrace())
+	all = append(all, opts...)
+	return engine.Run(spec, cs, all...)
 }
+
+// RunWithPlan executes one job with a positional fault plan.
+//
+// Deprecated: use Run(spec, cs, WithFaults(plan)) — RunWithPlan keeps the
+// pre-options behaviour (trace attached) for one release and will be
+// removed.
+func RunWithPlan(spec JobSpec, cs ClusterSpec, plan *FaultPlan) (Result, error) {
+	return Run(spec, cs, WithFaults(plan), WithTrace())
+}
+
+// WithFaults injects the given fault plan into the run.
+func WithFaults(plan *FaultPlan) RunOption { return engine.WithPlan(plan) }
+
+// WithObserver streams the run's events, progress samples and metrics
+// deltas to obs while it executes.
+func WithObserver(obs Observer) RunOption { return engine.WithObserver(obs) }
+
+// WithMetrics attaches the final metrics snapshot to Result.Metrics.
+func WithMetrics() RunOption { return engine.WithMetrics() }
+
+// WithTrace attaches the full event/timeline trace to Result.Trace.
+func WithTrace() RunOption { return engine.WithTrace() }
 
 // DefaultClusterSpec returns the paper's 20-worker testbed (SSD, 10 GbE,
 // two racks).
@@ -206,34 +265,23 @@ func CrashRackAtTime(t time.Duration, rack int) *FaultPlan {
 // fig4, fig8, fig9, fig10, table2, fig11, fig12, fig13, fig14, fig15, or
 // ablations).
 func RunExperiment(id string, opt ExperimentOptions) (*ExperimentTable, error) {
-	f, ok := experiments.ByID(id)
+	e, ok := experiments.Lookup(id)
 	if !ok {
 		return nil, errUnknownExperiment(id)
 	}
-	return f(opt)
+	return e.Run(opt)
 }
 
 // ExperimentIDs lists the reproducible artifacts in paper order.
-func ExperimentIDs() []string {
-	out := make([]string, len(experiments.Registry))
-	for i, e := range experiments.Registry {
-		out[i] = e.ID
-	}
-	return out
-}
+func ExperimentIDs() []string { return experiments.IDs() }
 
-// ExperimentDescription returns the one-line description for an ID.
-func ExperimentDescription(id string) string {
-	for _, e := range experiments.Registry {
-		if e.ID == id {
-			return e.Desc
-		}
-	}
-	return ""
-}
+// ExperimentDescription returns the one-line description for an ID (""
+// when unknown; both go through the registry's shared index).
+func ExperimentDescription(id string) string { return experiments.Describe(id) }
 
 type errUnknownExperiment string
 
 func (e errUnknownExperiment) Error() string {
-	return "alm: unknown experiment " + string(e) + " (see ExperimentIDs)"
+	return "alm: unknown experiment " + string(e) +
+		" (valid: " + strings.Join(experiments.IDs(), ", ") + ")"
 }

@@ -13,7 +13,7 @@ func TestFacadeQuickJob(t *testing.T) {
 		Mode:       ModeALM,
 		Seed:       1,
 	}
-	res, err := Run(spec, DefaultClusterSpec(), nil)
+	res, err := Run(spec, DefaultClusterSpec())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +30,7 @@ func TestFacadeFaultPlan(t *testing.T) {
 		Mode:       ModeSFM,
 		Seed:       1,
 	}
-	res, err := Run(spec, DefaultClusterSpec(), FailTaskAtProgress(ReduceTask, 0, 0.5))
+	res, err := Run(spec, DefaultClusterSpec(), WithFaults(FailTaskAtProgress(ReduceTask, 0, 0.5)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,6 +11,8 @@
 //	almbench -list            # list experiment IDs
 //	almbench -perf            # run the engine performance harness,
 //	                          # writing BENCH_engine.json
+//	almbench -metrics-dir m/  # dump one Prometheus-text metrics file
+//	                          # per simulated case under m/
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -35,6 +38,7 @@ func main() {
 		format   = flag.String("format", "text", "output format: text | json | csv")
 		perfFlag = flag.Bool("perf", false, "run the engine performance harness instead of experiments")
 		perfOut  = flag.String("perf-out", "BENCH_engine.json", "output path for -perf results ('-' for stdout)")
+		metrDir  = flag.String("metrics-dir", "", "directory to dump one Prometheus-text metrics file per simulated case")
 	)
 	flag.Parse()
 
@@ -74,6 +78,23 @@ func main() {
 	opt := alm.ExperimentOptions{Scale: *scale, Seed: *seed, Workers: *workers}
 
 	failed := 0
+	if *metrDir != "" {
+		if err := os.MkdirAll(*metrDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics-dir: %v\n", err)
+			os.Exit(1)
+		}
+		opt.MetricsSink = func(caseKey string, snap *alm.MetricsSnapshot) {
+			if snap == nil {
+				return
+			}
+			name := strings.ReplaceAll(caseKey, "/", "__") + ".prom"
+			path := filepath.Join(*metrDir, name)
+			if err := os.WriteFile(path, snap.Prometheus(), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "metrics %s: %v\n", caseKey, err)
+				failed++
+			}
+		}
+	}
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		start := time.Now() //almvet:allow detnow -- wall-clock runtime of the experiment binary itself, not simulated time

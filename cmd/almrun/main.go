@@ -20,9 +20,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"alm"
 	"alm/internal/chaos"
+	"alm/internal/metrics"
+	"alm/internal/metrics/lint"
 )
 
 func main() {
@@ -43,11 +46,12 @@ func main() {
 		chaosRun = flag.Bool("chaos", false, "run the chaos invariant checker instead of a single job")
 		seeds    = flag.Int("seeds", 50, "with -chaos: how many consecutive seeds to sweep (starting at -seed)")
 		verbose  = flag.Bool("v", false, "with -chaos: print each generated schedule")
+		metricsP = flag.String("metrics", "", "write the run's metrics snapshot to this path (Prometheus text; .json suffix switches to JSON)")
 	)
 	flag.Parse()
 
 	if *chaosRun {
-		os.Exit(runChaos(*seed, *seeds, *verbose))
+		os.Exit(runChaos(*seed, *seeds, *verbose, *metricsP))
 	}
 
 	w, err := alm.WorkloadByName(*workload)
@@ -103,9 +107,19 @@ func main() {
 	if *ckpt {
 		spec.Checkpoint = alm.CheckpointOptions{Enabled: true}
 	}
-	res, err := alm.Run(spec, alm.DefaultClusterSpec(), plan)
+	opts := []alm.RunOption{alm.WithFaults(plan), alm.WithTrace()}
+	if *metricsP != "" {
+		opts = append(opts, alm.WithMetrics())
+	}
+	res, err := alm.Run(spec, alm.DefaultClusterSpec(), opts...)
 	if err != nil {
 		fatal(err)
+	}
+	if *metricsP != "" {
+		if err := writeMetrics(*metricsP, res.Metrics); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics         written to %s\n", *metricsP)
 	}
 
 	fmt.Printf("workload        %s (%.1f GB, %d reducers, mode %v)\n", *workload, *sizeGB, *reduces, mode)
@@ -139,7 +153,7 @@ func main() {
 // runChaos sweeps n consecutive chaos seeds under all four engine modes
 // and reports invariant violations with a minimal reproducer command
 // line each. Returns the process exit code.
-func runChaos(first int64, n int, verbose bool) int {
+func runChaos(first int64, n int, verbose bool, metricsPath string) int {
 	if n < 1 {
 		n = 1
 	}
@@ -153,7 +167,8 @@ func runChaos(first int64, n int, verbose bool) int {
 		}
 	}
 	checked := 0
-	all := chaos.CheckSeeds(first, n, budget, func(seed int64, bad []chaos.Violation) {
+	reg := metrics.NewRegistry()
+	all := chaos.CheckSeeds(first, n, budget, reg, func(seed int64, bad []chaos.Violation) {
 		checked++
 		status := "ok"
 		if len(bad) > 0 {
@@ -161,6 +176,12 @@ func runChaos(first int64, n int, verbose bool) int {
 		}
 		fmt.Printf("  seed %-6d [%d/%d] %s\n", seed, checked, n, status)
 	})
+	if metricsPath != "" {
+		if err := writeMetrics(metricsPath, reg.Snapshot()); err != nil {
+			fmt.Fprintln(os.Stderr, "almrun:", err)
+			return 2
+		}
+	}
 	if len(all) == 0 {
 		fmt.Printf("chaos: all invariants held over %d seed(s) x %d modes\n", n, len(chaos.Modes))
 		return 0
@@ -170,6 +191,23 @@ func runChaos(first int64, n int, verbose bool) int {
 		fmt.Printf("  %s\n      reproduce: %s\n", v, v.Reproducer())
 	}
 	return 1
+}
+
+// writeMetrics renders the snapshot to path — Prometheus text by
+// default, JSON when the path ends in .json — validating the Prometheus
+// form with the promtext checker before anything reaches disk.
+func writeMetrics(path string, snap *alm.MetricsSnapshot) error {
+	if snap == nil {
+		snap = &alm.MetricsSnapshot{}
+	}
+	data := snap.Prometheus()
+	if err := lint.Check(data); err != nil {
+		return fmt.Errorf("metrics failed validation: %w", err)
+	}
+	if strings.HasSuffix(path, ".json") {
+		data = snap.JSON()
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 func fatal(err error) {

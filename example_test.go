@@ -16,7 +16,7 @@ func ExampleRun() {
 		Mode:       alm.ModeALM,
 		Seed:       7,
 	}
-	res, err := alm.Run(spec, alm.DefaultClusterSpec(), nil)
+	res, err := alm.Run(spec, alm.DefaultClusterSpec())
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -39,7 +39,7 @@ func ExampleRun_faultInjection() {
 		Seed:       7,
 	}
 	plan := alm.StopNodeOfTaskAtReduceProgress(alm.ReduceTask, 0, 0.5)
-	res, err := alm.Run(spec, alm.DefaultClusterSpec(), plan)
+	res, err := alm.Run(spec, alm.DefaultClusterSpec(), alm.WithFaults(plan))
 	if err != nil {
 		fmt.Println("error:", err)
 		return

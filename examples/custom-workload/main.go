@@ -76,7 +76,7 @@ func main() {
 	// migrates it with FCM and resumes from the HDFS analytics log.
 	plan := alm.StopNodeOfTaskAtReduceProgress(alm.ReduceTask, 3, 0.6)
 
-	res, err := alm.Run(spec, alm.DefaultClusterSpec(), plan)
+	res, err := alm.Run(spec, alm.DefaultClusterSpec(), alm.WithFaults(plan))
 	if err != nil {
 		log.Fatal(err)
 	}

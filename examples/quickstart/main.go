@@ -22,7 +22,7 @@ func main() {
 		Seed:       42,
 	}
 
-	res, err := alm.Run(spec, alm.DefaultClusterSpec(), nil)
+	res, err := alm.Run(spec, alm.DefaultClusterSpec())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func main() {
 	// analytics progress periodically, so the recovery attempt resumes
 	// from the last snapshot rather than repeating the whole task.
 	plan := alm.FailTaskAtProgress(alm.ReduceTask, 0, 0.7)
-	withFailure, err := alm.Run(spec, alm.DefaultClusterSpec(), plan)
+	withFailure, err := alm.Run(spec, alm.DefaultClusterSpec(), alm.WithFaults(plan))
 	if err != nil {
 		log.Fatal(err)
 	}

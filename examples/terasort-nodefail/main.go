@@ -36,7 +36,7 @@ func main() {
 		name string
 		mode alm.Mode
 	}{{"stock YARN", alm.ModeYARN}, {"SFM", alm.ModeSFM}} {
-		res, err := alm.Run(spec(m.mode), alm.DefaultClusterSpec(), plan())
+		res, err := alm.Run(spec(m.mode), alm.DefaultClusterSpec(), alm.WithFaults(plan()), alm.WithTrace())
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -32,14 +32,14 @@ func main() {
 	}
 
 	fmt.Println("=== stock YARN (temporal amplification) ===")
-	yarn, err := alm.Run(spec(alm.ModeYARN), alm.DefaultClusterSpec(), plan())
+	yarn, err := alm.Run(spec(alm.ModeYARN), alm.DefaultClusterSpec(), alm.WithFaults(plan()), alm.WithTrace())
 	if err != nil {
 		log.Fatal(err)
 	}
 	report(yarn)
 
 	fmt.Println("\n=== SFM (speculative fast migration) ===")
-	sfm, err := alm.Run(spec(alm.ModeSFM), alm.DefaultClusterSpec(), plan())
+	sfm, err := alm.Run(spec(alm.ModeSFM), alm.DefaultClusterSpec(), alm.WithFaults(plan()), alm.WithTrace())
 	if err != nil {
 		log.Fatal(err)
 	}

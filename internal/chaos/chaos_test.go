@@ -118,7 +118,7 @@ func TestCheckSeedsSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs 24 full simulations")
 	}
-	if vs := CheckSeeds(11, 2, DefaultBudget(), nil); len(vs) != 0 {
+	if vs := CheckSeeds(11, 2, DefaultBudget(), nil, nil); len(vs) != 0 {
 		for _, v := range vs {
 			t.Errorf("%s", v)
 		}

@@ -6,6 +6,7 @@ import (
 
 	"alm/internal/engine"
 	"alm/internal/faults"
+	"alm/internal/metrics"
 	"alm/internal/mr"
 	"alm/internal/trace"
 	"alm/internal/workloads"
@@ -75,11 +76,12 @@ func runOne(spec engine.JobSpec, cs engine.ClusterSpec, plan *faults.Plan) (res 
 			runErr = fmt.Errorf("engine panic: %v", r)
 		}
 	}()
-	res, cl, err := engine.RunInstrumented(spec, cs, plan)
+	var h engine.Handles
+	res, err := engine.Run(spec, cs, engine.WithPlan(plan), engine.WithHandles(&h))
 	if err != nil {
 		return res, nil, err
 	}
-	return res, cl.CheckConservation(), nil
+	return res, h.Cluster.CheckConservation(), nil
 }
 
 func sameOutput(a, b []mr.Record) bool {
@@ -97,18 +99,21 @@ func sameOutput(a, b []mr.Record) bool {
 // CheckSeed generates the schedule for one seed and verifies every
 // invariant under every mode: three runs per mode (failure-free
 // baseline, chaos, chaos again for determinism). It returns all
-// violations found (nil means the seed is clean).
-func CheckSeed(seed int64, budget Budget) []Violation {
+// violations found (nil means the seed is clean). reg, when non-nil,
+// accumulates sweep metrics (runs per mode, violations per invariant).
+func CheckSeed(seed int64, budget Budget, reg *metrics.Registry) []Violation {
 	engine.EnableInvariantChecks()
 	sh, cs := CheckShape()
 	sched := Generate(seed, budget, sh)
 	var vs []Violation
 	add := func(mode engine.Mode, invariant, detail string) {
+		reg.Counter("alm_chaos_violations_total", "invariant", invariant).Inc()
 		vs = append(vs, Violation{Seed: seed, Mode: mode, Invariant: invariant, Detail: detail})
 	}
 
 	for _, mode := range Modes {
 		spec := specFor(seed, mode, sh)
+		reg.Counter("alm_chaos_runs_total", "mode", mode.String()).Add(3)
 
 		base, baseCons, err := runOne(spec, cs, nil)
 		if err != nil {
@@ -181,11 +186,12 @@ func healFastLimit(conf mr.Config) time.Duration {
 
 // CheckSeeds sweeps n consecutive seeds starting at first, invoking
 // report after each seed (for progress output; may be nil). It returns
-// all violations.
-func CheckSeeds(first int64, n int, budget Budget, report func(seed int64, bad []Violation)) []Violation {
+// all violations. reg, when non-nil, accumulates sweep metrics.
+func CheckSeeds(first int64, n int, budget Budget, reg *metrics.Registry, report func(seed int64, bad []Violation)) []Violation {
 	var all []Violation
 	for seed := first; seed < first+int64(n); seed++ {
-		bad := CheckSeed(seed, budget)
+		bad := CheckSeed(seed, budget, reg)
+		reg.Counter("alm_chaos_seeds_total").Inc()
 		if report != nil {
 			report(seed, bad)
 		}

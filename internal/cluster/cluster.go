@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"alm/internal/dfs"
+	"alm/internal/metrics"
 	"alm/internal/sim"
 	"alm/internal/simdisk"
 	"alm/internal/simnet"
@@ -107,6 +108,24 @@ type Cluster struct {
 
 	lostListeners  []func(topology.NodeID)
 	reachListeners []func(topology.NodeID, bool)
+
+	// Instrumentation handles; nil until SetMetrics (all nil-safe).
+	mNodesLost     *metrics.Counter
+	mNodesRestored *metrics.Counter
+	mGrants        *metrics.Counter
+	mQueueDepth    *metrics.Gauge
+}
+
+// SetMetrics attaches a registry to the control plane and its substrate
+// models (network, disks). With a shared cluster the last-attached
+// registry wins; single-job runs attach exactly one.
+func (c *Cluster) SetMetrics(reg *metrics.Registry) {
+	c.mNodesLost = reg.Counter("alm_cluster_nodes_lost_total")
+	c.mNodesRestored = reg.Counter("alm_cluster_nodes_restored_total")
+	c.mGrants = reg.Counter("alm_cluster_containers_granted_total")
+	c.mQueueDepth = reg.Gauge("alm_cluster_request_queue_depth")
+	c.Net.SetMetrics(reg)
+	c.Disks.SetMetrics(reg)
 }
 
 // AddNodeLostListener subscribes an additional node-loss observer (several
@@ -176,6 +195,7 @@ func (c *Cluster) heartbeatTick() {
 
 func (c *Cluster) declareLost(n *nodeState) {
 	n.declaredLost = true
+	c.mNodesLost.Inc()
 	// Kill every container on the node; their resources return to the
 	// node's (now unusable) pool.
 	for ct := range n.containers {
@@ -276,6 +296,7 @@ func (c *Cluster) Restore(id topology.NodeID) {
 	c.Net.SetNodeUp(id)
 	c.DFS.NodeRecovered(id)
 	if !wasReachable {
+		c.mNodesRestored.Inc()
 		c.notifyReachability(id, true)
 	}
 	c.Eng.Schedule(0, c.serve)
@@ -315,7 +336,7 @@ func (c *Cluster) serve() {
 		req := c.queue[0]
 		node, ok := c.pickNode(req)
 		if !ok {
-			return // head-of-line blocks: strict priority order
+			break // head-of-line blocks: strict priority order
 		}
 		heap.Pop(&c.queue)
 		req.index = -1
@@ -324,8 +345,10 @@ func (c *Cluster) serve() {
 		c.nextID++
 		ct := &Container{ID: c.nextID, Node: node, MemMB: req.MemMB}
 		n.containers[ct] = struct{}{}
+		c.mGrants.Inc()
 		req.Grant(ct)
 	}
+	c.mQueueDepth.Set(float64(c.queue.Len()))
 }
 
 // pickNode chooses a usable node with capacity, honouring preferences,

@@ -24,7 +24,7 @@ func TestFailureDuringFCMRecovery(t *testing.T) {
 		// Then: kill whatever node hosts reducer 0's recovery attempt too.
 		Add(faults.Trigger{Kind: faults.AtReducePhaseProgress, Fraction: 0.75},
 			faults.Action{Kind: faults.StopNodeNetwork, Selector: faults.NodeOfTask, Task: faults.Reduce, TaskIdx: 0})
-	res, err := Run(spec, DefaultClusterSpec(), plan)
+	res, err := Run(spec, DefaultClusterSpec(), WithPlan(plan))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +49,7 @@ func TestALGWithoutOutputFlush(t *testing.T) {
 	alg.FlushReduceOutput = false
 	spec.ALG = alg
 	want := canonical(directOutput(spec))
-	res, err := Run(spec, DefaultClusterSpec(), faults.FailTaskAtProgress(faults.Reduce, 0, 0.85))
+	res, err := Run(spec, DefaultClusterSpec(), WithPlan(faults.FailTaskAtProgress(faults.Reduce, 0, 0.85)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func TestALGWithoutHDFSLogs(t *testing.T) {
 	alg.LogToHDFS = false
 	spec.ALG = alg
 	want := canonical(directOutput(spec))
-	res, err := Run(spec, DefaultClusterSpec(), faults.FailTaskAtProgress(faults.Reduce, 0, 0.5))
+	res, err := Run(spec, DefaultClusterSpec(), WithPlan(faults.FailTaskAtProgress(faults.Reduce, 0, 0.5)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestALGWithoutHDFSLogs(t *testing.T) {
 func TestWaitAdvisoryEmitted(t *testing.T) {
 	spec := terasortSpec(ModeSFM)
 	spec.InputBytes = 25 << 30
-	res, err := Run(spec, DefaultClusterSpec(), faults.StopMOFNodeAtJobProgress(0.55))
+	res, err := Run(spec, DefaultClusterSpec(), WithPlan(faults.StopMOFNodeAtJobProgress(0.55)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestALGLogIntervalRespected(t *testing.T) {
 		alg := core.DefaultALGOptions()
 		alg.Interval = interval
 		spec.ALG = alg
-		res, err := Run(spec, DefaultClusterSpec(), nil)
+		res, err := Run(spec, DefaultClusterSpec())
 		if err != nil || !res.Completed {
 			t.Fatalf("run failed: %v %v", err, res.FailReason)
 		}
@@ -130,7 +130,7 @@ func TestReplicationScopePlumbing(t *testing.T) {
 		alg := core.DefaultALGOptions()
 		alg.Replication = lvl
 		spec.ALG = alg
-		res, err := Run(spec, DefaultClusterSpec(), nil)
+		res, err := Run(spec, DefaultClusterSpec())
 		if err != nil || !res.Completed {
 			t.Fatalf("%v: run failed: %v %v", lvl, err, res.FailReason)
 		}
@@ -142,7 +142,7 @@ func TestReplicationScopePlumbing(t *testing.T) {
 // fail the job.
 func TestSpeculativeSiblingsKilled(t *testing.T) {
 	spec := JobSpec{Workload: workloads.Terasort(), InputBytes: 10 << 30, NumReduces: 4, Mode: ModeSFM, Seed: 19}
-	res, err := Run(spec, DefaultClusterSpec(), faults.FailTaskAtProgress(faults.Reduce, 0, 0.4))
+	res, err := Run(spec, DefaultClusterSpec(), WithPlan(faults.FailTaskAtProgress(faults.Reduce, 0, 0.4)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +171,7 @@ func TestFCMSkipsWithALMLogs(t *testing.T) {
 	}
 	run := func(mode Mode) Result {
 		spec := JobSpec{Workload: workloads.Terasort(), InputBytes: 20 << 30, NumReduces: 4, Mode: mode, Seed: 20}
-		res, err := Run(spec, DefaultClusterSpec(), plan())
+		res, err := Run(spec, DefaultClusterSpec(), WithPlan(plan()))
 		if err != nil || !res.Completed {
 			t.Fatalf("%v: %v %v", mode, err, res.FailReason)
 		}

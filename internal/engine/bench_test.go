@@ -17,7 +17,7 @@ func benchJob(b *testing.B, spec JobSpec, plan func() *faults.Plan) {
 		if plan != nil {
 			p = plan()
 		}
-		res, err := Run(spec, DefaultClusterSpec(), p)
+		res, err := Run(spec, DefaultClusterSpec(), WithPlan(p))
 		if err != nil {
 			b.Fatal(err)
 		}

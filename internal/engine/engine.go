@@ -14,6 +14,7 @@ import (
 	"alm/internal/core"
 	"alm/internal/faults"
 	"alm/internal/merge"
+	"alm/internal/metrics"
 	"alm/internal/mr"
 	"alm/internal/sim"
 	"alm/internal/topology"
@@ -178,6 +179,9 @@ type Result struct {
 
 	Counters mr.Counters
 	Trace    *trace.Collector
+	// Metrics is the final metrics snapshot; attached only when the run
+	// was started with WithMetrics (use Job.MetricsSnapshot otherwise).
+	Metrics *metrics.Snapshot
 
 	// Events reports discrete-event engine load for the run (filled by
 	// Run, zero when a Job is driven on a caller-owned engine).
@@ -221,6 +225,8 @@ type Job struct {
 	result   Result
 	finished bool
 	startAt  sim.Time
+	met      *jobMetrics
+	obs      Observer
 
 	// hdfsFlushed holds the real records of ALG-flushed partial reduce
 	// output, keyed by reduce task index (the data behind the HDFS flush
@@ -275,6 +281,9 @@ func NewJob(spec JobSpec, cl *cluster.Cluster, plan *faults.Plan) (*Job, error) 
 	}
 	j.result.Counters = mr.Counters{}
 	j.result.Trace = j.Tracer
+	j.met = newJobMetrics()
+	j.Tracer.OnEmit = j.observeEvent
+	cl.SetMetrics(j.met.reg)
 	return j, nil
 }
 
@@ -356,6 +365,7 @@ func (j *Job) finish(failed bool, reason string) {
 		j.Tracer.Emit(j.Eng.Now(), trace.KindJobFinished, "", "", "")
 		j.assembleOutput()
 	}
+	j.observeSample(j.Eng.Now())
 	if j.onFinish != nil {
 		j.onFinish()
 	}
@@ -413,6 +423,7 @@ func (j *Job) sampleTick() {
 	j.Tracer.Sample("map-progress", now, j.mapPhaseFraction())
 	j.Tracer.Sample("failed-reduce-attempts", now, float64(j.result.ReduceAttemptFailures))
 	j.Tracer.Sample("fetch-retries", now, float64(j.result.FetchRetries))
+	j.observeSample(now)
 	j.checkInjections()
 	j.Eng.Schedule(2*time.Second, j.sampleTick)
 }

@@ -34,7 +34,7 @@ func terasortSpec(mode Mode) JobSpec {
 
 func mustRun(t *testing.T, spec JobSpec, cs ClusterSpec, plan *faults.Plan) Result {
 	t.Helper()
-	res, err := Run(spec, cs, plan)
+	res, err := Run(spec, cs, WithPlan(plan))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -88,7 +88,7 @@ func TestOutOfRangeTargetsRejected(t *testing.T) {
 		),
 	}
 	for name, plan := range plans {
-		if _, err := Run(tinySpec(ModeYARN), cs, plan); err == nil {
+		if _, err := Run(tinySpec(ModeYARN), cs, WithPlan(plan)); err == nil {
 			t.Errorf("%s: out-of-range target accepted", name)
 		}
 	}
@@ -97,11 +97,11 @@ func TestOutOfRangeTargetsRejected(t *testing.T) {
 // A malformed plan must be rejected before the simulation starts.
 func TestInvalidPlanRejected(t *testing.T) {
 	if _, err := Run(tinySpec(ModeYARN), paperCluster(),
-		faults.FailTaskAtProgress(faults.Reduce, 0, 1.5)); err == nil {
+		WithPlan(faults.FailTaskAtProgress(faults.Reduce, 0, 1.5))); err == nil {
 		t.Fatal("fraction 1.5 accepted")
 	}
 	if _, err := Run(tinySpec(ModeYARN), paperCluster(),
-		faults.FailTaskAtProgress(faults.Reduce, -1, 0.5)); err == nil {
+		WithPlan(faults.FailTaskAtProgress(faults.Reduce, -1, 0.5))); err == nil {
 		t.Fatal("negative task index accepted")
 	}
 }

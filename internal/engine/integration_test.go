@@ -87,7 +87,7 @@ func TestGoldenOutputAllWorkloads(t *testing.T) {
 	for _, w := range []*workloads.Workload{workloads.Terasort(), workloads.Wordcount(), workloads.Secondarysort()} {
 		for _, mode := range []Mode{ModeYARN, ModeALM} {
 			spec := JobSpec{Workload: w, InputBytes: 2 << 30, NumReduces: 4, Mode: mode, Seed: 5}
-			res, err := Run(spec, smallCluster(), nil)
+			res, err := Run(spec, smallCluster())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -123,7 +123,7 @@ func TestGoldenOutputUnderFailures(t *testing.T) {
 		for _, mode := range []Mode{ModeYARN, ModeALG, ModeSFM, ModeALM} {
 			s := spec
 			s.Mode = mode
-			res, err := Run(s, DefaultClusterSpec(), plan())
+			res, err := Run(s, DefaultClusterSpec(), WithPlan(plan()))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -142,11 +142,11 @@ func TestGoldenOutputUnderFailures(t *testing.T) {
 func TestDeterminism(t *testing.T) {
 	spec := JobSpec{Workload: workloads.Terasort(), InputBytes: 4 << 30, NumReduces: 4, Mode: ModeALM, Seed: 3}
 	plan := func() *faults.Plan { return faults.StopNodeOfTaskAtReduceProgress(faults.Reduce, 0, 0.5) }
-	a, err := Run(spec, DefaultClusterSpec(), plan())
+	a, err := Run(spec, DefaultClusterSpec(), WithPlan(plan()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(spec, DefaultClusterSpec(), plan())
+	b, err := Run(spec, DefaultClusterSpec(), WithPlan(plan()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +177,7 @@ func TestCrashVsStopNetwork(t *testing.T) {
 			faults.Trigger{Kind: faults.AtReducePhaseProgress, Fraction: 0.6},
 			faults.Action{Kind: kind, Selector: faults.NodeOfTask, Task: faults.Reduce, TaskIdx: 0},
 		)
-		res, err := Run(spec, DefaultClusterSpec(), plan)
+		res, err := Run(spec, DefaultClusterSpec(), WithPlan(plan))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -202,7 +202,7 @@ func TestJobFailsAfterMaxAttempts(t *testing.T) {
 			faults.Action{Kind: faults.FailTask, Task: faults.Reduce, TaskIdx: 0},
 		)
 	}
-	res, err := Run(spec, smallCluster(), plan)
+	res, err := Run(spec, smallCluster(), WithPlan(plan))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +221,7 @@ func TestFCMCapFallsBackToRegular(t *testing.T) {
 	sfm := core.DefaultSFMOptions()
 	sfm.FCMCap = -1 // no FCM budget at all
 	spec.SFM = sfm
-	res, err := Run(spec, DefaultClusterSpec(), faults.FailTasksAtProgress(faults.Reduce, 3, 0.5))
+	res, err := Run(spec, DefaultClusterSpec(), WithPlan(faults.FailTasksAtProgress(faults.Reduce, 3, 0.5)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +241,7 @@ func TestConcurrentReduceFailuresAllModes(t *testing.T) {
 	for _, mode := range []Mode{ModeYARN, ModeSFM, ModeALM} {
 		s := spec
 		s.Mode = mode
-		res, err := Run(s, DefaultClusterSpec(), faults.FailTasksAtProgress(faults.Reduce, 5, 0.5))
+		res, err := Run(s, DefaultClusterSpec(), WithPlan(faults.FailTasksAtProgress(faults.Reduce, 5, 0.5)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -265,7 +265,7 @@ func TestInputReplicaLossSurvivable(t *testing.T) {
 		faults.Trigger{Kind: faults.AtTime, Time: 5e9}, // 5s: mid map phase
 		faults.Action{Kind: faults.CrashNode, Selector: faults.NodeExplicit, Node: 7},
 	)
-	res, err := Run(spec, DefaultClusterSpec(), plan)
+	res, err := Run(spec, DefaultClusterSpec(), WithPlan(plan))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,7 +299,7 @@ func TestQuickRandomFailurePlansPreserveOutput(t *testing.T) {
 		case 3:
 			plan = faults.StopMOFNodeAtJobProgress(0.4 + frac/4)
 		}
-		res, err := Run(spec, smallCluster(), plan)
+		res, err := Run(spec, smallCluster(), WithPlan(plan))
 		if err != nil {
 			return false
 		}

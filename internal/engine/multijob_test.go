@@ -87,7 +87,7 @@ func TestTwoJobsShareCluster(t *testing.T) {
 // competitor saturates the cluster than when running alone.
 func TestSharedClusterContentionSlowsJobs(t *testing.T) {
 	solo := JobSpec{Name: "solo", Workload: workloads.Terasort(), InputBytes: 25 << 30, NumReduces: 8, Mode: ModeYARN, Seed: 53}
-	alone, err := Run(solo, DefaultClusterSpec(), nil)
+	alone, err := Run(solo, DefaultClusterSpec())
 	if err != nil || !alone.Completed {
 		t.Fatalf("solo: %v %v", err, alone.FailReason)
 	}

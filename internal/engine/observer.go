@@ -1,0 +1,61 @@
+package engine
+
+import (
+	"alm/internal/metrics"
+	"alm/internal/sim"
+	"alm/internal/trace"
+)
+
+// Observer receives a job's activity while it runs, in deterministic
+// sim-time order (the event engine is single-threaded, so callbacks never
+// race and repeat runs of one seed deliver the identical sequence).
+// Callbacks must not block and must not mutate the run.
+type Observer interface {
+	// OnEvent fires for every trace event as it is emitted.
+	OnEvent(e trace.Event)
+	// OnProgress fires on each sampling tick (every 2s of sim time) and
+	// once more when the job finishes.
+	OnProgress(s ProgressSample)
+	// OnMetrics fires alongside OnProgress with the metric series that
+	// changed since the previous delivery, in sorted series order.
+	OnMetrics(delta []metrics.Series)
+}
+
+// ProgressSample is one point of the live job timeline — the same values
+// the trace timelines record for the paper's progress figures.
+type ProgressSample struct {
+	At                   sim.Time
+	MapProgress          float64
+	ReduceProgress       float64
+	FailedReduceAttempts int
+	FetchRetries         int
+}
+
+// ObserverFuncs adapts plain functions to Observer; nil fields are
+// skipped.
+type ObserverFuncs struct {
+	Event    func(e trace.Event)
+	Progress func(s ProgressSample)
+	Metrics  func(delta []metrics.Series)
+}
+
+// OnEvent implements Observer.
+func (o ObserverFuncs) OnEvent(e trace.Event) {
+	if o.Event != nil {
+		o.Event(e)
+	}
+}
+
+// OnProgress implements Observer.
+func (o ObserverFuncs) OnProgress(s ProgressSample) {
+	if o.Progress != nil {
+		o.Progress(s)
+	}
+}
+
+// OnMetrics implements Observer.
+func (o ObserverFuncs) OnMetrics(delta []metrics.Series) {
+	if o.Metrics != nil {
+		o.Metrics(delta)
+	}
+}

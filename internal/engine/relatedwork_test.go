@@ -28,11 +28,11 @@ func TestSlowNodeMakesLocalRelaunchStraggle(t *testing.T) {
 		)
 		return p
 	}
-	alg, err := Run(spec(ModeALG), DefaultClusterSpec(), plan())
+	alg, err := Run(spec(ModeALG), DefaultClusterSpec(), WithPlan(plan()))
 	if err != nil || !alg.Completed {
 		t.Fatalf("alg: %v %v", err, alg.FailReason)
 	}
-	alm, err := Run(spec(ModeALM), DefaultClusterSpec(), plan())
+	alm, err := Run(spec(ModeALM), DefaultClusterSpec(), WithPlan(plan()))
 	if err != nil || !alm.Completed {
 		t.Fatalf("alm: %v %v", err, alm.FailReason)
 	}
@@ -54,11 +54,11 @@ func issSpec(iss bool) JobSpec {
 // TestISSOverheadFailureFree: replicating every MOF costs visible time in
 // failure-free runs — the criticism the paper levels at ISS.
 func TestISSOverheadFailureFree(t *testing.T) {
-	plain, err := Run(issSpec(false), DefaultClusterSpec(), nil)
+	plain, err := Run(issSpec(false), DefaultClusterSpec())
 	if err != nil || !plain.Completed {
 		t.Fatalf("plain: %v %v", err, plain.FailReason)
 	}
-	iss, err := Run(issSpec(true), DefaultClusterSpec(), nil)
+	iss, err := Run(issSpec(true), DefaultClusterSpec())
 	if err != nil || !iss.Completed {
 		t.Fatalf("iss: %v %v", err, iss.FailReason)
 	}
@@ -79,7 +79,7 @@ func TestISSAvoidsMapRegeneration(t *testing.T) {
 	plan := func() *faults.Plan { return faults.StopMOFNodeAtJobProgress(0.55) }
 	spec := issSpec(true)
 	want := canonical(directOutput(spec))
-	res, err := Run(spec, DefaultClusterSpec(), plan())
+	res, err := Run(spec, DefaultClusterSpec(), WithPlan(plan()))
 	if err != nil || !res.Completed {
 		t.Fatalf("iss: %v %v", err, res.FailReason)
 	}
@@ -98,11 +98,11 @@ func TestISSAvoidsMapRegeneration(t *testing.T) {
 // does nothing for ReduceTask failures; recovery is as slow as stock.
 func TestISSStillCollapsesOnReduceFailure(t *testing.T) {
 	plan := func() *faults.Plan { return faults.FailTaskAtProgress(faults.Reduce, 0, 0.8) }
-	iss, err := Run(issSpec(true), DefaultClusterSpec(), plan())
+	iss, err := Run(issSpec(true), DefaultClusterSpec(), WithPlan(plan()))
 	if err != nil || !iss.Completed {
 		t.Fatalf("iss: %v %v", err, iss.FailReason)
 	}
-	free, err := Run(issSpec(true), DefaultClusterSpec(), nil)
+	free, err := Run(issSpec(true), DefaultClusterSpec())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +126,7 @@ func ckptSpec() JobSpec {
 func TestCheckpointRecoversCorrectly(t *testing.T) {
 	spec := ckptSpec()
 	want := canonical(directOutput(spec))
-	res, err := Run(spec, DefaultClusterSpec(), faults.FailTaskAtProgress(faults.Reduce, 0, 0.8))
+	res, err := Run(spec, DefaultClusterSpec(), WithPlan(faults.FailTaskAtProgress(faults.Reduce, 0, 0.8)))
 	if err != nil || !res.Completed {
 		t.Fatalf("ckpt: %v %v", err, res.FailReason)
 	}
@@ -144,14 +144,14 @@ func TestCheckpointRecoversCorrectly(t *testing.T) {
 // full-image checkpointing is far heavier than analytics logging in
 // failure-free runs.
 func TestCheckpointCostsMoreThanALG(t *testing.T) {
-	ck, err := Run(ckptSpec(), DefaultClusterSpec(), nil)
+	ck, err := Run(ckptSpec(), DefaultClusterSpec())
 	if err != nil || !ck.Completed {
 		t.Fatalf("ckpt: %v %v", err, ck.FailReason)
 	}
 	algSpec := ckptSpec()
 	algSpec.Checkpoint = CheckpointOptions{}
 	algSpec.Mode = ModeALG
-	alg, err := Run(algSpec, DefaultClusterSpec(), nil)
+	alg, err := Run(algSpec, DefaultClusterSpec())
 	if err != nil || !alg.Completed {
 		t.Fatalf("alg: %v %v", err, alg.FailReason)
 	}
@@ -168,7 +168,7 @@ func TestCheckpointSurvivesNodeLoss(t *testing.T) {
 	spec := ckptSpec()
 	want := canonical(directOutput(spec))
 	res, err := Run(spec, DefaultClusterSpec(),
-		faults.StopNodeOfTaskAtReduceProgress(faults.Reduce, 0, 0.7))
+		WithPlan(faults.StopNodeOfTaskAtReduceProgress(faults.Reduce, 0, 0.7)))
 	if err != nil || !res.Completed {
 		t.Fatalf("ckpt: %v %v", err, res.FailReason)
 	}
@@ -187,7 +187,7 @@ func TestStockSpeculationRescuesStraggler(t *testing.T) {
 		spec.Conf = mrDefault()
 		spec.Conf.SpeculativeExecution = speculate
 		res, err := Run(spec, DefaultClusterSpec(),
-			faults.SlowNodeOfTaskAtReduceProgress(faults.Reduce, 0, 0.35, 0.02))
+			WithPlan(faults.SlowNodeOfTaskAtReduceProgress(faults.Reduce, 0, 0.35, 0.02)))
 		if err != nil || !res.Completed {
 			t.Fatalf("speculate=%v: %v %v", speculate, err, res.FailReason)
 		}
@@ -210,7 +210,7 @@ func TestStockSpeculationQuietWhenHealthy(t *testing.T) {
 	spec := JobSpec{Workload: workloads.Terasort(), InputBytes: 20 << 30, NumReduces: 8, Mode: ModeYARN, Seed: 48}
 	spec.Conf = mrDefault()
 	spec.Conf.SpeculativeExecution = true
-	res, err := Run(spec, DefaultClusterSpec(), nil)
+	res, err := Run(spec, DefaultClusterSpec())
 	if err != nil || !res.Completed {
 		t.Fatalf("%v %v", err, res.FailReason)
 	}

@@ -19,7 +19,7 @@ func TestSFMNeverInfectsAcrossSeeds(t *testing.T) {
 		for _, mode := range []Mode{ModeYARN, ModeSFM} {
 			s := spec
 			s.Mode = mode
-			res, err := Run(s, DefaultClusterSpec(), faults.StopMOFNodeAtJobProgress(0.55))
+			res, err := Run(s, DefaultClusterSpec(), WithPlan(faults.StopMOFNodeAtJobProgress(0.55)))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -50,13 +50,13 @@ func TestALMFasterAcrossSeeds(t *testing.T) {
 		}
 		yarn := spec
 		yarn.Mode = ModeYARN
-		ry, err := Run(yarn, DefaultClusterSpec(), plan())
+		ry, err := Run(yarn, DefaultClusterSpec(), WithPlan(plan()))
 		if err != nil || !ry.Completed {
 			t.Fatalf("seed %d yarn: %v %v", seed, err, ry.FailReason)
 		}
 		almSpec := spec
 		almSpec.Mode = ModeALM
-		ra, err := Run(almSpec, DefaultClusterSpec(), plan())
+		ra, err := Run(almSpec, DefaultClusterSpec(), WithPlan(plan()))
 		if err != nil || !ra.Completed {
 			t.Fatalf("seed %d alm: %v %v", seed, err, ra.FailReason)
 		}
@@ -70,7 +70,7 @@ func TestALMFasterAcrossSeeds(t *testing.T) {
 // must work and recover.
 func TestManyReducersPerNode(t *testing.T) {
 	spec := JobSpec{Workload: workloads.Terasort(), InputBytes: 20 << 30, NumReduces: 60, Mode: ModeALM, Seed: 31}
-	res, err := Run(spec, DefaultClusterSpec(), faults.StopNodeOfTaskAtReduceProgress(faults.Reduce, 5, 0.5))
+	res, err := Run(spec, DefaultClusterSpec(), WithPlan(faults.StopNodeOfTaskAtReduceProgress(faults.Reduce, 5, 0.5)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +82,7 @@ func TestManyReducersPerNode(t *testing.T) {
 // TestTinyJob: one map, one reducer, minimal data.
 func TestTinyJob(t *testing.T) {
 	spec := JobSpec{Workload: workloads.Wordcount(), InputBytes: 1, NumReduces: 1, Mode: ModeALM, Seed: 1}
-	res, err := Run(spec, smallCluster(), nil)
+	res, err := Run(spec, smallCluster())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func TestTwoSimultaneousNodeFailures(t *testing.T) {
 			faults.Action{Kind: faults.StopNodeNetwork, Selector: faults.NodeOfTask, Task: faults.Reduce, TaskIdx: 0}).
 		Add(faults.Trigger{Kind: faults.AtReducePhaseProgress, Fraction: 0.4},
 			faults.Action{Kind: faults.StopNodeNetwork, Selector: faults.NodeWithMOFsOnly})
-	res, err := Run(spec, DefaultClusterSpec(), plan)
+	res, err := Run(spec, DefaultClusterSpec(), WithPlan(plan))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -36,19 +36,81 @@ func DefaultClusterSpec() ClusterSpec {
 	}
 }
 
-// Run executes one job on a fresh simulated cluster and returns its
-// result. It is the main entry point used by experiments, examples and
-// tests.
-func Run(spec JobSpec, cs ClusterSpec, plan *faults.Plan) (Result, error) {
-	res, _, err := RunInstrumented(spec, cs, plan)
-	return res, err
+// RunOptions collects everything optional about a run. Zero value plus
+// defaults() is a fault-free, trace-attached, unobserved run.
+type RunOptions struct {
+	// Plan injects faults during the run (nil = fault-free).
+	Plan *faults.Plan
+	// Observer streams events, progress samples and metrics deltas in
+	// deterministic sim-time order while the job runs.
+	Observer Observer
+	// CollectMetrics attaches the final metrics snapshot to
+	// Result.Metrics. Metrics are always gathered internally (the cost is
+	// a few map lookups per event); this only controls exposure.
+	CollectMetrics bool
+	// AttachTrace keeps Result.Trace populated. Engine-level callers get
+	// it by default (tests inspect traces heavily); the public facade
+	// flips the default and re-enables it via alm.WithTrace.
+	AttachTrace bool
+	// Handles, when non-nil, is filled with the run's live control-plane
+	// objects so callers can audit post-run state (the chaos harness
+	// checks cluster resource-conservation invariants).
+	Handles *Handles
 }
 
-// RunInstrumented is Run, additionally returning the cluster the job ran
-// on so callers can audit post-run state — the chaos harness checks
-// resource-conservation invariants (cluster.CheckConservation) that only
-// the control plane can see.
-func RunInstrumented(spec JobSpec, cs ClusterSpec, plan *faults.Plan) (Result, *cluster.Cluster, error) {
+// RunOption mutates RunOptions; pass them to Run.
+type RunOption func(*RunOptions)
+
+// WithPlan injects the given fault plan.
+func WithPlan(plan *faults.Plan) RunOption {
+	return func(o *RunOptions) { o.Plan = plan }
+}
+
+// WithObserver streams run activity to obs.
+func WithObserver(obs Observer) RunOption {
+	return func(o *RunOptions) { o.Observer = obs }
+}
+
+// WithMetrics attaches the final metrics snapshot to Result.Metrics.
+func WithMetrics() RunOption {
+	return func(o *RunOptions) { o.CollectMetrics = true }
+}
+
+// WithTrace keeps the full trace collector on Result.Trace.
+func WithTrace() RunOption {
+	return func(o *RunOptions) { o.AttachTrace = true }
+}
+
+// WithoutTrace drops the trace from the Result. The facade uses it to
+// invert the engine default so traces are opt-in for public callers.
+func WithoutTrace() RunOption {
+	return func(o *RunOptions) { o.AttachTrace = false }
+}
+
+// WithHandles fills h with the run's cluster, job and event engine.
+func WithHandles(h *Handles) RunOption {
+	return func(o *RunOptions) { o.Handles = h }
+}
+
+// Handles exposes a finished run's control-plane objects for audits.
+type Handles struct {
+	Cluster *cluster.Cluster
+	Job     *Job
+	Eng     *sim.Engine
+}
+
+// Run executes one job on a fresh simulated cluster and returns its
+// result. It is the single entry point used by the facade, experiments,
+// examples, the chaos harness and tests; everything optional — fault
+// plans, observers, metrics exposure, post-run handles — arrives through
+// functional options.
+func Run(spec JobSpec, cs ClusterSpec, opts ...RunOption) (Result, error) {
+	o := RunOptions{AttachTrace: true}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&o)
+		}
+	}
 	if cs.Racks == 0 {
 		cs = DefaultClusterSpec()
 	}
@@ -65,11 +127,11 @@ func RunInstrumented(spec JobSpec, cs ClusterSpec, plan *faults.Plan) (Result, *
 		Oversubscription: cs.Oversubscription,
 	})
 	if err != nil {
-		return Result{}, nil, err
+		return Result{}, err
 	}
 	specD, err := spec.Defaulted()
 	if err != nil {
-		return Result{}, nil, err
+		return Result{}, err
 	}
 	eng := sim.NewEngine(specD.Seed)
 	eng.SetMaxEvents(cs.MaxEvents)
@@ -77,14 +139,18 @@ func RunInstrumented(spec JobSpec, cs ClusterSpec, plan *faults.Plan) (Result, *
 		HeartbeatInterval: specD.Conf.HeartbeatInterval,
 		NodeExpiry:        specD.Conf.NodeExpiry,
 	})
-	job, err := NewJob(specD, cl, plan)
+	// The engine consumes injection state (Done/Fired) as the run
+	// progresses; clone so the caller's plan stays reusable across runs.
+	job, err := NewJob(specD, cl, o.Plan.Clone())
 	if err != nil {
-		return Result{}, nil, err
+		return Result{}, err
 	}
+	job.SetObserver(o.Observer)
 	if err := job.Start(func() { eng.Stop() }); err != nil {
-		return Result{}, nil, err
+		return Result{}, err
 	}
 	eng.Run(sim.Time(cs.MaxVirtualTime))
+	job.finalizeMetrics(eng)
 	res := job.Result()
 	res.Events = EventStats{
 		Processed: eng.Processed(),
@@ -96,5 +162,14 @@ func RunInstrumented(spec JobSpec, cs ClusterSpec, plan *faults.Plan) (Result, *
 		res.FailReason = fmt.Sprintf("job did not finish within %v of virtual time", cs.MaxVirtualTime)
 		res.Duration = cs.MaxVirtualTime
 	}
-	return res, cl, nil
+	if o.CollectMetrics {
+		res.Metrics = job.MetricsSnapshot()
+	}
+	if !o.AttachTrace {
+		res.Trace = nil
+	}
+	if o.Handles != nil {
+		*o.Handles = Handles{Cluster: cl, Job: job, Eng: eng}
+	}
+	return res, nil
 }

@@ -25,7 +25,7 @@ func smallSpec(w *workloads.Workload, mode Mode, reduces int) JobSpec {
 }
 
 func TestSmokeWordcountYARN(t *testing.T) {
-	res, err := Run(smallSpec(workloads.Wordcount(), ModeYARN, 1), smallCluster(), nil)
+	res, err := Run(smallSpec(workloads.Wordcount(), ModeYARN, 1), smallCluster())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +44,7 @@ func TestSmokeWordcountYARN(t *testing.T) {
 func TestSmokeTerasortAllModes(t *testing.T) {
 	var base []string
 	for _, mode := range []Mode{ModeYARN, ModeALG, ModeSFM, ModeALM} {
-		res, err := Run(smallSpec(workloads.Terasort(), mode, 4), smallCluster(), nil)
+		res, err := Run(smallSpec(workloads.Terasort(), mode, 4), smallCluster())
 		if err != nil {
 			t.Fatal(err)
 		}

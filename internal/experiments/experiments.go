@@ -17,6 +17,7 @@ import (
 
 	"alm/internal/engine"
 	"alm/internal/faults"
+	"alm/internal/metrics"
 	"alm/internal/workloads"
 )
 
@@ -29,6 +30,10 @@ type Options struct {
 	Seed int64
 	// Workers bounds parallel simulations; zero means GOMAXPROCS.
 	Workers int
+	// MetricsSink, when non-nil, receives each simulation's metrics
+	// snapshot keyed by case key ("<experiment>/<case>"). Delivery is
+	// serialised and, within one experiment, in sorted case-key order.
+	MetricsSink func(caseKey string, snap *metrics.Snapshot)
 }
 
 func (o Options) scale() float64 {
@@ -149,12 +154,15 @@ func (t *Table) Render() string {
 // Func runs one experiment.
 type Func func(Options) (*Table, error)
 
-// Registry maps experiment IDs to implementations, in paper order.
-var Registry = []struct {
+// Entry is one registered experiment.
+type Entry struct {
 	ID   string
 	Desc string
 	Run  Func
-}{
+}
+
+// Registry lists the experiments in paper order.
+var Registry = []Entry{
 	{"fig1", "Recovery time: 1 ReduceTask failure vs many MapTask failures", Fig1},
 	{"fig2", "Delayed job execution from a single task failure", Fig2},
 	{"fig3", "Temporal amplification of a ReduceTask failure (YARN)", Fig3},
@@ -172,14 +180,47 @@ var Registry = []struct {
 	{"related", "ALM vs heavyweight checkpointing and ISS (extension beyond the paper)", RelatedWork},
 }
 
-// ByID returns the registered experiment.
-func ByID(id string) (Func, bool) {
-	for _, e := range Registry {
-		if e.ID == id {
-			return e.Run, true
-		}
+// index maps experiment IDs to Registry positions; built once so every
+// lookup path (Lookup, ByID, Describe) shares it instead of scanning.
+var index = func() map[string]int {
+	m := make(map[string]int, len(Registry))
+	for i, e := range Registry {
+		m[e.ID] = i
 	}
-	return nil, false
+	return m
+}()
+
+// Lookup returns the registry entry for id.
+func Lookup(id string) (Entry, bool) {
+	i, ok := index[id]
+	if !ok {
+		return Entry{}, false
+	}
+	return Registry[i], true
+}
+
+// ByID returns the registered experiment function.
+func ByID(id string) (Func, bool) {
+	e, ok := Lookup(id)
+	if !ok {
+		return nil, false
+	}
+	return e.Run, true
+}
+
+// Describe returns the one-line description for id ("" when unknown).
+func Describe(id string) string {
+	e, _ := Lookup(id)
+	return e.Desc
+}
+
+// IDs returns every experiment ID in paper order.
+func IDs() []string {
+	out := make([]string, len(Registry))
+	for i, e := range Registry {
+		out[i] = e.ID
+	}
+	return out
 }
 
 // ---- shared machinery ----
@@ -247,7 +288,11 @@ func runAll(cases []runCase, opt Options) (map[string]engine.Result, error) {
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			res, err := engine.Run(c.spec, engine.DefaultClusterSpec(), c.plan)
+			opts := []engine.RunOption{engine.WithPlan(c.plan)}
+			if opt.MetricsSink != nil {
+				opts = append(opts, engine.WithMetrics())
+			}
+			res, err := engine.Run(c.spec, engine.DefaultClusterSpec(), opts...)
 			if err != nil {
 				err = fmt.Errorf("case %s: %w", c.key, err)
 			}
@@ -255,7 +300,35 @@ func runAll(cases []runCase, opt Options) (map[string]engine.Result, error) {
 		}()
 	}
 	wg.Wait()
-	return cc.done()
+	results, err := cc.done()
+	if err == nil && opt.MetricsSink != nil {
+		keys := make([]string, 0, len(results))
+		for k := range results {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			opt.MetricsSink(k, results[k].Metrics)
+		}
+	}
+	return results, err
+}
+
+// runOne executes a single simulation, feeding the metrics sink when one
+// is attached (the timeline figures run one job instead of a fan-out).
+func runOne(key string, spec engine.JobSpec, plan *faults.Plan, opt Options) (engine.Result, error) {
+	opts := []engine.RunOption{engine.WithPlan(plan)}
+	if opt.MetricsSink != nil {
+		opts = append(opts, engine.WithMetrics())
+	}
+	res, err := engine.Run(spec, engine.DefaultClusterSpec(), opts...)
+	if err != nil {
+		return res, fmt.Errorf("case %s: %w", key, err)
+	}
+	if opt.MetricsSink != nil {
+		opt.MetricsSink(key, res.Metrics)
+	}
+	return res, nil
 }
 
 func secs(d time.Duration) float64 { return d.Seconds() }

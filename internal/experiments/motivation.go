@@ -159,8 +159,8 @@ func timelineTable(id, title string, res engine.Result, step time.Duration) *Tab
 // Fig3 reproduces Fig. 3: the temporal repetition of a ReduceTask failure
 // under stock YARN — crash, ~70 s detection, recovery, second failure.
 func Fig3(opt Options) (*Table, error) {
-	res, err := engine.Run(wordcountSpecWithPlan(opt), engine.DefaultClusterSpec(),
-		faults.StopNodeOfTaskAtReduceProgress(faults.Reduce, 0, 0.45))
+	res, err := runOne("fig3/yarn", wordcountSpecWithPlan(opt),
+		faults.StopNodeOfTaskAtReduceProgress(faults.Reduce, 0, 0.45), opt)
 	if err != nil {
 		return nil, err
 	}
@@ -173,8 +173,8 @@ func wordcountSpecWithPlan(opt Options) engine.JobSpec { return wordcount(engine
 // Fig4 reproduces Fig. 4: a single node failure (hosting MOFs only)
 // infects healthy ReduceTasks under stock YARN.
 func Fig4(opt Options) (*Table, error) {
-	res, err := engine.Run(terasort(engine.ModeYARN, opt), engine.DefaultClusterSpec(),
-		faults.StopMOFNodeAtJobProgress(0.55))
+	res, err := runOne("fig4/yarn", terasort(engine.ModeYARN, opt),
+		faults.StopMOFNodeAtJobProgress(0.55), opt)
 	if err != nil {
 		return nil, err
 	}

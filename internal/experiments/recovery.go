@@ -107,8 +107,8 @@ func Fig9(opt Options) (*Table, error) {
 // under SFM — map regeneration is prioritised, the recovery launch is
 // slightly delayed, and no second failure occurs.
 func Fig10(opt Options) (*Table, error) {
-	res, err := engine.Run(wordcount(engine.ModeSFM, opt), engine.DefaultClusterSpec(),
-		faults.StopNodeOfTaskAtReduceProgress(faults.Reduce, 0, 0.45))
+	res, err := runOne("fig10/sfm", wordcount(engine.ModeSFM, opt),
+		faults.StopNodeOfTaskAtReduceProgress(faults.Reduce, 0, 0.45), opt)
 	if err != nil {
 		return nil, err
 	}

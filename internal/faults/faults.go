@@ -188,6 +188,21 @@ func (p *Plan) AddRecurring(when Trigger, do Action, every time.Duration, times 
 	return p
 }
 
+// Clone returns a deep copy of the plan with fresh runtime state
+// (Done/Fired reset), so one plan value can drive many runs. The engine
+// clones every plan it is handed; callers never see their plan mutated.
+// A nil plan clones to nil.
+func (p *Plan) Clone() *Plan {
+	if p == nil {
+		return nil
+	}
+	out := &Plan{Injections: make([]*Injection, len(p.Injections))}
+	for i, inj := range p.Injections {
+		out.Injections[i] = &Injection{When: inj.When, Do: inj.Do, Every: inj.Every, Times: inj.Times}
+	}
+	return out
+}
+
 // Validate rejects malformed plans at construction time with a
 // descriptive error, instead of letting a bad trigger silently never
 // fire: fractions outside [0,1], negative times and indices, missing

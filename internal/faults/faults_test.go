@@ -233,3 +233,25 @@ func TestGrayFailureHelpersValidate(t *testing.T) {
 		t.Errorf("rack helper: %+v", inj.Do)
 	}
 }
+
+func TestPlanClone(t *testing.T) {
+	if (*Plan)(nil).Clone() != nil {
+		t.Fatal("nil plan must clone to nil")
+	}
+	p := FailTasksAtProgress(Reduce, 2, 0.5)
+	p.Injections[0].Done = true
+	p.Injections[0].Fired = 3
+	c := p.Clone()
+	if len(c.Injections) != 2 {
+		t.Fatalf("clone has %d injections, want 2", len(c.Injections))
+	}
+	if c.Injections[0] == p.Injections[0] {
+		t.Fatal("clone shares injection pointers with the original")
+	}
+	if c.Injections[0].Done || c.Injections[0].Fired != 0 {
+		t.Fatal("clone must reset runtime state (Done/Fired)")
+	}
+	if c.Injections[1].When != p.Injections[1].When || c.Injections[1].Do != p.Injections[1].Do {
+		t.Fatal("clone must preserve trigger and action")
+	}
+}

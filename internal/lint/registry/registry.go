@@ -33,6 +33,7 @@ var detnowScope = []string{
 	ModulePath + "/internal/merge",
 	ModulePath + "/internal/experiments",
 	ModulePath + "/internal/chaos",
+	ModulePath + "/internal/metrics",
 	ModulePath + "/cmd",
 }
 

@@ -1,0 +1,138 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+var inf = math.Inf(1)
+
+// formatValue renders a float the same way for every run: integral
+// values (the common case — counts and byte totals) print without an
+// exponent or decimal point, everything else uses Go's shortest
+// round-trip form.
+func formatValue(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// withLabel re-renders a series key with one extra label appended in
+// sorted position (used for histogram le labels).
+func withLabel(name string, labels []Label, extra Label) string {
+	ls := make([]Label, 0, len(labels)+1)
+	ls = append(ls, labels...)
+	ls = append(ls, extra)
+	// labels are already sorted; insert extra in place.
+	for i := len(ls) - 1; i > 0 && ls[i].Name < ls[i-1].Name; i-- {
+		ls[i], ls[i-1] = ls[i-1], ls[i]
+	}
+	return seriesKey(name, ls)
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4). Series appear in sorted key order with one
+// # TYPE header per metric name, so two snapshots with equal contents
+// render byte-identically.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	lastName := ""
+	for i := range s.Series {
+		se := &s.Series[i]
+		if se.Name != lastName {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", se.Name, se.Kind); err != nil {
+				return err
+			}
+			lastName = se.Name
+		}
+		switch se.Kind {
+		case KindHistogram:
+			for _, b := range se.Buckets {
+				key := withLabel(se.Name+"_bucket", se.Labels, Label{Name: "le", Value: formatValue(b.LE)})
+				if _, err := fmt.Fprintf(w, "%s %d\n", key, b.Count); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s %s\n", seriesKey(se.Name+"_sum", se.Labels), formatValue(se.Sum)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", seriesKey(se.Name+"_count", se.Labels), se.Count); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "%s %s\n", se.key, formatValue(se.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Prometheus renders WritePrometheus to a byte slice.
+func (s *Snapshot) Prometheus() []byte {
+	var b strings.Builder
+	s.WritePrometheus(&b) //nolint:errcheck // strings.Builder cannot fail
+	return []byte(b.String())
+}
+
+// jsonSeries mirrors Series for export, replacing the +Inf bucket bound
+// with the string "+Inf" (JSON has no infinity literal).
+type jsonSeries struct {
+	Name    string       `json:"name"`
+	Labels  []Label      `json:"labels,omitempty"`
+	Kind    string       `json:"kind"`
+	Value   *float64     `json:"value,omitempty"`
+	Buckets []jsonBucket `json:"buckets,omitempty"`
+	Sum     *float64     `json:"sum,omitempty"`
+	Count   *uint64      `json:"count,omitempty"`
+}
+
+type jsonBucket struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// WriteJSON renders the snapshot as a stable JSON document: series in
+// sorted key order, fixed field order, no floating-point surprises —
+// byte-identical for equal snapshots.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	out := struct {
+		Series []jsonSeries `json:"series"`
+	}{Series: make([]jsonSeries, 0, len(s.Series))}
+	for i := range s.Series {
+		se := &s.Series[i]
+		js := jsonSeries{Name: se.Name, Labels: se.Labels, Kind: se.Kind.String()}
+		switch se.Kind {
+		case KindHistogram:
+			for _, b := range se.Buckets {
+				js.Buckets = append(js.Buckets, jsonBucket{LE: formatValue(b.LE), Count: b.Count})
+			}
+			sum, count := se.Sum, se.Count
+			js.Sum, js.Count = &sum, &count
+		default:
+			v := se.Value
+			js.Value = &v
+		}
+		out.Series = append(out.Series, js)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// JSON renders WriteJSON to a byte slice.
+func (s *Snapshot) JSON() []byte {
+	var b strings.Builder
+	s.WriteJSON(&b) //nolint:errcheck // strings.Builder cannot fail
+	return []byte(b.String())
+}

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckValid(t *testing.T) {
+	doc := strings.Join([]string{
+		`# HELP engine_tasks_launched_total tasks launched by kind`,
+		`# TYPE engine_tasks_launched_total counter`,
+		`engine_tasks_launched_total{kind="map"} 8`,
+		`engine_tasks_launched_total{kind="reduce"} 4`,
+		`# TYPE job_progress gauge`,
+		`job_progress 0.625`,
+		`# TYPE engine_task_duration_seconds histogram`,
+		`engine_task_duration_seconds_bucket{kind="map",le="0.5"} 0`,
+		`engine_task_duration_seconds_bucket{kind="map",le="+Inf"} 3`,
+		`engine_task_duration_seconds_sum{kind="map"} 223.8`,
+		`engine_task_duration_seconds_count{kind="map"} 3`,
+		`# TYPE escaped gauge`,
+		`escaped{path="a\"b\\c\nd"} 1 1622000000`,
+		``,
+	}, "\n")
+	if err := Check([]byte(doc)); err != nil {
+		t.Fatalf("valid document rejected: %v", err)
+	}
+}
+
+func TestCheckInvalid(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"bad metric name", "# TYPE 0bad counter\n", "invalid metric name"},
+		{"unknown type", "# TYPE m widget\n", "unknown sample type"},
+		{"duplicate type", "# TYPE m counter\n# TYPE m counter\n", "duplicate TYPE"},
+		{"type after samples", "# TYPE m counter\nm 1\n# TYPE m gauge\n", "duplicate TYPE"},
+		{"late type", "# TYPE other counter\nm 1\n", "no preceding TYPE"},
+		{"sample without type", "m{a=\"b\"} 1\n", "no preceding TYPE"},
+		{"unquoted label", "# TYPE m counter\nm{a=b} 1\n", "not quoted"},
+		{"bad label name", "# TYPE m counter\nm{0a=\"b\"} 1\n", "invalid label name"},
+		{"unterminated value", "# TYPE m counter\nm{a=\"b} 1\n", "closing quote"},
+		{"missing value", "# TYPE m counter\nm\n", "no value"},
+		{"bad value", "# TYPE m counter\nm zero\n", "bad value"},
+		{"bad timestamp", "# TYPE m counter\nm 1 soon\n", "bad timestamp"},
+		{"bucket without le", "# TYPE h histogram\nh_bucket{kind=\"map\"} 1\n", "lacks an le label"},
+		{"trailing garbage", "# TYPE m counter\nm 1 2 3\n", "trailing garbage"},
+	}
+	for _, tc := range cases {
+		err := Check([]byte(tc.doc))
+		if err == nil {
+			t.Errorf("%s: accepted invalid document", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package metrics
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"alm/internal/metrics/lint"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// buildRegistry populates a registry the way the engine does: labeled
+// counters, gauges, and a fixed-bucket histogram fed through spans.
+func buildRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("engine_tasks_launched_total", "kind", "map").Add(8)
+	r.Counter("engine_tasks_launched_total", "kind", "reduce").Add(4)
+	r.Counter("simnet_link_bytes_total", "src", "node-0-0", "dst", "node-1-3").Add(1 << 20)
+	r.Gauge("job_progress", "phase", "reduce").Set(0.625)
+	h := r.Histogram("engine_task_duration_seconds", nil, "kind", "reduce")
+	for _, d := range []time.Duration{800 * time.Millisecond, 42 * time.Second, 3 * time.Minute} {
+		sp := StartSpan(h, 0)
+		sp.End(d)
+	}
+	return r
+}
+
+func TestSnapshotSortedAndDeterministic(t *testing.T) {
+	a := buildRegistry().Snapshot()
+	b := buildRegistry().Snapshot()
+	if !bytes.Equal(a.Prometheus(), b.Prometheus()) {
+		t.Fatal("identical registries rendered different Prometheus text")
+	}
+	if !bytes.Equal(a.JSON(), b.JSON()) {
+		t.Fatal("identical registries rendered different JSON")
+	}
+	for i := 1; i < len(a.Series); i++ {
+		if a.Series[i-1].key >= a.Series[i].key {
+			t.Fatalf("snapshot not sorted: %q before %q", a.Series[i-1].key, a.Series[i].key)
+		}
+	}
+}
+
+func TestGoldenExports(t *testing.T) {
+	snap := buildRegistry().Snapshot()
+	for _, tc := range []struct {
+		file string
+		got  []byte
+	}{
+		{"basic.prom", snap.Prometheus()},
+		{"basic.json", snap.JSON()},
+	} {
+		path := filepath.Join("testdata", tc.file)
+		if *updateGolden {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing golden file %s: %v (regenerate with -update-golden)", path, err)
+		}
+		if !bytes.Equal(tc.got, want) {
+			t.Errorf("%s drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", tc.file, tc.got, want)
+		}
+	}
+}
+
+func TestPrometheusOutputPassesLint(t *testing.T) {
+	if err := lint.Check(buildRegistry().Snapshot().Prometheus()); err != nil {
+		t.Fatalf("exporter output fails the promtext checker: %v", err)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("d", []float64{1, 10}, "k", "v")
+	for _, v := range []float64{0.5, 1, 5, 100} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot()
+	se := snap.Series[0]
+	if se.Count != 4 || se.Sum != 106.5 {
+		t.Fatalf("count/sum = %d/%v, want 4/106.5", se.Count, se.Sum)
+	}
+	wantCum := []uint64{2, 3, 4} // le=1 (0.5 and the boundary 1), le=10, +Inf
+	for i, b := range se.Buckets {
+		if b.Count != wantCum[i] {
+			t.Fatalf("bucket %d cumulative = %d, want %d", i, b.Count, wantCum[i])
+		}
+	}
+}
+
+func TestTakeDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	g := r.Gauge("g")
+	c.Inc()
+	g.Set(2)
+	d1 := r.TakeDelta()
+	if len(d1) != 2 {
+		t.Fatalf("first delta has %d series, want 2", len(d1))
+	}
+	if d := r.TakeDelta(); d != nil {
+		t.Fatalf("idle delta not empty: %v", d)
+	}
+	c.Inc()
+	d2 := r.TakeDelta()
+	if len(d2) != 1 || d2[0].Name != "c_total" || d2[0].Value != 2 {
+		t.Fatalf("second delta = %+v, want c_total=2 only", d2)
+	}
+	g.Set(2) // unchanged value must not dirty the series
+	if d := r.TakeDelta(); d != nil {
+		t.Fatalf("no-op gauge set produced a delta: %v", d)
+	}
+}
+
+func TestMergeSemantics(t *testing.T) {
+	a := buildRegistry().Snapshot()
+	b := buildRegistry().Snapshot()
+	a.Merge(b)
+	if v, _ := a.Value("engine_tasks_launched_total", "kind", "map"); v != 16 {
+		t.Fatalf("merged counter = %v, want 16", v)
+	}
+	if v, _ := a.Value("job_progress", "phase", "reduce"); v != 0.625 {
+		t.Fatalf("merged gauge = %v, want max 0.625", v)
+	}
+	for _, se := range a.Series {
+		if se.Name == "engine_task_duration_seconds" && se.Count != 6 {
+			t.Fatalf("merged histogram count = %d, want 6", se.Count)
+		}
+	}
+	if err := lint.Check(a.Prometheus()); err != nil {
+		t.Fatalf("merged snapshot fails lint: %v", err)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x_total").Inc()
+	r.Gauge("g").Set(1)
+	r.Histogram("h", nil).Observe(1)
+	StartSpan(r.Histogram("h", nil), 0).End(time.Second)
+	if n := r.Snapshot().Len(); n != 0 {
+		t.Fatalf("nil registry snapshot has %d series", n)
+	}
+	if d := r.TakeDelta(); d != nil {
+		t.Fatalf("nil registry delta: %v", d)
+	}
+}
+
+func TestKindClashPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering one name as counter then gauge did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("clash")
+	r.Gauge("clash")
+}

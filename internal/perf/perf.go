@@ -105,7 +105,7 @@ func benchJob(b *testing.B, spec engine.JobSpec, plan func() *faults.Plan) {
 			p = plan()
 		}
 		var err error
-		res, err = engine.Run(spec, engine.DefaultClusterSpec(), p)
+		res, err = engine.Run(spec, engine.DefaultClusterSpec(), engine.WithPlan(p))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"alm/internal/fairshare"
+	"alm/internal/metrics"
 	"alm/internal/sim"
 	"alm/internal/topology"
 )
@@ -31,6 +32,13 @@ type Disks struct {
 	// BytesRead/BytesWritten accumulate per-node traffic. Diagnostic only.
 	BytesRead    []int64
 	BytesWritten []int64
+
+	// Optional instrumentation (SetMetrics): per-node byte counters,
+	// created lazily so idle disks never appear in snapshots.
+	mreg   *metrics.Registry
+	names  []string
+	readC  []*metrics.Counter
+	writeC []*metrics.Counter
 }
 
 // New builds the disk model. It shares the fair-share system with the
@@ -55,8 +63,37 @@ func New(e *sim.Engine, topo *topology.Topology, sys *fairshare.System) *Disks {
 		d.write[node.ID] = sys.NewPort(fmt.Sprintf("%s/disk-w", node.Name), node.HW.DiskWriteBW)
 		d.baseRead[node.ID] = node.HW.DiskReadBW
 		d.baseWrite[node.ID] = node.HW.DiskWriteBW
+		d.names = append(d.names, node.Name)
 	}
 	return d
+}
+
+// SetMetrics attaches a registry: subsequent I/O counts per-node bytes
+// as alm_disk_read_bytes_total{node} / alm_disk_write_bytes_total{node}.
+func (d *Disks) SetMetrics(reg *metrics.Registry) {
+	d.mreg = reg
+	d.readC = make([]*metrics.Counter, len(d.read))
+	d.writeC = make([]*metrics.Counter, len(d.write))
+}
+
+func (d *Disks) countRead(id topology.NodeID, bytes int64) {
+	if d.mreg == nil {
+		return
+	}
+	if d.readC[id] == nil {
+		d.readC[id] = d.mreg.Counter("alm_disk_read_bytes_total", "node", d.names[id])
+	}
+	d.readC[id].Add(float64(bytes))
+}
+
+func (d *Disks) countWrite(id topology.NodeID, bytes int64) {
+	if d.mreg == nil {
+		return
+	}
+	if d.writeC[id] == nil {
+		d.writeC[id] = d.mreg.Counter("alm_disk_write_bytes_total", "node", d.names[id])
+	}
+	d.writeC[id].Add(float64(bytes))
 }
 
 // Degrade scales a node's disk bandwidth to factor of hardware rate — the
@@ -87,6 +124,7 @@ func (d *Disks) WritePort(id topology.NodeID) *fairshare.Port { return d.write[i
 // completes.
 func (d *Disks) Read(id topology.NodeID, bytes int64, done func()) *fairshare.Flow {
 	d.BytesRead[id] += bytes
+	d.countRead(id, bytes)
 	return d.sys.StartFlow(fmt.Sprintf("dread:%d", id), bytes, []*fairshare.Port{d.read[id]}, 0, done)
 }
 
@@ -94,6 +132,7 @@ func (d *Disks) Read(id topology.NodeID, bytes int64, done func()) *fairshare.Fl
 // it completes.
 func (d *Disks) Write(id topology.NodeID, bytes int64, done func()) *fairshare.Flow {
 	d.BytesWritten[id] += bytes
+	d.countWrite(id, bytes)
 	return d.sys.StartFlow(fmt.Sprintf("dwrite:%d", id), bytes, []*fairshare.Port{d.write[id]}, 0, done)
 }
 
@@ -103,6 +142,8 @@ func (d *Disks) Write(id topology.NodeID, bytes int64, done func()) *fairshare.F
 func (d *Disks) ReadWrite(id topology.NodeID, bytes int64, done func()) *fairshare.Flow {
 	d.BytesRead[id] += bytes
 	d.BytesWritten[id] += bytes
+	d.countRead(id, bytes)
+	d.countWrite(id, bytes)
 	ports := []*fairshare.Port{d.read[id], d.write[id]}
 	return d.sys.StartFlow(fmt.Sprintf("dmerge:%d", id), bytes, ports, 0, done)
 }

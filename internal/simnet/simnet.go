@@ -17,6 +17,7 @@ import (
 	"math/rand"
 
 	"alm/internal/fairshare"
+	"alm/internal/metrics"
 	"alm/internal/sim"
 	"alm/internal/topology"
 )
@@ -51,6 +52,13 @@ type Network struct {
 	// BytesSent accumulates total payload bytes for which transfers were
 	// started, by source node. Diagnostic only.
 	BytesSent []int64
+
+	// Optional instrumentation (SetMetrics). linkBytes caches one counter
+	// handle per (src, dst) pair, created on first traffic so idle links
+	// never appear in snapshots.
+	mreg         *metrics.Registry
+	linkBytes    []*metrics.Counter
+	connectFails *metrics.Counter
 }
 
 // New builds the network for the given topology.
@@ -228,7 +236,36 @@ func (n *Network) AttemptFails(src, dst topology.NodeID, rng *rand.Rand) bool {
 	if st == nil || st.prob <= 0 {
 		return false
 	}
-	return rng.Float64() < st.prob
+	if rng.Float64() < st.prob {
+		n.connectFails.Inc()
+		return true
+	}
+	return false
+}
+
+// SetMetrics attaches a registry: subsequent transfers count per-link
+// bytes (alm_net_link_bytes_total{src,dst}) and flaky-link connection
+// failures (alm_net_connect_failures_total).
+func (n *Network) SetMetrics(reg *metrics.Registry) {
+	n.mreg = reg
+	n.linkBytes = make([]*metrics.Counter, n.topo.NumNodes()*n.topo.NumNodes())
+	n.connectFails = reg.Counter("alm_net_connect_failures_total")
+}
+
+// countLinkBytes feeds the per-link traffic counter, creating the handle
+// on first use.
+func (n *Network) countLinkBytes(src, dst topology.NodeID, bytes int64) {
+	if n.mreg == nil {
+		return
+	}
+	idx := int(src)*n.topo.NumNodes() + int(dst)
+	c := n.linkBytes[idx]
+	if c == nil {
+		c = n.mreg.Counter("alm_net_link_bytes_total",
+			"src", n.topo.Node(src).Name, "dst", n.topo.Node(dst).Name)
+		n.linkBytes[idx] = c
+	}
+	c.Add(float64(bytes))
 }
 
 // PortsFor returns the set of network ports a transfer from src to dst
@@ -257,5 +294,6 @@ func (n *Network) PortsFor(src, dst topology.NodeID) []*fairshare.Port {
 // negligible loopback delay.
 func (n *Network) Transfer(src, dst topology.NodeID, bytes int64, done func()) *fairshare.Flow {
 	n.BytesSent[src] += bytes
+	n.countLinkBytes(src, dst, bytes)
 	return n.sys.StartFlow(fmt.Sprintf("xfer:%d->%d", src, dst), bytes, n.PortsFor(src, dst), 0, done)
 }

@@ -59,6 +59,12 @@ type Point struct {
 type Collector struct {
 	Events []Event
 	series map[string][]Point
+
+	// OnEmit, when set, observes every event at the moment it is recorded
+	// (in sim-time order, since the engine is single-threaded). The engine
+	// uses it to feed metrics counters and streaming observers without a
+	// second emission path.
+	OnEmit func(Event)
 }
 
 // New returns an empty collector.
@@ -68,7 +74,11 @@ func New() *Collector {
 
 // Emit records a discrete event.
 func (c *Collector) Emit(at sim.Time, kind Kind, task, node, detail string) {
-	c.Events = append(c.Events, Event{At: at, Kind: kind, Task: task, Node: node, Detail: detail})
+	e := Event{At: at, Kind: kind, Task: task, Node: node, Detail: detail}
+	c.Events = append(c.Events, e)
+	if c.OnEmit != nil {
+		c.OnEmit(e)
+	}
 }
 
 // Sample appends one point to a named timeline.
