@@ -4,7 +4,7 @@
 GO ?= go
 ALMVET := bin/almvet
 
-.PHONY: all build test race vet lint-test bench bench-smoke chaos chaos-smoke metrics-smoke ci clean
+.PHONY: all build test race vet lint-test bench bench-alloc bench-compare bench-smoke chaos chaos-smoke metrics-smoke ci clean
 
 all: build
 
@@ -41,6 +41,20 @@ lint-test:
 bench:
 	$(GO) run ./cmd/almbench -perf -perf-out BENCH_engine.json
 
+# bench-alloc is the allocation-budget CI gate: re-measures the harness
+# and fails if any benchmark exceeds its budget (budget × (1+tolerance),
+# declared in internal/perf and recorded in BENCH_engine.json). Catches
+# a reintroduced per-fetch Sprintf or a lost free list, not allocator
+# noise.
+bench-alloc:
+	$(GO) run ./cmd/almbench -perf -perf-out '' -check-budgets
+
+# bench-compare diffs a saved baseline against the checked-in
+# BENCH_engine.json: per-benchmark ns/op, B/op and allocs/op deltas.
+# Usage: make bench-compare OLD=old.json
+bench-compare:
+	$(GO) run ./cmd/almbench -compare $(OLD)
+
 # bench-smoke compiles and runs every benchmark exactly once — the CI
 # guard that keeps the harness from bit-rotting without paying full
 # measurement cost.
@@ -67,7 +81,7 @@ metrics-smoke:
 	$(GO) run ./cmd/almrun -workload terasort -size-gb 12.5 -reduces 20 -mode yarn -fail mof-node -at 0.55 -metrics bin/metrics-b.prom
 	cmp bin/metrics-a.prom bin/metrics-b.prom
 
-ci: build test race vet bench-smoke chaos-smoke metrics-smoke
+ci: build test race vet bench-smoke bench-alloc chaos-smoke metrics-smoke
 
 clean:
 	rm -rf bin

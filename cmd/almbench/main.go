@@ -11,6 +11,15 @@
 //	almbench -list            # list experiment IDs
 //	almbench -perf            # run the engine performance harness,
 //	                          # writing BENCH_engine.json
+//	almbench -perf -check-budgets
+//	                          # the `make bench-alloc` CI gate: fail if
+//	                          # any benchmark exceeds its allocation
+//	                          # budget (budget × (1 + tolerance))
+//	almbench -compare old.json [new.json]
+//	                          # per-benchmark ns/op, B/op, allocs/op
+//	                          # deltas between two BENCH_engine.json
+//	                          # files (new defaults to the -perf-out
+//	                          # path, i.e. the checked-in baseline)
 //	almbench -metrics-dir m/  # dump one Prometheus-text metrics file
 //	                          # per simulated case under m/
 package main
@@ -37,29 +46,62 @@ func main() {
 		workers  = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
 		format   = flag.String("format", "text", "output format: text | json | csv")
 		perfFlag = flag.Bool("perf", false, "run the engine performance harness instead of experiments")
-		perfOut  = flag.String("perf-out", "BENCH_engine.json", "output path for -perf results ('-' for stdout)")
+		perfOut  = flag.String("perf-out", "BENCH_engine.json", "output path for -perf results ('-' for stdout, '' to skip writing)")
+		budgets  = flag.Bool("check-budgets", false, "with -perf: verify results against their allocation budgets and exit 1 on any breach")
+		compare  = flag.String("compare", "", "old BENCH_engine.json to diff against; the new file is the first positional argument (default: the -perf-out path)")
 		metrDir  = flag.String("metrics-dir", "", "directory to dump one Prometheus-text metrics file per simulated case")
 	)
 	flag.Parse()
 
+	if *compare != "" {
+		newPath := *perfOut
+		if flag.NArg() > 0 {
+			newPath = flag.Arg(0)
+		}
+		oldRes, err := readBenchFile(*compare)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "compare: %v\n", err)
+			os.Exit(1)
+		}
+		newRes, err := readBenchFile(newPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "compare: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# %s -> %s\n", *compare, newPath)
+		perf.WriteComparison(os.Stdout, oldRes, newRes)
+		return
+	}
+
 	if *perfFlag {
 		results := perf.RunAll(os.Stderr)
-		out := os.Stdout
-		if *perfOut != "-" {
-			f, err := os.Create(*perfOut)
-			if err != nil {
+		if *perfOut != "" {
+			out := os.Stdout
+			if *perfOut != "-" {
+				f, err := os.Create(*perfOut)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "perf: %v\n", err)
+					os.Exit(1)
+				}
+				defer f.Close()
+				out = f
+			}
+			if err := perf.WriteJSON(out, results); err != nil {
 				fmt.Fprintf(os.Stderr, "perf: %v\n", err)
 				os.Exit(1)
 			}
-			defer f.Close()
-			out = f
+			if *perfOut != "-" {
+				fmt.Printf("wrote %d benchmark results to %s\n", len(results), *perfOut)
+			}
 		}
-		if err := perf.WriteJSON(out, results); err != nil {
-			fmt.Fprintf(os.Stderr, "perf: %v\n", err)
-			os.Exit(1)
-		}
-		if *perfOut != "-" {
-			fmt.Printf("wrote %d benchmark results to %s\n", len(results), *perfOut)
+		if *budgets {
+			if violations := perf.CheckBudgets(results); len(violations) > 0 {
+				for _, v := range violations {
+					fmt.Fprintf(os.Stderr, "budget breach: %s\n", v)
+				}
+				os.Exit(1)
+			}
+			fmt.Println("all benchmarks within allocation budget")
 		}
 		return
 	}
@@ -123,4 +165,18 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// readBenchFile loads one BENCH_engine.json document's results.
+func readBenchFile(path string) ([]perf.Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	doc, err := perf.ReadJSON(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc.Results, nil
 }

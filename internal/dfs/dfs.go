@@ -16,6 +16,7 @@ package dfs
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"alm/internal/fairshare"
@@ -41,6 +42,10 @@ type Block struct {
 	Index    int
 	Bytes    int64
 	Replicas []topology.NodeID
+
+	// flowName caches the read-flow label ("dfsread:<file>/<index>"),
+	// rendered on first read; blocks are re-read on every task retry.
+	flowName string
 }
 
 // File is a named sequence of blocks.
@@ -257,9 +262,11 @@ func (d *DFS) ReadBlock(b *Block, reader topology.NodeID, done func(err error)) 
 	if err != nil {
 		return nil, err
 	}
-	ports := []*fairshare.Port{d.disks.ReadPort(src)}
-	ports = append(ports, d.net.PortsFor(src, reader)...)
-	f := d.net.System().StartFlow(fmt.Sprintf("dfsread:%s/%d", b.File, b.Index), b.Bytes, ports, 0, func() {
+	ports := d.net.AppendPortsFor([]*fairshare.Port{d.disks.ReadPort(src)}, src, reader)
+	if b.flowName == "" {
+		b.flowName = "dfsread:" + b.File + "/" + strconv.Itoa(b.Index)
+	}
+	f := d.net.System().StartFlow(b.flowName, b.Bytes, ports, 0, func() {
 		if done != nil {
 			done(nil)
 		}
@@ -312,6 +319,7 @@ type WriteOptions struct {
 type StreamWriter struct {
 	d               *DFS
 	name            string
+	appendName      string // "dfsappend:<name>", rendered once at open
 	writer          topology.NodeID
 	replicas        []topology.NodeID
 	ports           []*fairshare.Port
@@ -341,7 +349,7 @@ func (d *DFS) OpenWrite(name string, writer topology.NodeID, opt WriteOptions) (
 	if err != nil {
 		return nil, err
 	}
-	w := &StreamWriter{d: d, name: name, writer: writer, replicas: replicas, priority: opt.Priority}
+	w := &StreamWriter{d: d, name: name, appendName: "dfsappend:" + name, writer: writer, replicas: replicas, priority: opt.Priority}
 	for _, r := range replicas {
 		w.ports = append(w.ports, d.disks.WritePort(r))
 		if r != writer {
@@ -375,7 +383,7 @@ func (w *StreamWriter) Append(bytes int64, done func()) {
 }
 
 func (w *StreamWriter) startAppendFlow(bytes int64, done func()) {
-	f := w.d.net.System().StartFlow("dfsappend:"+w.name, bytes, w.ports, w.priority, func() {
+	f := w.d.net.System().StartFlow(w.appendName, bytes, w.ports, w.priority, func() {
 		w.pending--
 		if done != nil {
 			done()

@@ -1,8 +1,6 @@
 package engine
 
 import (
-	"fmt"
-
 	"alm/internal/core"
 	"alm/internal/dfs"
 	"alm/internal/merge"
@@ -57,11 +55,13 @@ func (r *reduceExec) ckptTick() {
 	if r.stage == core.StageShuffle || r.stage == core.StageMerge {
 		r.maybeCheckpoint(nil)
 	}
-	r.after(r.job.Spec.Checkpoint.Interval, r.ckptTick)
+	r.rearm(&r.ckptTimer, r.job.Spec.Checkpoint.Interval, r.ckptFn)
 }
 
 // maybeCheckpoint takes a pending snapshot, pausing execution until the
 // image is durable; cont (optional) resumes the caller's work afterwards.
+//
+//alm:hotpath
 func (r *reduceExec) maybeCheckpoint(cont func()) {
 	if !r.ckptPending || r.ckptBusy || r.dead {
 		if cont != nil {
@@ -73,7 +73,10 @@ func (r *reduceExec) maybeCheckpoint(cont func()) {
 	r.ckptBusy = true
 	r.ckptSeq++
 	img := r.buildImage()
-	name := fmt.Sprintf("ckpt/%s/r%03d/%05d", r.job.Spec.Name, r.t.idx, r.ckptSeq)
+	buf := append(r.nameBuf[:0], r.ckptPrefix...)
+	buf = appendPad5(buf, r.ckptSeq)
+	name := string(buf)
+	r.nameBuf = buf
 	img.path = name
 	taskIdx := r.t.idx
 	// The snapshot is the task's entire memory image, written

@@ -8,6 +8,7 @@ package engine
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"alm/internal/cluster"
@@ -611,11 +612,18 @@ func (j *Job) selectNode(a faults.Action) topology.NodeID {
 
 // ---- helpers shared by the task code ----
 
-// attemptID renders the Hadoop-style attempt name.
+// attemptID renders the Hadoop-style attempt name ("r_004_1"), byte-for-
+// byte the string fmt.Sprintf("%s_%03d_%d", ...) produced, without fmt's
+// overhead: trace comparisons and several tie-breaks key on these names.
 func attemptID(typ faults.TaskType, taskIdx, attemptNo int) string {
-	c := "m"
+	var buf [24]byte
+	c := byte('m')
 	if typ == faults.Reduce {
-		c = "r"
+		c = 'r'
 	}
-	return fmt.Sprintf("%s_%03d_%d", c, taskIdx, attemptNo)
+	b := append(buf[:0], c, '_')
+	b = appendPad3(b, taskIdx)
+	b = append(b, '_')
+	b = strconv.AppendInt(b, int64(attemptNo), 10)
+	return string(b)
 }

@@ -1,8 +1,8 @@
 package engine
 
 import (
-	"fmt"
 	"sort"
+	"strconv"
 
 	"alm/internal/core"
 	"alm/internal/dfs"
@@ -45,10 +45,16 @@ type fcmExec struct {
 	output        []mr.Record
 	outputLogical int64
 	outWriter     *dfs.StreamWriter
+
+	// Pre-bound heartbeat callback + reused timer (see reduceExec.rearm).
+	pingFn    func()
+	pingTimer *sim.Timer
 }
 
 func newFCMExec(j *Job, t *taskState, a *attempt) *fcmExec {
-	return &fcmExec{job: j, t: t, a: a}
+	f := &fcmExec{job: j, t: t, a: a}
+	f.pingFn = f.livenessPing
+	return f
 }
 
 func (f *fcmExec) kill(string) {
@@ -121,7 +127,12 @@ func (f *fcmExec) livenessPing() {
 		return
 	}
 	f.job.am.reportProgress(f.a, f.progress())
-	f.after(f.job.Spec.Conf.HeartbeatInterval, f.livenessPing)
+	if f.pingTimer == nil {
+		f.pingTimer = f.job.Eng.Schedule(f.job.Spec.Conf.HeartbeatInterval, f.pingFn)
+	} else {
+		f.pingTimer.Reschedule(f.job.Spec.Conf.HeartbeatInterval, f.pingFn)
+	}
+	f.timers = append(f.timers, f.pingTimer)
 }
 
 func (f *fcmExec) progress() float64 {
@@ -186,7 +197,7 @@ func (f *fcmExec) maybeBegin() {
 		replicas = f.job.Spec.ALG.HDFSReplicas
 	}
 	w, err := f.job.Cluster.DFS.OpenWrite(
-		fmt.Sprintf("out/%s/%s", f.job.Spec.Name, f.a.id), f.a.node,
+		"out/"+f.job.Spec.Name+"/"+f.a.id, f.a.node,
 		dfs.WriteOptions{Replication: replicas, Scope: scope})
 	if err != nil {
 		if !f.job.Cluster.NodeReachable(f.a.node) {
@@ -208,8 +219,8 @@ func (f *fcmExec) maybeBegin() {
 		ports = append(ports, f.cpuPort)
 		f.pendingSrcs++
 		flow := f.job.Cluster.Net.System().StartFlow(
-			fmt.Sprintf("%s/fcm<-%d", f.a.id, src.Node), supply, ports, 0,
-			func() { f.sourceDone() })
+			f.a.id+"/fcm<-"+strconv.Itoa(int(src.Node)), supply, ports, 0,
+			f.sourceDone)
 		f.flows = append(f.flows, flow)
 	}
 	f.outputLogical = int64(float64(f.totalSupply) * f.job.Spec.Workload.ReduceOutputRatio)
@@ -278,14 +289,15 @@ func (f *fcmExec) pipelineDone() {
 			break
 		}
 	}
+	emit := func(ok, ov string) {
+		f.output = append(f.output, mr.Record{Key: ok, Value: ov})
+	}
 	for {
 		k, vs, ok := cursor.NextGroup()
 		if !ok {
 			break
 		}
-		f.job.Spec.Workload.Reduce(k, vs, func(ok, ov string) {
-			f.output = append(f.output, mr.Record{Key: ok, Value: ov})
-		})
+		f.job.Spec.Workload.Reduce(k, vs, emit)
 	}
 	f.outWriter.Commit(func(cerr error) {
 		if f.dead || !f.job.Cluster.NodeReachable(f.a.node) {

@@ -1,9 +1,7 @@
 package engine
 
 import (
-	"fmt"
 	"math/rand"
-	"sort"
 
 	"alm/internal/dfs"
 	"alm/internal/fairshare"
@@ -110,7 +108,7 @@ func (m *mapExec) afterWrite(outBytes int64) {
 	if m.job.Spec.ISS.Enabled {
 		// ISS: replicate the MOF to HDFS before committing the map —
 		// the availability/overhead trade the paper's related work makes.
-		name := fmt.Sprintf("iss/%s/%s", m.job.Spec.Name, m.a.id)
+		name := "iss/" + m.job.Spec.Name + "/" + m.a.id
 		replicas, err := m.job.Cluster.DFS.Write(name, m.a.node, outBytes,
 			dfs.WriteOptions{Replication: 1 + m.job.Spec.ISS.Replicas, Scope: mr.ReplicateCluster},
 			func(werr error) {
@@ -155,11 +153,12 @@ func (m *mapExec) buildPartitions(outBytes int64) []*merge.Segment {
 	numR := spec.NumReduces
 	part := w.Part()
 	buckets := make([][]mr.Record, numR)
+	emit := func(k, v string) {
+		p := part(k, numR)
+		buckets[p] = append(buckets[p], mr.Record{Key: k, Value: v})
+	}
 	for _, rec := range inputs {
-		w.Map(rec.Key, rec.Value, func(k, v string) {
-			p := part(k, numR)
-			buckets[p] = append(buckets[p], mr.Record{Key: k, Value: v})
-		})
+		w.Map(rec.Key, rec.Value, emit)
 	}
 	if w.Combine != nil {
 		for r := range buckets {
@@ -175,10 +174,9 @@ func (m *mapExec) buildPartitions(outBytes int64) []*merge.Segment {
 		perPartRecords = 1
 	}
 	segs := make([]*merge.Segment, numR)
+	partID := m.a.id + "/part" // a.id == attemptID(typ, idx, attemptNo), set at launch
 	for r := 0; r < numR; r++ {
-		segs[r] = merge.NewSegment(
-			attemptID(m.a.typ, m.t.idx, m.a.attemptNo)+"/part",
-			w.Cmp(), buckets[r], perPartBytes, perPartRecords)
+		segs[r] = merge.NewSegment(partID, w.Cmp(), buckets[r], perPartBytes, perPartRecords)
 	}
 	return segs
 }
@@ -189,22 +187,23 @@ func combineBucket(w *workloads.Workload, recs []mr.Record) []mr.Record {
 	if len(recs) == 0 {
 		return recs
 	}
-	cmp := w.Cmp()
-	sort.SliceStable(recs, func(i, j int) bool { return cmp(recs[i].Key, recs[j].Key) < 0 })
+	merge.SortRecordsStable(w.Cmp(), recs)
 	out := recs[:0:0]
+	emit := func(k, v string) {
+		out = append(out, mr.Record{Key: k, Value: v})
+	}
+	var values []string
 	i := 0
 	for i < len(recs) {
 		j := i + 1
 		for j < len(recs) && recs[j].Key == recs[i].Key {
 			j++
 		}
-		values := make([]string, 0, j-i)
+		values = values[:0]
 		for k := i; k < j; k++ {
 			values = append(values, recs[k].Value)
 		}
-		w.Combine(recs[i].Key, values, func(k, v string) {
-			out = append(out, mr.Record{Key: k, Value: v})
-		})
+		w.Combine(recs[i].Key, values, emit)
 		i = j
 	}
 	return out

@@ -24,6 +24,8 @@ type jobMetrics struct {
 	durationMap  *metrics.Histogram
 	durationRed  *metrics.Histogram
 	progressTick *metrics.Counter
+	progressMap  *metrics.Gauge
+	progressRed  *metrics.Gauge
 }
 
 func newJobMetrics() *jobMetrics {
@@ -35,6 +37,8 @@ func newJobMetrics() *jobMetrics {
 		durationMap:   reg.Histogram("alm_task_duration_seconds", nil, "kind", "map"),
 		durationRed:   reg.Histogram("alm_task_duration_seconds", nil, "kind", "reduce"),
 		progressTick:  reg.Counter("alm_progress_samples_total"),
+		progressMap:   reg.Gauge("alm_job_progress", "phase", "map"),
+		progressRed:   reg.Gauge("alm_job_progress", "phase", "reduce"),
 	}
 }
 
@@ -91,8 +95,8 @@ func (j *Job) observeEvent(e trace.Event) {
 func (j *Job) observeSample(now sim.Time) {
 	m := j.met
 	m.progressTick.Inc()
-	m.reg.Gauge("alm_job_progress", "phase", "map").Set(j.mapPhaseFraction())
-	m.reg.Gauge("alm_job_progress", "phase", "reduce").Set(j.reducePhaseFraction())
+	m.progressMap.Set(j.mapPhaseFraction())
+	m.progressRed.Set(j.reducePhaseFraction())
 	if j.obs == nil {
 		return
 	}

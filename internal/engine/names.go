@@ -1,0 +1,39 @@
+package engine
+
+import "strconv"
+
+// Hot-path identifier rendering. The engine's fetch/spill/merge/
+// checkpoint paths used to build their flow and path names with
+// fmt.Sprintf on every operation; at paper scale those renders were among
+// the top allocation sites. Stable prefixes are now interned once per
+// attempt (fields on the exec structs) and sequence-numbered suffixes are
+// appended with strconv into a reused buffer, so each rendered name costs
+// exactly the one unavoidable string allocation.
+
+// appendPad3 appends n zero-padded to (at least) three digits, matching
+// fmt's %03d for the non-negative values used in task indices.
+func appendPad3(b []byte, n int) []byte {
+	if n >= 0 && n < 1000 {
+		return append(b, byte('0'+n/100), byte('0'+n/10%10), byte('0'+n%10))
+	}
+	return strconv.AppendInt(b, int64(n), 10)
+}
+
+// appendPad5 appends n zero-padded to (at least) five digits, matching
+// fmt's %05d for the non-negative values used in checkpoint sequences.
+func appendPad5(b []byte, n int) []byte {
+	if n >= 0 && n < 100000 {
+		return append(b,
+			byte('0'+n/10000), byte('0'+n/1000%10), byte('0'+n/100%10),
+			byte('0'+n/10%10), byte('0'+n%10))
+	}
+	return strconv.AppendInt(b, int64(n), 10)
+}
+
+// seqName renders prefix + decimal(n) via the scratch buffer, returning
+// the scratch for reuse. The returned string is the only allocation.
+func seqName(buf []byte, prefix string, n int) (string, []byte) {
+	buf = append(buf[:0], prefix...)
+	buf = strconv.AppendInt(buf, int64(n), 10)
+	return string(buf), buf
+}

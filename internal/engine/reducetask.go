@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"fmt"
 	"sort"
 
 	"alm/internal/core"
@@ -115,6 +114,36 @@ type reduceExec struct {
 	ckptRestoring      bool
 	ckptSeq            int
 	ckptRestoredOutput int64
+
+	// Interned identifiers (see names.go): stable prefixes computed once
+	// per attempt; sequence-numbered paths render through nameBuf.
+	spillPrefix  string
+	mergedPrefix string
+	immergeName  string
+	reduceName   string
+	ckptPrefix   string
+	fetchNames   []string // per-host fetch flow names, built lazily
+	nameBuf      []byte
+
+	// Pre-bound callbacks for the recurring timers and the reduce-output
+	// emitter, so the hot loops allocate neither method values nor
+	// closures; the paired Timers are re-armed in place via Reschedule.
+	pingFn    func()
+	algFn     func()
+	ckptFn    func()
+	emitFn    func(string, string)
+	pingTimer *sim.Timer
+	algTimer  *sim.Timer
+	ckptTimer *sim.Timer
+
+	// Run-local free lists (single-goroutine event loop: plain slices,
+	// no sync.Pool) for the shuffle's high-churn objects, plus scratch
+	// slices reused across calls. Pooled objects never cross runs — the
+	// exec, and with it every pool, is per-attempt.
+	sessFree    []*fetchSession
+	watchFree   []*fetchWatch
+	portScratch []*fairshare.Port
+	pendScratch []int
 }
 
 func newReduceExec(j *Job, t *taskState, a *attempt) *reduceExec {
@@ -128,7 +157,64 @@ func newReduceExec(j *Job, t *taskState, a *attempt) *reduceExec {
 	}
 	r.memoryLimit = int64(float64(r.conf.ReduceMemoryMB) * 1024 * 1024 * r.conf.ShuffleMemoryShare)
 	r.lastFetchSuccess = j.Eng.Now()
+	r.spillPrefix = a.id + "/spill-"
+	r.mergedPrefix = a.id + "/merged-"
+	r.immergeName = a.id + "/immerge"
+	r.reduceName = a.id + "/reduce"
+	{
+		b := make([]byte, 0, len(j.Spec.Name)+16)
+		b = append(b, "ckpt/"...)
+		b = append(b, j.Spec.Name...)
+		b = append(b, "/r"...)
+		b = appendPad3(b, t.idx)
+		b = append(b, '/')
+		r.ckptPrefix = string(b)
+	}
+	r.pingFn = r.livenessPing
+	r.algFn = r.algTick
+	r.ckptFn = r.ckptTick
+	r.emitFn = func(k, v string) { r.output = append(r.output, mr.Record{Key: k, Value: v}) }
 	return r
+}
+
+// rearm arms (first use) or re-arms a recurring timer with its pre-bound
+// callback, reusing the Timer allocation. Reschedule is ordering-
+// equivalent to the old Stop-free Schedule-per-tick pattern, so the event
+// sequence is unchanged; re-registering with addTimer keeps kill() able
+// to stop the timer even after a reap pass dropped the old entry.
+func (r *reduceExec) rearm(tp **sim.Timer, d sim.Time, fn func()) {
+	if *tp == nil {
+		*tp = r.job.Eng.Schedule(d, fn)
+	} else {
+		(*tp).Reschedule(d, fn)
+	}
+	r.addTimer(*tp)
+}
+
+// seqPath renders prefix+n, reusing the exec's scratch buffer.
+//
+//alm:hotpath
+func (r *reduceExec) seqPath(prefix string, n int) string {
+	s, buf := seqName(r.nameBuf, prefix, n)
+	r.nameBuf = buf
+	return s
+}
+
+// fetchFlowName interns the per-host fetch flow name ("r_003_0<-7"); a
+// reducer fetches from each host many times, and the rendered name is
+// identical every time.
+//
+//alm:hotpath
+func (r *reduceExec) fetchFlowName(host topology.NodeID) string {
+	if int(host) >= len(r.fetchNames) {
+		grown := make([]string, r.job.Cluster.Topo.NumNodes())
+		copy(grown, r.fetchNames)
+		r.fetchNames = grown
+	}
+	if r.fetchNames[host] == "" {
+		r.fetchNames[host] = r.seqPath(r.a.id+"<-", int(host)) //almvet:allow hotalloc -- rendered once per host, then interned
+	}
+	return r.fetchNames[host]
 }
 
 func (r *reduceExec) kill(string) {
@@ -234,7 +320,7 @@ func (r *reduceExec) begin() {
 	r.shufflePort = r.job.Cluster.Net.System().NewPort(r.a.id+"/shuffle-cpu", r.conf.Costs.ShuffleCPURate)
 	r.livenessPing()
 	if r.job.Spec.Checkpoint.Enabled {
-		r.after(r.job.Spec.Checkpoint.Interval, r.ckptTick)
+		r.rearm(&r.ckptTimer, r.job.Spec.Checkpoint.Interval, r.ckptFn)
 		if r.tryCheckpointRestore() {
 			return // execution resumes once the image read lands
 		}
@@ -246,7 +332,7 @@ func (r *reduceExec) begin() {
 			// Migration restore: shuffle everything again but skip the
 			// already-reduced prefix in the reduce stage.
 		}
-		r.after(r.job.Spec.ALG.Interval, r.algTick)
+		r.rearm(&r.algTimer, r.job.Spec.ALG.Interval, r.algFn)
 	}
 	if r.stage == core.StageReduce && r.cursor != nil {
 		// Local reduce-stage restore jumps straight into the reduce loop.
@@ -264,7 +350,7 @@ func (r *reduceExec) livenessPing() {
 		return
 	}
 	r.job.am.reportProgress(r.a, r.progress())
-	r.after(r.conf.HeartbeatInterval, r.livenessPing)
+	r.rearm(&r.pingTimer, r.conf.HeartbeatInterval, r.pingFn)
 }
 
 func (r *reduceExec) progress() float64 {
@@ -377,25 +463,69 @@ func (r *reduceExec) pickHost() (topology.NodeID, bool) {
 
 // pendingOn lists pending map indices currently served by the node
 // (either the producing node or, under ISS, a replica host), in ascending
-// map order.
+// map order. The returned slice is scratch, valid only until the next
+// call; callers must not retain it.
+//
+//alm:hotpath
 func (r *reduceExec) pendingOn(host topology.NodeID) []int {
-	return r.hostIdx.byHost[host].appendIndices(nil)
+	r.pendScratch = r.hostIdx.byHost[host].appendIndices(r.pendScratch[:0])
+	return r.pendScratch
 }
 
+// fetchSession carries one fetch's batch and generation snapshot from
+// StartFlow to its completion callback. Sessions recycle through sessFree
+// at sessionDone, so a long shuffle churns a handful of objects instead of
+// one batch slice + generation map per fetch. doneFn is bound once, at
+// allocation.
+type fetchSession struct {
+	r      *reduceExec
+	host   topology.NodeID
+	batch  []int
+	gens   []int
+	doneFn func()
+}
+
+func (r *reduceExec) newSession(host topology.NodeID) *fetchSession {
+	var s *fetchSession
+	if n := len(r.sessFree); n > 0 {
+		s = r.sessFree[n-1]
+		r.sessFree[n-1] = nil
+		r.sessFree = r.sessFree[:n-1]
+	} else {
+		s = &fetchSession{r: r}
+		s.doneFn = func() { s.r.sessionDone(s) }
+	}
+	s.host = host
+	return s
+}
+
+func (r *reduceExec) recycleSession(s *fetchSession) {
+	s.batch = s.batch[:0]
+	s.gens = s.gens[:0]
+	r.sessFree = append(r.sessFree, s)
+}
+
+// runSession opens one fetch against host: per-fetch, the hottest path
+// in a shuffle-bound run.
+//
+//alm:hotpath
 func (r *reduceExec) runSession(host topology.NodeID) {
 	if r.dead {
 		return
 	}
-	batch := r.pendingOn(host)
-	if len(batch) == 0 {
+	sess := r.newSession(host)
+	sess.batch = r.hostIdx.byHost[host].appendIndices(sess.batch[:0])
+	if len(sess.batch) == 0 {
+		r.recycleSession(sess)
 		r.endSession(host)
 		return
 	}
-	if len(batch) > r.conf.MaxMapsPerFetch {
-		batch = batch[:r.conf.MaxMapsPerFetch]
+	if len(sess.batch) > r.conf.MaxMapsPerFetch {
+		sess.batch = sess.batch[:r.conf.MaxMapsPerFetch]
 	}
 	if !r.job.Cluster.Net.Reachable(host, r.a.node) {
 		// Connection attempt: times out after FetchConnectTimeout.
+		r.recycleSession(sess)
 		r.after(r.conf.FetchConnectTimeout, func() { r.sessionFailed(host) })
 		return
 	}
@@ -406,56 +536,108 @@ func (r *reduceExec) runSession(host topology.NodeID) {
 		// protocol never self-kills on this path — strikes require pending
 		// maps on an *unreachable* host — which is exactly the blind spot
 		// that lets flaky links degrade jobs without tripping recovery.
+		r.recycleSession(sess)
 		r.after(r.conf.FetchConnectTimeout, func() { r.sessionFailed(host) })
 		return
 	}
 	var bytes int64
-	for _, m := range batch {
+	for _, m := range sess.batch {
 		bytes += r.job.am.mofs[m].parts[r.t.idx].LogicalBytes
 	}
-	gen := make(map[int]int, len(batch))
-	for _, m := range batch {
-		gen[m] = r.job.am.mofs[m].gen
+	for _, m := range sess.batch {
+		sess.gens = append(sess.gens, r.job.am.mofs[m].gen)
 	}
-	ports := []*fairshare.Port{r.job.Cluster.Disks.ReadPort(host), r.shufflePort}
-	ports = append(ports, r.job.Cluster.Net.PortsFor(host, r.a.node)...)
+	ports := append(r.portScratch[:0], r.job.Cluster.Disks.ReadPort(host), r.shufflePort)
+	ports = r.job.Cluster.Net.AppendPortsFor(ports, host, r.a.node)
 	flow := r.job.Cluster.Net.System().StartFlow(
-		fmt.Sprintf("%s<-%d", r.a.id, host), bytes, ports, 0,
-		func() { r.sessionDone(host, batch, gen) })
+		r.fetchFlowName(host), bytes, ports, 0, sess.doneFn)
+	r.portScratch = ports[:0]
 	r.addFlow(flow)
-	r.watchFetch(host, flow, flow.Remaining())
+	r.startWatch(host, flow)
 }
 
-// watchFetch aborts a fetch whose flow makes no progress for a connect-
-// timeout window (the source died mid-transfer).
-func (r *reduceExec) watchFetch(host topology.NodeID, flow *fairshare.Flow, lastRemaining float64) {
-	r.after(r.conf.FetchConnectTimeout, func() {
-		if r.dead || flow.Done() || flow.Canceled() {
-			return
-		}
-		rem := flow.Remaining()
-		if rem >= lastRemaining-1 {
-			flow.Cancel()
-			r.sessionFailed(host)
-			return
-		}
-		r.watchFetch(host, flow, rem)
-	})
+// fetchWatch aborts a fetch whose flow makes no progress for a connect-
+// timeout window (the source died mid-transfer). Each watch owns one
+// Timer, re-armed in place each round; watches recycle through watchFree
+// only from inside tick — i.e. only when the timer has just fired and is
+// idle — never while the timer is pending, so a recycled watch can never
+// see a stale fire.
+type fetchWatch struct {
+	r             *reduceExec
+	host          topology.NodeID
+	flow          *fairshare.Flow
+	lastRemaining float64
+	tm            *sim.Timer
+	fn            func()
 }
 
-func (r *reduceExec) sessionDone(host topology.NodeID, batch []int, gen map[int]int) {
+func (r *reduceExec) startWatch(host topology.NodeID, flow *fairshare.Flow) {
+	var w *fetchWatch
+	if n := len(r.watchFree); n > 0 {
+		w = r.watchFree[n-1]
+		r.watchFree[n-1] = nil
+		r.watchFree = r.watchFree[:n-1]
+	} else {
+		w = &fetchWatch{r: r}
+		w.fn = w.tick
+	}
+	w.host = host
+	w.flow = flow
+	w.lastRemaining = flow.Remaining()
+	if w.tm == nil {
+		w.tm = r.job.Eng.Schedule(r.conf.FetchConnectTimeout, w.fn)
+	} else {
+		w.tm.Reschedule(r.conf.FetchConnectTimeout, w.fn)
+	}
+	r.addTimer(w.tm)
+}
+
+// tick is the per-interval watchdog probe: fires once per
+// FetchConnectTimeout for every in-flight fetch.
+//
+//alm:hotpath
+func (w *fetchWatch) tick() {
+	r := w.r
+	if r.dead || w.flow.Done() || w.flow.Canceled() {
+		w.recycle()
+		return
+	}
+	rem := w.flow.Remaining()
+	if rem >= w.lastRemaining-1 {
+		flow, host := w.flow, w.host
+		w.recycle()
+		flow.Cancel()
+		r.sessionFailed(host)
+		return
+	}
+	w.lastRemaining = rem
+	w.tm.Reschedule(r.conf.FetchConnectTimeout, w.fn)
+	r.addTimer(w.tm)
+}
+
+func (w *fetchWatch) recycle() {
+	w.flow = nil
+	w.r.watchFree = append(w.r.watchFree, w)
+}
+
+// sessionDone lands one completed fetch: per-fetch, paired with
+// runSession.
+//
+//alm:hotpath
+func (r *reduceExec) sessionDone(s *fetchSession) {
 	if r.dead {
 		return
 	}
+	host := s.host
 	am := r.job.am
 	var delivered int64
 	anyDelivered := false
-	for _, m := range batch {
+	for i, m := range s.batch {
 		if r.copied[m] {
 			continue
 		}
 		mof := am.mofs[m]
-		if mof == nil || mof.gen != gen[m] {
+		if mof == nil || mof.gen != s.gens[i] {
 			continue // MOF regenerated under us; refetch later
 		}
 		seg := mof.parts[r.t.idx]
@@ -464,6 +646,7 @@ func (r *reduceExec) sessionDone(host topology.NodeID, batch []int, gen map[int]
 		anyDelivered = true
 		r.deliver(m, seg)
 	}
+	r.recycleSession(s)
 	// Credit only the segments actually delivered: maps regenerated (or
 	// re-delivered by a racing session) mid-transfer still need fetching,
 	// so counting their bytes would overstate shuffle progress — and a
@@ -589,6 +772,8 @@ func (r *reduceExec) onMapAvailable(mapIdx int) {
 
 // deliver routes a fetched segment to memory or disk, triggering the
 // background in-memory merge when the buffer fills.
+//
+//alm:hotpath
 func (r *reduceExec) deliver(mapIdx int, seg *merge.Segment) {
 	cp := &merge.Segment{
 		ID:             seg.ID,
@@ -600,7 +785,7 @@ func (r *reduceExec) deliver(mapIdx int, seg *merge.Segment) {
 	if cp.LogicalBytes > r.memoryLimit/4 {
 		// Too big for the shuffle buffer: stream straight to disk.
 		r.spillSeq++
-		path := fmt.Sprintf("%s/spill-%d", r.a.id, r.spillSeq)
+		path := r.seqPath(r.spillPrefix, r.spillSeq)
 		r.pendingDiskOps++
 		f := r.job.Cluster.Disks.Write(r.a.node, cp.LogicalBytes, func() {
 			// Decrement before the dead check: the op is no longer in
@@ -630,6 +815,8 @@ func (r *reduceExec) deliver(mapIdx int, seg *merge.Segment) {
 
 // mergeInMemory merges the current in-memory segments and spills the
 // result to disk; done (optional) runs after the spill lands.
+//
+//alm:hotpath
 func (r *reduceExec) mergeInMemory(done func()) {
 	if len(r.inMem) == 0 {
 		if done != nil {
@@ -649,12 +836,12 @@ func (r *reduceExec) mergeInMemory(done func()) {
 	}
 	sort.Ints(mapIDs)
 	r.spillSeq++
-	path := fmt.Sprintf("%s/merged-%d", r.a.id, r.spillSeq)
+	path := r.seqPath(r.mergedPrefix, r.spillSeq)
 	merged := merge.MergeSegments(path, r.cmp(), segs)
 	r.pendingDiskOps++
+	ports := append(r.portScratch[:0], r.job.Cluster.Disks.WritePort(r.a.node))
 	f := r.job.Cluster.Net.System().StartFlow(
-		fmt.Sprintf("%s/immerge", r.a.id), bytes,
-		[]*fairshare.Port{r.job.Cluster.Disks.WritePort(r.a.node)},
+		r.immergeName, bytes, ports,
 		r.conf.Costs.MergeCPURate,
 		func() {
 			r.inMemMergeBusy = false
@@ -672,6 +859,7 @@ func (r *reduceExec) mergeInMemory(done func()) {
 			}
 			r.checkMergeReady()
 		})
+	r.portScratch = ports[:0]
 	r.addDiskFlow(f)
 }
 
@@ -707,8 +895,18 @@ func (r *reduceExec) shuffleDone() {
 	r.checkMergeReady()
 }
 
+// segsByLogicalBytes orders merge runs smallest-first without the
+// reflection swapper sort.Slice builds on every merge pass.
+type segsByLogicalBytes []*merge.Segment
+
+func (s segsByLogicalBytes) Len() int           { return len(s) }
+func (s segsByLogicalBytes) Less(i, j int) bool { return s[i].LogicalBytes < s[j].LogicalBytes }
+func (s segsByLogicalBytes) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+
 // mergePasses merges on-disk runs down to io.sort.factor before the
 // reduce stage — the heavy disk merging FCM exists to avoid.
+//
+//alm:hotpath
 func (r *reduceExec) mergePasses() {
 	if r.dead {
 		return
@@ -718,7 +916,7 @@ func (r *reduceExec) mergePasses() {
 		return
 	}
 	// Merge the io.sort.factor smallest runs (Hadoop's polyphase choice).
-	sort.Slice(r.onDisk, func(i, j int) bool { return r.onDisk[i].LogicalBytes < r.onDisk[j].LogicalBytes })
+	sort.Sort(segsByLogicalBytes(r.onDisk))
 	batch := r.onDisk[:r.conf.IOSortFactor]
 	rest := append([]*merge.Segment{}, r.onDisk[r.conf.IOSortFactor:]...)
 	var bytes int64
@@ -730,7 +928,7 @@ func (r *reduceExec) mergePasses() {
 		r.mergeNeeded = bytes * int64(1+len(rest)/r.conf.IOSortFactor)
 	}
 	r.spillSeq++
-	path := fmt.Sprintf("%s/merged-%d", r.a.id, r.spillSeq)
+	path := r.seqPath(r.mergedPrefix, r.spillSeq)
 	merged := merge.MergeSegments(path, r.cmp(), batch)
 	local := r.job.local(r.a.node)
 	var mapIDs []int
@@ -794,7 +992,7 @@ func (r *reduceExec) enterReduceLoop() {
 		replicas = r.job.Spec.ALG.HDFSReplicas
 	}
 	w, err := r.job.Cluster.DFS.OpenWrite(
-		fmt.Sprintf("out/%s/%s", r.job.Spec.Name, r.a.id), r.a.node,
+		"out/"+r.job.Spec.Name+"/"+r.a.id, r.a.node,
 		dfs.WriteOptions{Replication: replicas, Scope: scope})
 	if err != nil {
 		r.selfFail("cannot open output stream: " + err.Error())
@@ -841,18 +1039,16 @@ func (r *reduceExec) reduceChunk() {
 		if !ok {
 			break
 		}
-		r.job.Spec.Workload.Reduce(k, vs, func(ok, ov string) {
-			r.output = append(r.output, mr.Record{Key: ok, Value: ov})
-		})
+		r.job.Spec.Workload.Reduce(k, vs, r.emitFn)
 		r.processedGroups++
 	}
 	outDelta := int64(float64(chunk) * r.job.Spec.Workload.ReduceOutputRatio)
 	// Charge: read the chunk from local disk, overlapped with reduce CPU
 	// (the flow rate is capped at the CPU rate, so the elapsed time is
 	// max(diskTime, cpuTime)).
+	ports := append(r.portScratch[:0], r.job.Cluster.Disks.ReadPort(r.a.node))
 	f := r.job.Cluster.Net.System().StartFlow(
-		fmt.Sprintf("%s/reduce", r.a.id), chunk,
-		[]*fairshare.Port{r.job.Cluster.Disks.ReadPort(r.a.node)},
+		r.reduceName, chunk, ports,
 		r.conf.Costs.ReduceCPURate,
 		func() {
 			if r.dead {
@@ -881,6 +1077,7 @@ func (r *reduceExec) reduceChunk() {
 				r.reduceChunk()
 			})
 		})
+	r.portScratch = ports[:0]
 	r.addFlow(f)
 }
 
@@ -892,9 +1089,7 @@ func (r *reduceExec) finishReduce() {
 		if !ok {
 			break
 		}
-		r.job.Spec.Workload.Reduce(k, vs, func(ok, ov string) {
-			r.output = append(r.output, mr.Record{Key: ok, Value: ov})
-		})
+		r.job.Spec.Workload.Reduce(k, vs, r.emitFn)
 		r.processedGroups++
 	}
 	r.stage = core.StageDone
@@ -938,7 +1133,7 @@ func (r *reduceExec) algTick() {
 	case core.StageDone:
 		return
 	}
-	r.after(r.job.Spec.ALG.Interval, r.algTick)
+	r.rearm(&r.algTimer, r.job.Spec.ALG.Interval, r.algFn)
 }
 
 // consumedReal returns total real input records reduced so far, counting

@@ -82,8 +82,9 @@ func TestSessionDoneSkipsRegeneratedMOFs(t *testing.T) {
 	if host == topology.Invalid {
 		t.Fatal("no host serves pending maps")
 	}
-	batch := r.pendingOn(host)
-	if len(batch) == 0 {
+	sess := r.newSession(host)
+	sess.batch = append(sess.batch[:0], r.pendingOn(host)...)
+	if len(sess.batch) == 0 {
 		t.Fatal("pendingOn returned nothing for an indexed host")
 	}
 
@@ -93,11 +94,10 @@ func TestSessionDoneSkipsRegeneratedMOFs(t *testing.T) {
 	r.hostFailures[host] = 2
 
 	// The session completes, but every MOF in it regenerated mid-transfer.
-	stale := make(map[int]int, len(batch))
-	for _, m := range batch {
-		stale[m] = job.am.mofs[m].gen - 1
+	for _, m := range sess.batch {
+		sess.gens = append(sess.gens, job.am.mofs[m].gen-1)
 	}
-	r.sessionDone(host, batch, stale)
+	r.sessionDone(sess)
 
 	if r.copiedCount != preCopied {
 		t.Errorf("stale session delivered %d maps, want 0", r.copiedCount-preCopied)
@@ -113,19 +113,20 @@ func TestSessionDoneSkipsRegeneratedMOFs(t *testing.T) {
 	}
 
 	// The same session with matching generations must deliver and credit.
-	batch2 := r.pendingOn(host)
-	if len(batch2) == 0 {
+	sess2 := r.newSession(host)
+	sess2.batch = append(sess2.batch[:0], r.pendingOn(host)...)
+	if len(sess2.batch) == 0 {
 		t.Fatal("maps vanished between sessions")
 	}
-	fresh := make(map[int]int, len(batch2))
+	nBatch2 := len(sess2.batch)
 	var want int64
-	for _, m := range batch2 {
-		fresh[m] = job.am.mofs[m].gen
+	for _, m := range sess2.batch {
+		sess2.gens = append(sess2.gens, job.am.mofs[m].gen)
 		want += job.am.mofs[m].parts[r.t.idx].LogicalBytes
 	}
-	r.sessionDone(host, batch2, fresh)
-	if r.copiedCount != preCopied+len(batch2) {
-		t.Errorf("fresh session delivered %d maps, want %d", r.copiedCount-preCopied, len(batch2))
+	r.sessionDone(sess2)
+	if r.copiedCount != preCopied+nBatch2 {
+		t.Errorf("fresh session delivered %d maps, want %d", r.copiedCount-preCopied, nBatch2)
 	}
 	if got := r.shuffledLogical - preShuffled; got != want {
 		t.Errorf("fresh session credited %d bytes, want %d", got, want)

@@ -119,14 +119,16 @@ func (f *Flow) SetPriorityCap(rate float64) {
 	if rate <= 0 {
 		if f.capPort != nil {
 			delete(f.capPort.flows, f)
-			// Drop the private port; detach it from the flow's port list.
+			// Drop the private port; detach it from the flow's port list
+			// and recycle the struct.
 			f.ports = removePort(f.ports, f.capPort)
+			f.sys.capPortFree = append(f.sys.capPortFree, f.capPort)
 			f.capPort = nil
 		}
 	} else if f.capPort != nil {
 		f.capPort.capacity = rate
 	} else {
-		p := f.sys.newPortInternal(f.name+"/cap", rate)
+		p := f.sys.newCapPort(f.name, rate)
 		f.capPort = p
 		f.ports = append(f.ports, p)
 		p.flows[f] = struct{}{}
@@ -152,14 +154,30 @@ type System struct {
 	completion *sim.Timer
 	nextSeq    uint64
 
+	// onCompletionFn is the method value bound once at construction so
+	// reschedule — the hottest call site in the simulator — does not
+	// allocate a fresh closure per flow start/finish.
+	onCompletionFn func()
+
 	// allocate() scratch, reused across calls.
 	allocEpoch   uint64
 	portsScratch []*Port
+
+	// onCompletion scratch, reused across completion events.
+	finishedScratch []*Flow
+
+	// capPortFree recycles the private rate-cap ports that capped flows
+	// create and abandon on completion. The event loop is single-
+	// goroutine, so a plain slice free list is race-free; reuse never
+	// crosses runs because the System itself is per-run.
+	capPortFree []*Port
 }
 
 // NewSystem returns a fair-share system bound to the engine.
 func NewSystem(e *sim.Engine) *System {
-	return &System{eng: e, flows: make(map[*Flow]struct{})}
+	s := &System{eng: e, flows: make(map[*Flow]struct{})}
+	s.onCompletionFn = s.onCompletion
+	return s
 }
 
 // NewPort creates a port with the given capacity in bytes/second.
@@ -172,6 +190,22 @@ func (s *System) NewPort(name string, capacity float64) *Port {
 
 func (s *System) newPortInternal(name string, capacity float64) *Port {
 	return &Port{name: name, capacity: capacity, sys: s, flows: make(map[*Flow]struct{})}
+}
+
+// newCapPort returns a private rate-cap port, reusing a recycled struct
+// (and its emptied flow map) when one is available. The name string is
+// rebuilt identically either way — allocate()'s bottleneck tie-break
+// compares port names, so pooling must not perturb them.
+func (s *System) newCapPort(flowName string, rate float64) *Port {
+	if n := len(s.capPortFree); n > 0 {
+		p := s.capPortFree[n-1]
+		s.capPortFree[n-1] = nil
+		s.capPortFree = s.capPortFree[:n-1]
+		p.name = flowName + "/cap"
+		p.capacity = rate
+		return p
+	}
+	return s.newPortInternal(flowName+"/cap", rate)
 }
 
 // StartFlow begins transferring bytes across the given ports, calling
@@ -202,7 +236,7 @@ func (s *System) StartFlow(name string, bytes int64, ports []*Port, maxRate floa
 		p.flows[f] = struct{}{}
 	}
 	if maxRate > 0 {
-		cp := s.newPortInternal(name+"/cap", maxRate)
+		cp := s.newCapPort(name, maxRate)
 		f.capPort = cp
 		f.ports = append(f.ports, cp)
 		cp.flows[f] = struct{}{}
@@ -219,6 +253,12 @@ func (s *System) remove(f *Flow) {
 	delete(s.flows, f)
 	for _, p := range f.ports {
 		delete(p.flows, f)
+	}
+	if f.capPort != nil {
+		// The private cap port is reachable only through this flow;
+		// recycle it (its flow map is empty again after the loop above).
+		s.capPortFree = append(s.capPortFree, f.capPort)
+		f.capPort = nil
 	}
 }
 
@@ -245,10 +285,6 @@ func (s *System) advance() {
 func (s *System) reschedule() {
 	s.advance()
 	s.allocate()
-	if s.completion != nil {
-		s.completion.Stop()
-		s.completion = nil
-	}
 	// Find the earliest completion among flows with a positive rate.
 	first := math.Inf(1)
 	for f := range s.flows {
@@ -261,15 +297,26 @@ func (s *System) reschedule() {
 		}
 	}
 	if math.IsInf(first, 1) {
+		if s.completion != nil {
+			s.completion.Stop()
+		}
 		return
 	}
 	delay := secondsToDuration(first)
-	s.completion = s.eng.Schedule(delay, s.onCompletion)
+	// Re-arm the single completion timer in place; Reschedule is
+	// ordering-equivalent to the old Stop-then-Schedule but reuses the
+	// timer and the pre-bound onCompletionFn, which together were the
+	// top allocation sites under fetch-session churn.
+	if s.completion == nil {
+		s.completion = s.eng.Schedule(delay, s.onCompletionFn)
+	} else {
+		s.completion.Reschedule(delay, s.onCompletionFn)
+	}
 }
 
 func (s *System) onCompletion() {
 	s.advance()
-	var finished []*Flow
+	finished := s.finishedScratch[:0]
 	for f := range s.flows {
 		if f.remaining <= completionEpsilon {
 			finished = append(finished, f)
@@ -289,6 +336,12 @@ func (s *System) onCompletion() {
 			f.done()
 		}
 	}
+	// Drop flow references before parking the scratch so the pool does
+	// not pin completed flows (and their done closures) for the run.
+	for i := range finished {
+		finished[i] = nil
+	}
+	s.finishedScratch = finished[:0]
 }
 
 const completionEpsilon = 0.5 // half a byte

@@ -11,6 +11,7 @@ import (
 	"alm/internal/lint/analysis"
 	"alm/internal/lint/detnow"
 	"alm/internal/lint/droppederr"
+	"alm/internal/lint/hotalloc"
 	"alm/internal/lint/locksafe"
 	"alm/internal/lint/seedflow"
 )
@@ -42,6 +43,9 @@ func All() []Scoped {
 	return []Scoped{
 		{Analyzer: detnow.Analyzer, AppliesTo: underAny(detnowScope)},
 		{Analyzer: droppederr.Analyzer, AppliesTo: inModule},
+		// hotalloc is opt-in per function (the //alm:hotpath marker), so
+		// module-wide scope costs nothing on unmarked code.
+		{Analyzer: hotalloc.Analyzer, AppliesTo: inModule},
 		{Analyzer: locksafe.Analyzer, AppliesTo: inModule},
 		{Analyzer: seedflow.Analyzer, AppliesTo: inModule},
 	}

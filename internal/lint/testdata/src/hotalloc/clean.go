@@ -1,0 +1,36 @@
+package hotalloc
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// unmarked is free to allocate: the analyzer is opt-in via the
+// //alm:hotpath directive, so ordinary code keeps its idiom.
+func unmarked(idx int) string {
+	return fmt.Sprintf("cold-%d", idx)
+}
+
+// proseMention merely talks about alm:hotpath in prose — the marker must
+// be a directive comment, so this function is not armed.
+func proseMention(a, b string) string {
+	return a + b
+}
+
+// appenderOnHotPath is the pattern the analyzer steers toward: strconv
+// appenders into a caller-owned buffer.
+//
+//alm:hotpath
+func appenderOnHotPath(b []byte, prefix string, n int) []byte {
+	b = append(b[:0], prefix...)
+	return strconv.AppendInt(b, int64(n), 10)
+}
+
+// constantFold shows compile-time concatenation is fine: "a" + "b" costs
+// nothing at runtime.
+//
+//alm:hotpath
+func constantFold() string {
+	const prefix = "ckpt/" + "r"
+	return prefix
+}

@@ -1,0 +1,62 @@
+package hotalloc
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// sprintfOnHotPath renders a per-fetch name the expensive way.
+//
+//alm:hotpath
+func sprintfOnHotPath(idx int) string {
+	return fmt.Sprintf("spill-%05d", idx) // want `fmt\.Sprintf allocates on an //alm:hotpath function`
+}
+
+// sprintFamilyOnHotPath covers the other allocating fmt constructors.
+//
+//alm:hotpath
+func sprintFamilyOnHotPath(host string) (string, error) {
+	s := fmt.Sprint("fetch<-", host) // want `fmt\.Sprint allocates on an //alm:hotpath function`
+	return s, fmt.Errorf("unreachable %s", host) // want `fmt\.Errorf allocates on an //alm:hotpath function`
+}
+
+// concatOnHotPath builds a flow name per call.
+//
+//alm:hotpath
+func concatOnHotPath(id, host string) string {
+	return id + host // want `string concatenation allocates on an //alm:hotpath function`
+}
+
+// plusAssignOnHotPath grows a string in a loop.
+//
+//alm:hotpath
+func plusAssignOnHotPath(parts []string) string {
+	out := ""
+	for _, p := range parts {
+		out += p // want `string \+= allocates on an //alm:hotpath function`
+	}
+	return out
+}
+
+// closureOnHotPath shows that function literals inside a marked function
+// are checked too: the closure runs on the same path.
+//
+//alm:hotpath
+func closureOnHotPath(idx int) func() string {
+	return func() string {
+		return fmt.Sprintf("r%03d", idx) // want `fmt\.Sprintf allocates on an //alm:hotpath function`
+	}
+}
+
+// allowedException demonstrates the standard suppression: a render that
+// happens once and is cached afterwards.
+//
+//alm:hotpath
+func allowedException(cache map[int]string, idx int) string {
+	s, ok := cache[idx]
+	if !ok {
+		s = "host-" + strconv.Itoa(idx) //almvet:allow hotalloc -- rendered once per host, then interned
+		cache[idx] = s
+	}
+	return s
+}

@@ -16,6 +16,7 @@ type GroupCursor struct {
 
 	boundary  Positions // resume point after the last fully delivered group
 	delivered int       // real records contained in delivered groups
+	values    []string  // NextGroup scratch, reused across groups
 }
 
 // NewGroupCursor builds a cursor over the segments, resuming from start
@@ -31,6 +32,10 @@ func NewGroupCursor(cmp mr.KeyComparator, grouper mr.GroupComparator, segs []*Se
 
 // NextGroup returns the next reduce group: its leading key and all its
 // values in merge order. ok is false at end of data.
+//
+// The values slice is owned by the cursor and valid only until the next
+// NextGroup call — the Hadoop reduce-iterator contract. Callers that need
+// to keep a group must copy it.
 func (g *GroupCursor) NextGroup() (key string, values []string, ok bool) {
 	var first mr.Record
 	if g.hasPending {
@@ -44,7 +49,7 @@ func (g *GroupCursor) NextGroup() (key string, values []string, ok bool) {
 		first = rec
 	}
 	key = first.Key
-	values = append(values, first.Value)
+	values = append(g.values[:0], first.Value)
 	for {
 		rec, segIdx, more := g.mpq.NextFrom()
 		if !more {
@@ -61,11 +66,12 @@ func (g *GroupCursor) NextGroup() (key string, values []string, ok bool) {
 	}
 	// The group is complete: advance the safe boundary to just before the
 	// pending (read-ahead) record, if any.
-	g.boundary = g.mpq.Positions()
+	g.boundary = g.mpq.PositionsInto(g.boundary)
 	if g.hasPending {
 		g.boundary[g.pendingSeg]--
 	}
 	g.delivered += len(values)
+	g.values = values
 	return key, values, true
 }
 

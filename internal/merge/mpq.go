@@ -1,8 +1,6 @@
 package merge
 
 import (
-	"container/heap"
-
 	"alm/internal/mr"
 )
 
@@ -26,27 +24,82 @@ type mpqEntry struct {
 	tie    int // segment index as deterministic tie-break
 }
 
+// mpqHeap is a typed binary min-heap. The merge loop pushes and pops one
+// entry per record; routing those through container/heap boxed every
+// entry into an interface value, which made the k-way merge one of the
+// simulator's top allocation sites.
 type mpqHeap struct {
 	cmp     mr.KeyComparator
 	entries []mpqEntry
 }
 
-func (h mpqHeap) Len() int { return len(h.entries) }
-func (h mpqHeap) Less(i, j int) bool {
-	c := h.cmp(h.entries[i].rec.Key, h.entries[j].rec.Key)
+func (h *mpqHeap) Len() int { return len(h.entries) }
+
+func (h *mpqHeap) less(a, b *mpqEntry) bool {
+	c := h.cmp(a.rec.Key, b.rec.Key)
 	if c != 0 {
 		return c < 0
 	}
-	return h.entries[i].tie < h.entries[j].tie
+	return a.tie < b.tie
 }
-func (h mpqHeap) Swap(i, j int)       { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
-func (h *mpqHeap) Push(x interface{}) { h.entries = append(h.entries, x.(mpqEntry)) }
-func (h *mpqHeap) Pop() interface{} {
-	old := h.entries
-	n := len(old)
-	e := old[n-1]
-	h.entries = old[:n-1]
-	return e
+
+func (h *mpqHeap) push(e mpqEntry) {
+	h.entries = append(h.entries, e)
+	h.up(len(h.entries) - 1)
+}
+
+func (h *mpqHeap) pop() mpqEntry {
+	es := h.entries
+	n := len(es) - 1
+	top := es[0]
+	es[0] = es[n]
+	es[n] = mpqEntry{}
+	h.entries = es[:n]
+	if n > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+func (h *mpqHeap) init() {
+	for i := len(h.entries)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+func (h *mpqHeap) up(i int) {
+	es := h.entries
+	e := es[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(&e, &es[parent]) {
+			break
+		}
+		es[i] = es[parent]
+		i = parent
+	}
+	es[i] = e
+}
+
+func (h *mpqHeap) down(i int) {
+	es := h.entries
+	n := len(es)
+	e := es[i]
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && h.less(&es[r], &es[child]) {
+			child = r
+		}
+		if !h.less(&es[child], &e) {
+			break
+		}
+		es[i] = es[child]
+		i = child
+	}
+	es[i] = e
 }
 
 // NewMPQ builds a queue over the segments, resuming from start positions
@@ -71,7 +124,7 @@ func NewMPQ(cmp mr.KeyComparator, segments []*Segment, start Positions) *MPQ {
 			q.pos[i]++
 		}
 	}
-	heap.Init(&q.h)
+	q.h.init()
 	return q
 }
 
@@ -89,10 +142,10 @@ func (q *MPQ) NextFrom() (rec mr.Record, segIdx int, ok bool) {
 	if q.h.Len() == 0 {
 		return mr.Record{}, -1, false
 	}
-	e := heap.Pop(&q.h).(mpqEntry)
+	e := q.h.pop()
 	i := e.segIdx
 	if q.pos[i] < len(q.segs[i].Records) {
-		heap.Push(&q.h, mpqEntry{segIdx: i, rec: q.segs[i].Records[q.pos[i]], tie: i})
+		q.h.push(mpqEntry{segIdx: i, rec: q.segs[i].Records[q.pos[i]], tie: i})
 		q.pos[i]++
 	}
 	return e.rec, i, true
@@ -114,12 +167,18 @@ func (q *MPQ) Exhausted() bool { return q.h.Len() == 0 }
 // exactly where this one stands. Records currently buffered at the heap
 // roots are counted as unconsumed.
 func (q *MPQ) Positions() Positions {
-	p := Positions(make([]int, len(q.pos)))
-	copy(p, q.pos)
+	return q.PositionsInto(nil)
+}
+
+// PositionsInto is Positions reusing dst's backing array when it has the
+// capacity — the GroupCursor snapshots positions after every group, and a
+// fresh slice per group dominated its allocation profile.
+func (q *MPQ) PositionsInto(dst Positions) Positions {
+	p := append(dst[:0], q.pos...)
 	// Entries sitting in the heap have been read from their segment but
 	// not yet delivered; give them back.
-	for _, e := range q.h.entries {
-		p[e.segIdx]--
+	for i := range q.h.entries {
+		p[q.h.entries[i].segIdx]--
 	}
 	return p
 }

@@ -25,12 +25,30 @@ type Segment struct {
 	Records        []mr.Record
 }
 
+// recordsByKey adapts a record slice to sort.Interface. The typed
+// implementation matters: sort.SliceStable reflects over the slice to
+// build a swapper, and segment construction runs once per partition per
+// map attempt.
+type recordsByKey struct {
+	recs []mr.Record
+	cmp  mr.KeyComparator
+}
+
+func (s recordsByKey) Len() int           { return len(s.recs) }
+func (s recordsByKey) Less(i, j int) bool { return s.cmp(s.recs[i].Key, s.recs[j].Key) < 0 }
+func (s recordsByKey) Swap(i, j int)      { s.recs[i], s.recs[j] = s.recs[j], s.recs[i] }
+
+// SortRecordsStable stably sorts records in place by key under cmp.
+func SortRecordsStable(cmp mr.KeyComparator, recs []mr.Record) {
+	sort.Stable(recordsByKey{recs: recs, cmp: cmp})
+}
+
 // NewSegment builds a segment after sorting records by cmp. It is the
 // canonical constructor: every segment in the system is sorted.
 func NewSegment(id string, cmp mr.KeyComparator, records []mr.Record, logicalBytes, logicalRecords int64) *Segment {
 	rs := make([]mr.Record, len(records))
 	copy(rs, records)
-	sort.SliceStable(rs, func(i, j int) bool { return cmp(rs[i].Key, rs[j].Key) < 0 })
+	SortRecordsStable(cmp, rs)
 	return &Segment{
 		ID:             id,
 		InMemory:       true,

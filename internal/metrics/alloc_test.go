@@ -1,0 +1,54 @@
+package metrics
+
+import "testing"
+
+// TestCounterIncAllocFree is the CI allocation gate for the hottest
+// metrics call: incrementing an already-registered counter. After the
+// first touch of a delta window the series is already on the dirty list,
+// so Inc must not allocate at all.
+func TestCounterIncAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("alm_events_total", "kind", "fetch-failure")
+	c.Inc()
+	allocs := testing.AllocsPerRun(200, func() { c.Inc() })
+	if allocs != 0 {
+		t.Fatalf("Counter.Inc allocs/op = %v, want 0", allocs)
+	}
+}
+
+// TestLookupHitAllocFree gates the re-lookup path: fetching a handle for
+// a series that already exists renders the key into registry scratch and
+// returns the interned handle — no allocation, even with labels.
+func TestLookupHitAllocFree(t *testing.T) {
+	r := NewRegistry()
+	first := r.Counter("alm_disk_read_bytes_total", "node", "node-07")
+	allocs := testing.AllocsPerRun(200, func() {
+		if r.Counter("alm_disk_read_bytes_total", "node", "node-07") != first {
+			t.Fatal("lookup returned a different handle for the same series")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Counter lookup-hit allocs/op = %v, want 0", allocs)
+	}
+	g := r.Gauge("alm_job_progress", "phase", "map")
+	allocs = testing.AllocsPerRun(200, func() {
+		if r.Gauge("alm_job_progress", "phase", "map") != g {
+			t.Fatal("gauge lookup returned a different handle")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Gauge lookup-hit allocs/op = %v, want 0", allocs)
+	}
+}
+
+// TestGaugeSetUnchangedAllocFree covers the progress-tick path: setting a
+// gauge to its current value is a no-op and must stay allocation-free.
+func TestGaugeSetUnchangedAllocFree(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("alm_job_progress", "phase", "reduce")
+	g.Set(0.5)
+	allocs := testing.AllocsPerRun(200, func() { g.Set(0.5) })
+	if allocs != 0 {
+		t.Fatalf("Gauge.Set(unchanged) allocs/op = %v, want 0", allocs)
+	}
+}

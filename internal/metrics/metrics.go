@@ -69,6 +69,13 @@ type series struct {
 	count  uint64
 
 	dirty bool
+
+	// Cached handle singletons: repeat Counter/Gauge/Histogram calls for an
+	// existing series return the same pointer instead of allocating a new
+	// two-word handle each time.
+	c *Counter
+	g *Gauge
+	h *Histogram
 }
 
 // Registry holds the live series of one run.
@@ -77,6 +84,12 @@ type Registry struct {
 	// dirtyList collects series touched since the last TakeDelta, each at
 	// most once (the series' dirty flag dedups).
 	dirtyList []*series
+	// keyScratch/labScratch back the zero-allocation hit path of lookup:
+	// the candidate key renders into keyScratch and is probed with a
+	// string([]byte) map index, which Go compiles without materialising
+	// the string. Only a miss (series creation) allocates.
+	keyScratch []byte
+	labScratch []Label
 }
 
 // NewRegistry returns an empty registry.
@@ -94,29 +107,48 @@ func seriesKey(name string, labels []Label) string {
 	if len(labels) == 0 {
 		return name
 	}
-	var b strings.Builder
-	b.WriteString(name)
-	b.WriteByte('{')
-	for i, l := range labels {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		b.WriteString(l.Name)
-		b.WriteString(`="`)
-		b.WriteString(escapeLabelValue(l.Value))
-		b.WriteByte('"')
-	}
-	b.WriteByte('}')
-	return b.String()
+	return string(appendSeriesKey(nil, name, labels))
 }
 
-// escapeLabelValue applies the Prometheus text-format escapes.
-func escapeLabelValue(v string) string {
-	if !strings.ContainsAny(v, "\\\"\n") {
-		return v
+// appendSeriesKey renders the canonical key into b. The lookup hit path
+// and the exporters share this appender so the rendered bytes are
+// identical everywhere a key appears.
+func appendSeriesKey(b []byte, name string, labels []Label) []byte {
+	b = append(b, name...)
+	if len(labels) == 0 {
+		return b
 	}
-	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
-	return r.Replace(v)
+	b = append(b, '{')
+	for i, l := range labels {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, l.Name...)
+		b = append(b, '=', '"')
+		b = appendEscapedLabelValue(b, l.Value)
+		b = append(b, '"')
+	}
+	return append(b, '}')
+}
+
+// appendEscapedLabelValue applies the Prometheus text-format escapes.
+func appendEscapedLabelValue(b []byte, v string) []byte {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return append(b, v...)
+	}
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '"':
+			b = append(b, '\\', '"')
+		case '\n':
+			b = append(b, '\\', 'n')
+		default:
+			b = append(b, v[i])
+		}
+	}
+	return b
 }
 
 // pairsToLabels converts variadic "k1, v1, k2, v2" arguments into a
@@ -137,14 +169,44 @@ func pairsToLabels(pairs []string) []Label {
 // lookup returns the series for (name, labels), creating it with the
 // given kind on first use. A kind clash panics — two components binding
 // one name to different kinds is a bug, not a runtime condition.
+//
+// The hit path is allocation-free: labels sort into labScratch (insertion
+// sort, same order sort.Slice produces for the tiny distinct-name sets
+// used here), the key renders into keyScratch, and the map probe uses the
+// string([]byte) conversion the compiler elides. Labels and key are only
+// materialised on a miss — label-set interning, once per series lifetime.
+//
+//alm:hotpath
 func (r *Registry) lookup(name string, kind Kind, bounds []float64, pairs []string) *series {
-	labels := pairsToLabels(pairs)
-	key := seriesKey(name, labels)
-	if s, ok := r.byKey[key]; ok {
+	if len(pairs)%2 != 0 {
+		// The pairs slice must not be mentioned here: passing it to fmt
+		// would make it escape and put an allocation on every lookup.
+		panic("metrics: odd label pairs for series " + name) //almvet:allow hotalloc -- panic path, never taken on a healthy run
+	}
+	ls := r.labScratch[:0]
+	for i := 0; i < len(pairs); i += 2 {
+		l := Label{Name: pairs[i], Value: pairs[i+1]}
+		j := len(ls)
+		ls = append(ls, l)
+		for j > 0 && ls[j-1].Name > l.Name {
+			ls[j] = ls[j-1]
+			j--
+		}
+		ls[j] = l
+	}
+	r.labScratch = ls
+	buf := appendSeriesKey(r.keyScratch[:0], name, ls)
+	r.keyScratch = buf
+	if s, ok := r.byKey[string(buf)]; ok {
 		if s.kind != kind {
-			panic(fmt.Sprintf("metrics: series %s registered as %v, requested as %v", key, s.kind, kind))
+			panic(fmt.Sprintf("metrics: series %s registered as %v, requested as %v", s.key, s.kind, kind)) //almvet:allow hotalloc -- panic path, never taken on a healthy run
 		}
 		return s
+	}
+	key := string(buf)
+	var labels []Label
+	if len(ls) > 0 {
+		labels = append(labels, ls...)
 	}
 	s := &series{name: name, labels: labels, key: key, kind: kind}
 	if kind == KindHistogram {
@@ -169,12 +231,17 @@ type Counter struct {
 }
 
 // Counter returns the counter handle for (name, labels), creating it on
-// first use. Labels are variadic name/value pairs.
+// first use. Labels are variadic name/value pairs. Handles are interned:
+// repeat calls for the same series return the same pointer.
 func (r *Registry) Counter(name string, labelPairs ...string) *Counter {
 	if r == nil {
 		return nil
 	}
-	return &Counter{r: r, s: r.lookup(name, KindCounter, nil, labelPairs)}
+	s := r.lookup(name, KindCounter, nil, labelPairs)
+	if s.c == nil {
+		s.c = &Counter{r: r, s: s}
+	}
+	return s.c
 }
 
 // Add increments the counter. Negative deltas are ignored (counters are
@@ -205,12 +272,16 @@ type Gauge struct {
 }
 
 // Gauge returns the gauge handle for (name, labels), creating it on
-// first use.
+// first use. Handles are interned like Counter's.
 func (r *Registry) Gauge(name string, labelPairs ...string) *Gauge {
 	if r == nil {
 		return nil
 	}
-	return &Gauge{r: r, s: r.lookup(name, KindGauge, nil, labelPairs)}
+	s := r.lookup(name, KindGauge, nil, labelPairs)
+	if s.g == nil {
+		s.g = &Gauge{r: r, s: s}
+	}
+	return s.g
 }
 
 // Set assigns the gauge value.
@@ -264,7 +335,11 @@ func (r *Registry) Histogram(name string, bounds []float64, labelPairs ...string
 			panic(fmt.Sprintf("metrics: histogram %s bounds not ascending: %v", name, bounds))
 		}
 	}
-	return &Histogram{r: r, s: r.lookup(name, KindHistogram, bounds, labelPairs)}
+	s := r.lookup(name, KindHistogram, bounds, labelPairs)
+	if s.h == nil {
+		s.h = &Histogram{r: r, s: s}
+	}
+	return s.h
 }
 
 // Observe records one sample.
@@ -329,8 +404,11 @@ type Series struct {
 // export renders the series' current state.
 func (s *series) export() Series {
 	out := Series{
-		Name:   s.name,
-		Labels: append([]Label(nil), s.labels...),
+		Name: s.name,
+		// The registry never mutates a series' labels after creation and
+		// Series is immutable by contract, so the slice is shared, not
+		// cloned — export runs on every TakeDelta tick.
+		Labels: s.labels,
 		Kind:   s.kind,
 		key:    s.key,
 	}

@@ -28,45 +28,72 @@ import (
 // Scale is the dataset scale factor every harness workload runs at.
 const Scale = 1.0 / 8
 
+// Budget caps a benchmark's allocation profile. Budgets are the source
+// of truth for the `make bench-alloc` CI gate: a measured run must stay
+// within budget × (1 + Tolerance) on both axes. They are set a little
+// above freshly-measured values — tight enough that reintroducing a
+// per-fetch fmt.Sprintf or losing a free list trips the gate, loose
+// enough that allocator noise does not.
+type Budget struct {
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Tolerance   float64 `json:"tolerance"`
+}
+
 // Bench is one named entry in the harness.
 type Bench struct {
-	Name string
-	Desc string
-	Func func(b *testing.B)
+	Name   string
+	Desc   string
+	Func   func(b *testing.B)
+	Budget *Budget
 }
 
 // Benchmarks returns the harness entries in a fixed, reproducible order.
+//
+// Budgets sit ~10% above values measured after the allocation-conscious
+// rewrite (interned identifiers, run-local free lists, zero-alloc emit)
+// with a further 20% runtime tolerance. The pre-rewrite profile was
+// 2–2.5× every budget, so a regression of that class trips the gate
+// with a wide margin while allocator noise does not.
 func Benchmarks() []Bench {
 	return []Bench{
 		{
 			Name: "timer_churn",
 			Desc: "schedule/cancel cycles against a full watchdog window (the watchFetch pattern)",
 			Func: benchTimerChurn,
+			// Exactly one allocation per op: the *Timer itself. Zero
+			// tolerance — this one is deterministic.
+			Budget: &Budget{AllocsPerOp: 1, BytesPerOp: 64, Tolerance: 0},
 		},
 		{
-			Name: "fetch_session_churn",
-			Desc: "shuffle-heavy terasort (20 reducers), fetch sessions dominate",
-			Func: benchFetchSessionChurn,
+			Name:   "fetch_session_churn",
+			Desc:   "shuffle-heavy terasort (20 reducers), fetch sessions dominate",
+			Func:   benchFetchSessionChurn,
+			Budget: &Budget{AllocsPerOp: 65_000, BytesPerOp: 5_800_000, Tolerance: 0.20},
 		},
 		{
-			Name: "fig4_heap_load",
-			Desc: "event-heap footprint under the Fig. 4 spatial-amplification fault load",
-			Func: benchFig4HeapLoad,
+			Name:   "fig4_heap_load",
+			Desc:   "event-heap footprint under the Fig. 4 spatial-amplification fault load",
+			Func:   benchFig4HeapLoad,
+			Budget: &Budget{AllocsPerOp: 71_000, BytesPerOp: 6_200_000, Tolerance: 0.20},
 		},
 		{
-			Name: "fig3_temporal_amplification",
-			Desc: "reproduce Fig. 3 (temporal amplification timeline)",
-			Func: func(b *testing.B) { benchExperiment(b, "fig3") },
+			Name:   "fig3_temporal_amplification",
+			Desc:   "reproduce Fig. 3 (temporal amplification timeline)",
+			Func:   func(b *testing.B) { benchExperiment(b, "fig3") },
+			Budget: &Budget{AllocsPerOp: 8_000, BytesPerOp: 1_050_000, Tolerance: 0.20},
 		},
 		{
-			Name: "fig4_spatial_amplification",
-			Desc: "reproduce Fig. 4 (healthy reducers infected by one node failure)",
-			Func: func(b *testing.B) { benchExperiment(b, "fig4") },
+			Name:   "fig4_spatial_amplification",
+			Desc:   "reproduce Fig. 4 (healthy reducers infected by one node failure)",
+			Func:   func(b *testing.B) { benchExperiment(b, "fig4") },
+			Budget: &Budget{AllocsPerOp: 71_000, BytesPerOp: 6_200_000, Tolerance: 0.20},
 		},
 		{
-			Name: "table2_spatial_cure",
-			Desc: "reproduce Table II (additional failures, YARN vs SFM)",
-			Func: func(b *testing.B) { benchExperiment(b, "table2") },
+			Name:   "table2_spatial_cure",
+			Desc:   "reproduce Table II (additional failures, YARN vs SFM)",
+			Func:   func(b *testing.B) { benchExperiment(b, "table2") },
+			Budget: &Budget{AllocsPerOp: 400_000, BytesPerOp: 36_000_000, Tolerance: 0.20},
 		},
 	}
 }
@@ -160,6 +187,7 @@ type Result struct {
 	NsPerOp     float64            `json:"ns_per_op"`
 	BytesPerOp  int64              `json:"bytes_per_op"`
 	AllocsPerOp int64              `json:"allocs_per_op"`
+	Budget      *Budget            `json:"budget,omitempty"`
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
@@ -185,6 +213,7 @@ func RunAll(log io.Writer) []Result {
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
+			Budget:      bm.Budget,
 			Metrics:     r.Extra,
 		}
 		if log != nil {
@@ -208,4 +237,93 @@ func WriteJSON(w io.Writer, results []Result) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(f)
+}
+
+// ReadJSON parses a BENCH_engine.json document.
+func ReadJSON(r io.Reader) (*File, error) {
+	var f File
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("perf: parse bench file: %w", err)
+	}
+	if f.Schema != "alm/bench-engine/v1" {
+		return nil, fmt.Errorf("perf: unknown bench schema %q", f.Schema)
+	}
+	return &f, nil
+}
+
+// CheckBudgets verifies measured results against their budgets and
+// returns one violation line per breach (empty means all within
+// budget). A result without a budget is never a violation; a budgeted
+// axis of 0 means "unbudgeted axis".
+func CheckBudgets(results []Result) []string {
+	var violations []string
+	for _, res := range results {
+		b := res.Budget
+		if b == nil {
+			continue
+		}
+		if b.AllocsPerOp > 0 {
+			limit := int64(float64(b.AllocsPerOp) * (1 + b.Tolerance))
+			if res.AllocsPerOp > limit {
+				violations = append(violations, fmt.Sprintf(
+					"%s: %d allocs/op exceeds budget %d (+%.0f%% tolerance = %d)",
+					res.Name, res.AllocsPerOp, b.AllocsPerOp, b.Tolerance*100, limit))
+			}
+		}
+		if b.BytesPerOp > 0 {
+			limit := int64(float64(b.BytesPerOp) * (1 + b.Tolerance))
+			if res.BytesPerOp > limit {
+				violations = append(violations, fmt.Sprintf(
+					"%s: %d B/op exceeds budget %d (+%.0f%% tolerance = %d)",
+					res.Name, res.BytesPerOp, b.BytesPerOp, b.Tolerance*100, limit))
+			}
+		}
+	}
+	return violations
+}
+
+// WriteComparison renders per-benchmark deltas between two result sets
+// (ns/op, B/op, allocs/op, each with percentage change). Benchmarks
+// present in only one set are listed as added/removed.
+func WriteComparison(w io.Writer, oldRes, newRes []Result) {
+	oldBy := make(map[string]Result, len(oldRes))
+	for _, r := range oldRes {
+		oldBy[r.Name] = r
+	}
+	newBy := make(map[string]Result, len(newRes))
+	for _, r := range newRes {
+		newBy[r.Name] = r
+	}
+	fmt.Fprintf(w, "%-32s %15s %15s %9s   %12s %12s %9s   %10s %10s %9s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta",
+		"old B/op", "new B/op", "delta",
+		"old allocs", "new allocs", "delta")
+	for _, nr := range newRes {
+		or, ok := oldBy[nr.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-32s (added)\n", nr.Name)
+			continue
+		}
+		fmt.Fprintf(w, "%-32s %15.0f %15.0f %9s   %12d %12d %9s   %10d %10d %9s\n",
+			nr.Name,
+			or.NsPerOp, nr.NsPerOp, pctDelta(or.NsPerOp, nr.NsPerOp),
+			or.BytesPerOp, nr.BytesPerOp, pctDelta(float64(or.BytesPerOp), float64(nr.BytesPerOp)),
+			or.AllocsPerOp, nr.AllocsPerOp, pctDelta(float64(or.AllocsPerOp), float64(nr.AllocsPerOp)))
+	}
+	for _, or := range oldRes {
+		if _, ok := newBy[or.Name]; !ok {
+			fmt.Fprintf(w, "%-32s (removed)\n", or.Name)
+		}
+	}
+}
+
+// pctDelta renders the old→new change as a signed percentage.
+func pctDelta(oldV, newV float64) string {
+	if oldV == 0 {
+		if newV == 0 {
+			return "0.0%"
+		}
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", (newV-oldV)/oldV*100)
 }

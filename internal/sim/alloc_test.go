@@ -1,0 +1,44 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRescheduleAllocFree is the CI allocation gate for timer churn: once
+// a timer object exists, re-arming and stopping it must not allocate.
+// The engine's liveness pings, fetch watchdogs and fair-share completion
+// events all ride this path thousands of times per run.
+func TestRescheduleAllocFree(t *testing.T) {
+	e := NewEngine(1)
+	fn := func() {}
+	tm := e.Schedule(time.Second, fn)
+	allocs := testing.AllocsPerRun(200, func() {
+		tm.Reschedule(time.Second, fn)
+		tm.Stop()
+		tm.Reschedule(2*time.Second, fn)
+	})
+	if allocs != 0 {
+		t.Fatalf("Reschedule/Stop allocs/op = %v, want 0", allocs)
+	}
+}
+
+// TestScheduleSingleAlloc pins Schedule to exactly one allocation (the
+// Timer itself) in the steady state, after the heap has grown.
+func TestScheduleSingleAlloc(t *testing.T) {
+	e := NewEngine(1)
+	fn := func() {}
+	timers := make([]*Timer, 0, 256)
+	for i := 0; i < 256; i++ {
+		timers = append(timers, e.Schedule(time.Duration(i)*time.Second, fn))
+	}
+	for _, tm := range timers {
+		tm.Stop()
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		e.Schedule(time.Second, fn).Stop()
+	})
+	if allocs > 1 {
+		t.Fatalf("Schedule allocs/op = %v, want <= 1", allocs)
+	}
+}

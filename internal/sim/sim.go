@@ -13,7 +13,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -22,22 +21,19 @@ import (
 // Time is a point in virtual time, measured from the start of the run.
 type Time = time.Duration
 
-// Event is a scheduled callback.
-type event struct {
-	at  Time
-	seq uint64
-	fn  func()
-	// idx is the event's position in the heap, maintained by the heap
-	// methods; -1 once the event fired or was removed by Timer.Stop.
-	idx int
-}
-
-// Timer is a handle to a scheduled event that can be canceled or
-// rescheduled. The zero value is not usable; timers are created by
+// Timer is a scheduled callback and its cancellation handle in one
+// object: the heap stores *Timer directly, so scheduling an event costs a
+// single allocation, and Reschedule re-arms an existing timer with no
+// allocation at all. The zero value is not usable; timers are created by
 // Engine.Schedule and Engine.At.
 type Timer struct {
 	eng *Engine
-	ev  *event
+	at  Time
+	seq uint64
+	fn  func()
+	// idx is the timer's position in the heap, maintained by the sift
+	// functions; -1 once the event fired or was removed by Stop.
+	idx int
 }
 
 // Stop cancels the timer. It reports whether the call prevented the event
@@ -49,54 +45,50 @@ type Timer struct {
 // are stopped by the thousands, and retaining them until their deadline
 // made the heap grow quadratically under fetch-session churn.
 func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.idx < 0 {
+	if t == nil || t.idx < 0 {
 		return false
 	}
-	heap.Remove(&t.eng.queue, t.ev.idx)
-	t.ev.idx = -1
-	t.ev.fn = nil // release the closure for GC
+	t.eng.removeAt(t.idx)
+	t.fn = nil // release the closure for GC
 	t.eng.stopsRemoved++
 	return true
 }
 
 // Active reports whether the timer is still pending (not yet fired and
 // not stopped).
-func (t *Timer) Active() bool { return t != nil && t.ev != nil && t.ev.idx >= 0 }
+func (t *Timer) Active() bool { return t != nil && t.idx >= 0 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// Reschedule re-arms the timer to run fn after delay of virtual time,
+// reusing the allocation. It is behaviourally identical to Stop()
+// followed by Engine.Schedule(delay, fn) — same sequence numbering, same
+// stop accounting, same queue profile — so swapping the two forms cannot
+// change event order. Hot paths that arm and re-arm one logical timer
+// (the fair-share completion event, liveness pings) use it to stay
+// allocation-free in the steady state.
+func (t *Timer) Reschedule(delay Time, fn func()) {
+	if fn == nil {
+		panic("sim: Reschedule called with nil callback")
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x interface{}) {
-	ev := x.(*event)
-	ev.idx = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.idx = -1
-	*h = old[:n-1]
-	return ev
+	e := t.eng
+	if t.idx >= 0 {
+		e.removeAt(t.idx)
+		e.stopsRemoved++
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	e.seq++
+	t.at = e.now + delay
+	t.seq = e.seq
+	t.fn = fn
+	e.push(t)
 }
 
 // Engine is a discrete-event scheduler with a virtual clock.
 type Engine struct {
 	now     Time
 	seq     uint64
-	queue   eventHeap
+	queue   []*Timer
 	rng     *rand.Rand
 	stopped bool
 	// Processed counts events that have fired; useful for loop guards in
@@ -158,12 +150,9 @@ func (e *Engine) At(t Time, fn func()) *Timer {
 		t = e.now
 	}
 	e.seq++
-	ev := &event{at: t, seq: e.seq, fn: fn}
-	heap.Push(&e.queue, ev)
-	if len(e.queue) > e.maxQueue {
-		e.maxQueue = len(e.queue)
-	}
-	return &Timer{eng: e, ev: ev}
+	tm := &Timer{eng: e, at: t, seq: e.seq, fn: fn}
+	e.push(tm)
+	return tm
 }
 
 // Stop makes Run return after the current event completes.
@@ -175,20 +164,21 @@ func (e *Engine) Pending() bool { return len(e.queue) > 0 }
 
 // Step fires the next event, if any, and reports whether one fired.
 func (e *Engine) Step() bool {
-	if e.queue.Len() == 0 {
+	if len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*event)
-	if ev.at < e.now {
-		panic(fmt.Sprintf("sim: time went backwards: %v -> %v", e.now, ev.at))
+	tm := e.popMin()
+	if tm.at < e.now {
+		panic(fmt.Sprintf("sim: time went backwards: %v -> %v", e.now, tm.at))
 	}
-	e.now = ev.at
+	e.now = tm.at
 	e.processed++
 	if e.maxEvents != 0 && e.processed > e.maxEvents {
 		panic(fmt.Sprintf("sim: exceeded max events (%d) at t=%v", e.maxEvents, e.now))
 	}
-	ev.fn()
-	ev.fn = nil
+	fn := tm.fn
+	tm.fn = nil
+	fn()
 	return true
 }
 
@@ -198,7 +188,7 @@ func (e *Engine) Step() bool {
 func (e *Engine) Run(until Time) {
 	e.stopped = false
 	for !e.stopped {
-		if e.queue.Len() == 0 {
+		if len(e.queue) == 0 {
 			return
 		}
 		// Peek without popping to honour the until bound.
@@ -213,3 +203,102 @@ func (e *Engine) Run(until Time) {
 
 // RunAll fires events until none remain or Stop is called.
 func (e *Engine) RunAll() { e.Run(-1) }
+
+// Heap maintenance: a typed binary min-heap over (at, seq), equivalent to
+// container/heap but without the interface indirection. idx fields track
+// positions so Stop/Reschedule can sift-remove in O(log n).
+
+func timerLess(a, b *Timer) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) push(t *Timer) {
+	t.idx = len(e.queue)
+	e.queue = append(e.queue, t)
+	e.siftUp(t.idx)
+	if len(e.queue) > e.maxQueue {
+		e.maxQueue = len(e.queue)
+	}
+}
+
+func (e *Engine) popMin() *Timer {
+	q := e.queue
+	n := len(q) - 1
+	top := q[0]
+	q[0], q[n] = q[n], q[0]
+	q[0].idx = 0
+	q[n] = nil
+	e.queue = q[:n]
+	if n > 0 {
+		e.siftDown(0)
+	}
+	top.idx = -1
+	return top
+}
+
+// removeAt deletes the element at heap position i.
+func (e *Engine) removeAt(i int) {
+	q := e.queue
+	n := len(q) - 1
+	t := q[i]
+	if i != n {
+		q[i], q[n] = q[n], q[i]
+		q[i].idx = i
+		q[n] = nil
+		e.queue = q[:n]
+		if !e.siftDown(i) {
+			e.siftUp(i)
+		}
+	} else {
+		q[n] = nil
+		e.queue = q[:n]
+	}
+	t.idx = -1
+}
+
+func (e *Engine) siftUp(i int) {
+	q := e.queue
+	t := q[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !timerLess(t, q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		q[i].idx = i
+		i = parent
+	}
+	q[i] = t
+	t.idx = i
+}
+
+// siftDown restores heap order below i; it reports whether the element
+// moved (mirrors container/heap's down, which Remove uses to decide
+// whether an up-sift is needed).
+func (e *Engine) siftDown(i int) bool {
+	q := e.queue
+	n := len(q)
+	t := q[i]
+	start := i
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && timerLess(q[r], q[child]) {
+			child = r
+		}
+		if !timerLess(q[child], t) {
+			break
+		}
+		q[i] = q[child]
+		q[i].idx = i
+		i = child
+	}
+	q[i] = t
+	t.idx = i
+	return i > start
+}

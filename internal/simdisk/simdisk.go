@@ -10,6 +10,7 @@ package simdisk
 
 import (
 	"fmt"
+	"strconv"
 
 	"alm/internal/fairshare"
 	"alm/internal/metrics"
@@ -39,6 +40,15 @@ type Disks struct {
 	names  []string
 	readC  []*metrics.Counter
 	writeC []*metrics.Counter
+
+	// Per-node flow names, rendered once at construction: disk ops are
+	// among the hottest flow starts in a run, and their names only vary by
+	// node. portScratch backs the 1–2 element port lists handed to
+	// StartFlow, which copies them.
+	readName    []string
+	writeName   []string
+	mergeName   []string
+	portScratch []*fairshare.Port
 }
 
 // New builds the disk model. It shares the fair-share system with the
@@ -64,6 +74,10 @@ func New(e *sim.Engine, topo *topology.Topology, sys *fairshare.System) *Disks {
 		d.baseRead[node.ID] = node.HW.DiskReadBW
 		d.baseWrite[node.ID] = node.HW.DiskWriteBW
 		d.names = append(d.names, node.Name)
+		id := strconv.Itoa(int(node.ID))
+		d.readName = append(d.readName, "dread:"+id)
+		d.writeName = append(d.writeName, "dwrite:"+id)
+		d.mergeName = append(d.mergeName, "dmerge:"+id)
 	}
 	return d
 }
@@ -122,28 +136,42 @@ func (d *Disks) WritePort(id topology.NodeID) *fairshare.Port { return d.write[i
 
 // Read charges a local disk read of the given size and calls done when it
 // completes.
+//
+//alm:hotpath
 func (d *Disks) Read(id topology.NodeID, bytes int64, done func()) *fairshare.Flow {
 	d.BytesRead[id] += bytes
 	d.countRead(id, bytes)
-	return d.sys.StartFlow(fmt.Sprintf("dread:%d", id), bytes, []*fairshare.Port{d.read[id]}, 0, done)
+	ports := append(d.portScratch[:0], d.read[id])
+	f := d.sys.StartFlow(d.readName[id], bytes, ports, 0, done)
+	d.portScratch = ports[:0]
+	return f
 }
 
 // Write charges a local disk write of the given size and calls done when
 // it completes.
+//
+//alm:hotpath
 func (d *Disks) Write(id topology.NodeID, bytes int64, done func()) *fairshare.Flow {
 	d.BytesWritten[id] += bytes
 	d.countWrite(id, bytes)
-	return d.sys.StartFlow(fmt.Sprintf("dwrite:%d", id), bytes, []*fairshare.Port{d.write[id]}, 0, done)
+	ports := append(d.portScratch[:0], d.write[id])
+	f := d.sys.StartFlow(d.writeName[id], bytes, ports, 0, done)
+	d.portScratch = ports[:0]
+	return f
 }
 
 // ReadWrite charges a combined read-modify-write (e.g., an on-disk merge
 // pass reads inputs and writes the merged output concurrently): a single
 // flow of the given size crossing both the read and write ports.
+//
+//alm:hotpath
 func (d *Disks) ReadWrite(id topology.NodeID, bytes int64, done func()) *fairshare.Flow {
 	d.BytesRead[id] += bytes
 	d.BytesWritten[id] += bytes
 	d.countRead(id, bytes)
 	d.countWrite(id, bytes)
-	ports := []*fairshare.Port{d.read[id], d.write[id]}
-	return d.sys.StartFlow(fmt.Sprintf("dmerge:%d", id), bytes, ports, 0, done)
+	ports := append(d.portScratch[:0], d.read[id], d.write[id])
+	f := d.sys.StartFlow(d.mergeName[id], bytes, ports, 0, done)
+	d.portScratch = ports[:0]
+	return f
 }

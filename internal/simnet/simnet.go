@@ -271,10 +271,19 @@ func (n *Network) countLinkBytes(src, dst topology.NodeID, bytes int64) {
 // PortsFor returns the set of network ports a transfer from src to dst
 // crosses. Local transfers cross no network ports.
 func (n *Network) PortsFor(src, dst topology.NodeID) []*fairshare.Port {
+	return n.AppendPortsFor(nil, src, dst)
+}
+
+// AppendPortsFor appends the ports a src→dst transfer crosses to dst0 and
+// returns the extended slice. Hot callers (fetch sessions) pass a reused
+// scratch slice so the per-transfer port list costs no allocation;
+// StartFlow copies the ports it is given, so the scratch can be reused
+// immediately.
+func (n *Network) AppendPortsFor(dst0 []*fairshare.Port, src, dst topology.NodeID) []*fairshare.Port {
 	if src == dst {
-		return nil
+		return dst0
 	}
-	ports := []*fairshare.Port{n.egress[src], n.ingress[dst]}
+	ports := append(dst0, n.egress[src], n.ingress[dst])
 	if !n.topo.SameRack(src, dst) {
 		ports = append(ports, n.uplinks[n.topo.RackOf(src)], n.uplinks[n.topo.RackOf(dst)])
 	}

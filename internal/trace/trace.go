@@ -4,9 +4,8 @@
 package trace
 
 import (
-	"fmt"
 	"sort"
-	"strings"
+	"strconv"
 
 	"alm/internal/sim"
 )
@@ -45,8 +44,40 @@ type Event struct {
 	Detail string
 }
 
+// AppendTo appends the event's dump line to b and returns the extended
+// slice. The layout is the historical fmt.Sprintf
+// "%8.1fs %-22s %-18s %-8s %s" rendered byte-for-byte (a golden test
+// locks it), without fmt's interface boxing on the dump path.
+//
+//alm:hotpath
+func (e Event) AppendTo(b []byte) []byte {
+	var num [24]byte
+	f := strconv.AppendFloat(num[:0], e.At.Seconds(), 'f', 1, 64)
+	for n := 8 - len(f); n > 0; n-- {
+		b = append(b, ' ')
+	}
+	b = append(b, f...)
+	b = append(b, 's', ' ')
+	b = appendPadded(b, string(e.Kind), 22)
+	b = append(b, ' ')
+	b = appendPadded(b, e.Task, 18)
+	b = append(b, ' ')
+	b = appendPadded(b, e.Node, 8)
+	b = append(b, ' ')
+	return append(b, e.Detail...)
+}
+
+// appendPadded appends s left-aligned in a field of at least w bytes.
+func appendPadded(b []byte, s string, w int) []byte {
+	b = append(b, s...)
+	for n := w - len(s); n > 0; n-- {
+		b = append(b, ' ')
+	}
+	return b
+}
+
 func (e Event) String() string {
-	return fmt.Sprintf("%8.1fs %-22s %-18s %-8s %s", e.At.Seconds(), e.Kind, e.Task, e.Node, e.Detail)
+	return string(e.AppendTo(nil))
 }
 
 // Point is one sample of a timeline series.
@@ -67,12 +98,19 @@ type Collector struct {
 	OnEmit func(Event)
 }
 
-// New returns an empty collector.
+// New returns an empty collector. The event buffer starts with room for
+// a small run's worth of events and grows geometrically from there, so
+// steady-state Emit is an amortised-free append.
 func New() *Collector {
-	return &Collector{series: make(map[string][]Point)}
+	return &Collector{
+		Events: make([]Event, 0, 256),
+		series: make(map[string][]Point),
+	}
 }
 
 // Emit records a discrete event.
+//
+//alm:hotpath
 func (c *Collector) Emit(at sim.Time, kind Kind, task, node, detail string) {
 	e := Event{At: at, Kind: kind, Task: task, Node: node, Detail: detail}
 	c.Events = append(c.Events, e)
@@ -133,12 +171,12 @@ func (c *Collector) First(kind Kind) *Event {
 
 // Dump renders all events as a multi-line string (debug aid).
 func (c *Collector) Dump() string {
-	var b strings.Builder
+	b := make([]byte, 0, 64*len(c.Events))
 	for _, e := range c.Events {
-		b.WriteString(e.String())
-		b.WriteByte('\n')
+		b = e.AppendTo(b)
+		b = append(b, '\n')
 	}
-	return b.String()
+	return string(b)
 }
 
 // ValueAt returns the last sample value of a series at or before t, or 0.

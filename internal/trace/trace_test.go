@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -69,6 +70,42 @@ func TestValueAt(t *testing.T) {
 	}
 	if c.ValueAt("missing", time.Second) != 0 {
 		t.Fatal("missing series should read 0")
+	}
+}
+
+// TestEventStringGolden locks the append-based renderer to the historical
+// fmt layout byte-for-byte: dumps are diffed across runs and versions, so
+// the format is a compatibility surface, not a cosmetic choice.
+func TestEventStringGolden(t *testing.T) {
+	cases := []Event{
+		{At: 0, Kind: KindTaskLaunched, Task: "m_000_0", Node: "node-00", Detail: "map"},
+		{At: 90 * time.Second, Kind: KindFetchFailure, Task: "r_000_0", Node: "node-07", Detail: "4 maps"},
+		{At: 12345678 * time.Millisecond, Kind: KindMapRescheduled, Task: "a-task-id-longer-than-the-field", Node: "a-very-long-node-name", Detail: ""},
+		{At: 50 * time.Millisecond, Kind: Kind("x"), Task: "", Node: "", Detail: "trailing detail"},
+		{At: 3599*time.Second + 950*time.Millisecond, Kind: KindJobFinished, Task: "", Node: "", Detail: "done"},
+		{At: 123456789 * time.Second, Kind: KindNodeDetected, Task: "r_003_1", Node: "node-12", Detail: "hb timeout"},
+	}
+	for _, e := range cases {
+		want := fmt.Sprintf("%8.1fs %-22s %-18s %-8s %s", e.At.Seconds(), e.Kind, e.Task, e.Node, e.Detail)
+		if got := e.String(); got != want {
+			t.Fatalf("Event.String drifted from the locked format:\n got %q\nwant %q", got, want)
+		}
+	}
+}
+
+// TestEmitAllocFree is the CI allocation gate for the hottest trace call:
+// once the event buffer has grown, Emit must not allocate at all.
+func TestEmitAllocFree(t *testing.T) {
+	c := New()
+	for i := 0; i < 1024; i++ {
+		c.Emit(time.Duration(i)*time.Second, KindFetchRetry, "r_000_0", "node-01", "again")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		c.Events = c.Events[:0]
+		c.Emit(time.Second, KindFetchRetry, "r_000_0", "node-01", "again")
+	})
+	if allocs != 0 {
+		t.Fatalf("Emit allocs/op = %v, want 0", allocs)
 	}
 }
 
