@@ -4,7 +4,7 @@
 GO ?= go
 ALMVET := bin/almvet
 
-.PHONY: all build test race vet lint-test bench bench-alloc bench-compare bench-smoke chaos chaos-smoke metrics-smoke ci clean
+.PHONY: all build test race vet fix-check lint-test bench bench-alloc bench-compare bench-smoke chaos chaos-smoke metrics-smoke ci clean
 
 all: build
 
@@ -17,11 +17,21 @@ test:
 race:
 	$(GO) test -race ./...
 
-# vet builds the repo's own vettool and runs the almvet suite (detnow,
-# droppederr, locksafe, seedflow) through `go vet`, which caches verdicts
-# per package against the tool binary's content hash.
+# vet builds the repo's own vettool and runs the full almvet suite —
+# the syntax-level analyzers (detnow, droppederr, hotalloc, locksafe,
+# seedflow) and the flow-sensitive ones (maporder, timerflow,
+# allocflow) — through `go vet`, which caches verdicts per package
+# against the tool binary's content hash.
 vet: $(ALMVET)
 	$(GO) vet -vettool=$(CURDIR)/$(ALMVET) ./...
+
+# fix-check asserts that `almvet -fix` has nothing left to do: the
+# dry-run prints a unified diff of every suggested fix without touching
+# the tree and exits non-zero when the diff is non-empty or a
+# diagnostic has no fix. A failure means someone committed a finding
+# instead of applying `bin/almvet -fix ./...` or annotating it.
+fix-check: $(ALMVET)
+	./$(ALMVET) -fix -diff ./...
 
 $(ALMVET): FORCE
 	$(GO) build -o $(ALMVET) ./cmd/almvet
@@ -81,7 +91,7 @@ metrics-smoke:
 	$(GO) run ./cmd/almrun -workload terasort -size-gb 12.5 -reduces 20 -mode yarn -fail mof-node -at 0.55 -metrics bin/metrics-b.prom
 	cmp bin/metrics-a.prom bin/metrics-b.prom
 
-ci: build test race vet bench-smoke bench-alloc chaos-smoke metrics-smoke
+ci: build test race vet fix-check bench-smoke bench-alloc chaos-smoke metrics-smoke
 
 clean:
 	rm -rf bin

@@ -1,7 +1,9 @@
-// Command almvet is the repo's vet tool: four analyzers (detnow,
-// droppederr, locksafe, seedflow) that enforce the simulator's
-// determinism contract, the ALG no-silent-log-loss rule, and lock
-// discipline. See DESIGN.md "Static analysis gates".
+// Command almvet is the repo's vet tool: the analyzer suite (detnow,
+// droppederr, hotalloc, locksafe, seedflow, and the flow-sensitive
+// maporder, timerflow, allocflow) that enforces the simulator's
+// determinism contract, the ALG no-silent-log-loss rule, lock
+// discipline, and hot-path allocation budgets. See DESIGN.md "Static
+// analysis gates".
 //
 // Two modes:
 //
@@ -10,13 +12,24 @@
 //
 // Under cmd/go, almvet speaks the vettool protocol (-V=full handshake,
 // -flags JSON, then one vet.cfg per package unit); standalone mode loads
-// and type-checks packages itself through internal/lint/loader.
+// and type-checks packages itself through internal/lint/loader, printing
+// diagnostics in a byte-stable global order (file, line, column,
+// analyzer).
 //
 // Analyzer selection mirrors vet: `almvet -detnow ./...` runs only
 // detnow; `almvet -detnow=false ./...` runs everything else.
+//
+// Standalone mode can also apply the analyzers' suggested fixes:
+//
+//	almvet -fix ./...        # rewrite files in place (gofmt-clean)
+//	almvet -fix -diff ./...  # dry run: print a unified diff, write nothing
+//
+// -fix -diff exits 2 when the diff is non-empty, so CI can assert that
+// the tree has no outstanding machine-applicable fixes.
 package main
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/json"
 	"flag"
@@ -24,10 +37,12 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"alm/internal/lint/analysis"
 	"alm/internal/lint/driver"
+	"alm/internal/lint/fixer"
 	"alm/internal/lint/loader"
 	"alm/internal/lint/registry"
 	"alm/internal/lint/unitchecker"
@@ -44,6 +59,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	flagsFlag := fs.Bool("flags", false, "print JSON flag descriptions and exit (cmd/go handshake)")
 	jsonFlag := fs.Bool("json", false, "accepted for vet compatibility (ignored)")
 	_ = jsonFlag
+	fixFlag := fs.Bool("fix", false, "apply suggested fixes (standalone mode only)")
+	diffFlag := fs.Bool("diff", false, "with -fix, print a unified diff instead of writing files")
 	analyzerFlags := make(map[string]*bool)
 	for _, s := range registry.All() {
 		analyzerFlags[s.Name] = fs.Bool(s.Name, false, "enable only the listed analyzers: "+firstLine(s.Doc))
@@ -82,9 +99,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	rest := fs.Args()
 	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		if *fixFlag || *diffFlag {
+			fmt.Fprintln(stderr, "almvet: -fix/-diff are standalone-mode flags; run almvet directly, not through go vet")
+			return 2
+		}
 		return unitchecker.Main(rest[0], enable, stderr)
 	}
-	return standalone(rest, enable, stderr)
+	if *diffFlag && !*fixFlag {
+		fmt.Fprintln(stderr, "almvet: -diff requires -fix")
+		return 2
+	}
+	return standalone(rest, enable, fixMode{apply: *fixFlag, diff: *diffFlag}, stdout, stderr)
 }
 
 // selection turns the explicitly-set analyzer flags into an enable set,
@@ -116,9 +141,20 @@ func selection(fs *flag.FlagSet, analyzerFlags map[string]*bool) map[string]bool
 	return enable
 }
 
+// fixMode selects what standalone does with suggested fixes: nothing,
+// rewrite files in place, or print a dry-run unified diff.
+type fixMode struct {
+	apply bool
+	diff  bool
+}
+
 // standalone loads package patterns itself and runs the scoped suite —
-// `almvet ./...` with no go-tool driver, handy for editors and quick runs.
-func standalone(patterns []string, enable map[string]bool, stderr io.Writer) int {
+// `almvet ./...` with no go-tool driver, handy for editors and quick
+// runs. Diagnostics from every package are collected first and emitted
+// in one byte-stable global order — (file, line, column, analyzer) —
+// so runs over different pattern spellings of the same package set
+// produce identical output.
+func standalone(patterns []string, enable map[string]bool, mode fixMode, stdout, stderr io.Writer) int {
 	l, err := loader.New(".")
 	if err != nil {
 		fmt.Fprintf(stderr, "almvet: %v\n", err)
@@ -130,6 +166,7 @@ func standalone(patterns []string, enable map[string]bool, stderr io.Writer) int
 		return 1
 	}
 	exit := 0
+	var all []analysis.Diagnostic
 	for _, path := range paths {
 		var analyzers []*analysis.Analyzer
 		for _, s := range registry.All() {
@@ -163,12 +200,106 @@ func standalone(patterns []string, enable map[string]bool, stderr io.Writer) int
 			exit = 1
 			continue
 		}
-		for _, d := range diags {
+		all = append(all, diags...)
+	}
+
+	sort.SliceStable(all, func(i, j int) bool {
+		pi, pj := l.Fset.Position(all[i].Pos), l.Fset.Position(all[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return all[i].Category < all[j].Category
+	})
+
+	if !mode.apply {
+		for _, d := range all {
 			fmt.Fprintf(stderr, "%s\n", driver.Format(l.Fset, d))
 		}
-		if len(diags) > 0 && exit == 0 {
+		if len(all) > 0 && exit == 0 {
 			exit = 2
 		}
+		return exit
+	}
+	return applyFixes(l, all, mode, stdout, stderr, exit)
+}
+
+// applyFixes rewrites (or, in diff mode, previews) the suggested fixes
+// for the collected diagnostics. Diagnostics without an applied fix are
+// still printed: -fix resolves what it can and reports the rest.
+func applyFixes(l *loader.Loader, all []analysis.Diagnostic, mode fixMode, stdout, stderr io.Writer, exit int) int {
+	byFile := make(map[string][]analysis.Diagnostic)
+	var files []string
+	fixable := make(map[string]bool)
+	for _, d := range all {
+		name := l.Fset.Position(d.Pos).Filename
+		if _, ok := byFile[name]; !ok {
+			files = append(files, name)
+		}
+		byFile[name] = append(byFile[name], d)
+		if len(d.SuggestedFixes) > 0 {
+			fixable[name] = true
+		}
+	}
+	sort.Strings(files)
+
+	cwd, _ := os.Getwd()
+	changed := false
+	for _, name := range files {
+		if !fixable[name] {
+			continue
+		}
+		src, err := os.ReadFile(name)
+		if err != nil {
+			fmt.Fprintf(stderr, "almvet: %v\n", err)
+			exit = 1
+			continue
+		}
+		fixed, applied, err := fixer.Apply(l.Fset, name, src, byFile[name])
+		if err != nil {
+			fmt.Fprintf(stderr, "almvet: %s: %v\n", name, err)
+			exit = 1
+			continue
+		}
+		if applied == 0 || bytes.Equal(fixed, src) {
+			continue
+		}
+		changed = true
+		display := name
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				display = rel
+			}
+		}
+		if mode.diff {
+			stdout.Write(fixer.Unified(display, src, fixed))
+			continue
+		}
+		if err := os.WriteFile(name, fixed, 0o644); err != nil {
+			fmt.Fprintf(stderr, "almvet: %v\n", err)
+			exit = 1
+			continue
+		}
+		fmt.Fprintf(stderr, "almvet: %s: applied %d fix(es)\n", display, applied)
+	}
+
+	// Report what -fix could not resolve. (After an in-place rewrite the
+	// positions refer to the pre-fix file, so only fixless diagnostics
+	// are printed — re-run almvet for fresh positions.)
+	unfixed := 0
+	for _, d := range all {
+		if len(d.SuggestedFixes) == 0 {
+			fmt.Fprintf(stderr, "%s\n", driver.Format(l.Fset, d))
+			unfixed++
+		}
+	}
+	if exit == 0 && (unfixed > 0 || (mode.diff && changed)) {
+		exit = 2
 	}
 	return exit
 }
@@ -233,6 +364,10 @@ func expandPatterns(l *loader.Loader, patterns []string) ([]string, error) {
 			return nil, err
 		}
 	}
+	// WalkDir yields lexical order per pattern, but multiple patterns can
+	// interleave arbitrarily; sort so the load order (and any load errors)
+	// is stable regardless of how the package set was spelled.
+	sort.Strings(out)
 	return out, nil
 }
 

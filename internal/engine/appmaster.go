@@ -669,7 +669,7 @@ func (am *appMaster) markFailedNoRecover(a *attempt, reason string) {
 }
 
 func (am *appMaster) mapsWithMOFOn(node topology.NodeID) []int {
-	var out []int
+	out := make([]int, 0, len(am.mofs))
 	for i, m := range am.mofs {
 		if m != nil && m.node == node && !am.rerunScheduled[i] {
 			out = append(out, i)

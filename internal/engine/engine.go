@@ -524,7 +524,7 @@ func (j *Job) apply(do faults.Action) {
 				continue
 			}
 			j.Tracer.Emit(now, trace.KindNodeCrashed, "", j.Cluster.Topo.Node(node).Name,
-				fmt.Sprintf("injected rack %d crash", do.Rack))
+				fmt.Sprintf("injected rack %d crash", do.Rack)) //almvet:allow allocflow -- fault injection runs once per scripted fault, not per simulated event
 			j.Cluster.Crash(node)
 			j.crashWipe(node)
 			j.am.nodeWentDark(node)

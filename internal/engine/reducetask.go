@@ -435,7 +435,7 @@ func (r *reduceExec) pickHost() (topology.NodeID, bool) {
 			continue
 		}
 		first := -1
-		r.hostIdx.byHost[n].each(func(m int) bool {
+		r.hostIdx.byHost[n].each(func(m int) bool { //almvet:allow allocflow -- each() does not retain fn, so the closure stays on the stack
 			if am.shouldWait(m) {
 				return true // SFM advisory: regeneration under way
 			}
@@ -829,7 +829,7 @@ func (r *reduceExec) mergeInMemory(done func()) {
 	bytes := r.inMemBytes
 	r.inMem = nil
 	r.inMemBytes = 0
-	var mapIDs []int
+	mapIDs := make([]int, 0, len(segs))
 	for _, sg := range segs {
 		mapIDs = append(mapIDs, r.inMemMaps[sg]...)
 		delete(r.inMemMaps, sg)
@@ -931,7 +931,7 @@ func (r *reduceExec) mergePasses() {
 	path := r.seqPath(r.mergedPrefix, r.spillSeq)
 	merged := merge.MergeSegments(path, r.cmp(), batch)
 	local := r.job.local(r.a.node)
-	var mapIDs []int
+	mapIDs := make([]int, 0, len(batch))
 	for _, sg := range batch {
 		mapIDs = append(mapIDs, local.segMaps[sg.Path]...)
 	}

@@ -1,0 +1,12 @@
+package allocflow_test
+
+import (
+	"testing"
+
+	"alm/internal/lint/allocflow"
+	"alm/internal/lint/analysistest"
+)
+
+func TestAllocflow(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(), allocflow.Analyzer, "allocflow")
+}

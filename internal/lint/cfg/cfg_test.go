@@ -1,0 +1,355 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildFunc parses src as a file, finds function f, and builds its CFG.
+func buildFunc(t *testing.T, src string) *Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "test.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			return New(fd.Body)
+		}
+	}
+	t.Fatalf("no func f in src")
+	return nil
+}
+
+// blockOfCall returns the block containing a call statement `name()`.
+func blockOfCall(t *testing.T, g *Graph, name string) *Block {
+	t.Helper()
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+				return blk
+			}
+		}
+	}
+	t.Fatalf("no call %s() in graph", name)
+	return nil
+}
+
+func reachableCall(t *testing.T, g *Graph, name string) bool {
+	t.Helper()
+	return g.Reachable()[blockOfCall(t, g, name)]
+}
+
+func TestStraightLine(t *testing.T) {
+	g := buildFunc(t, `func f() { a(); b() }`)
+	if !reachableCall(t, g, "a") || !reachableCall(t, g, "b") {
+		t.Fatal("straight-line statements must be reachable")
+	}
+	if !g.Reachable()[g.Exit] {
+		t.Fatal("exit must be reachable")
+	}
+}
+
+func TestReturnCutsFlow(t *testing.T) {
+	g := buildFunc(t, `func f() { a(); return; b() }`)
+	if !reachableCall(t, g, "a") {
+		t.Fatal("a() must be reachable")
+	}
+	if reachableCall(t, g, "b") {
+		t.Fatal("b() after return must be unreachable")
+	}
+}
+
+func TestPanicCutsFlow(t *testing.T) {
+	g := buildFunc(t, `func f() { panic("x"); b() }`)
+	if reachableCall(t, g, "b") {
+		t.Fatal("b() after panic must be unreachable")
+	}
+}
+
+func TestIfElseJoin(t *testing.T) {
+	g := buildFunc(t, `func f(c bool) {
+		if c { a() } else { b() }
+		j()
+	}`)
+	for _, name := range []string{"a", "b", "j"} {
+		if !reachableCall(t, g, name) {
+			t.Fatalf("%s() must be reachable", name)
+		}
+	}
+	// Both branches must flow into the join containing j().
+	join := blockOfCall(t, g, "j")
+	preds := 0
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			if s == join {
+				preds++
+			}
+		}
+	}
+	if preds < 2 {
+		t.Fatalf("join block has %d predecessors, want >= 2", preds)
+	}
+}
+
+func TestIfWithoutElse(t *testing.T) {
+	g := buildFunc(t, `func f(c bool) {
+		if c { return }
+		j()
+	}`)
+	if !reachableCall(t, g, "j") {
+		t.Fatal("j() must be reachable via the false edge")
+	}
+}
+
+func TestForLoopBackEdge(t *testing.T) {
+	g := buildFunc(t, `func f(n int) {
+		for i := 0; i < n; i++ { body() }
+		after()
+	}`)
+	if !reachableCall(t, g, "body") || !reachableCall(t, g, "after") {
+		t.Fatal("loop body and continuation must be reachable")
+	}
+	// The body must reach itself again (a back edge through the post
+	// block and head).
+	body := blockOfCall(t, g, "body")
+	seen := map[*Block]bool{}
+	work := []*Block{body}
+	again := false
+	for len(work) > 0 && !again {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range blk.Succs {
+			if s == body {
+				again = true
+			}
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	if !again {
+		t.Fatal("loop body must be reachable from itself via the back edge")
+	}
+}
+
+func TestInfiniteLoopNoExitEdge(t *testing.T) {
+	g := buildFunc(t, `func f() {
+		for { body() }
+		after()
+	}`)
+	if reachableCall(t, g, "after") {
+		t.Fatal("code after `for {}` must be unreachable")
+	}
+}
+
+func TestRangeZeroIterations(t *testing.T) {
+	g := buildFunc(t, `func f(xs []int) {
+		for range xs { body() }
+		after()
+	}`)
+	if !reachableCall(t, g, "body") || !reachableCall(t, g, "after") {
+		t.Fatal("range body and continuation must both be reachable")
+	}
+}
+
+func TestBreakAndContinue(t *testing.T) {
+	g := buildFunc(t, `func f(xs []int) {
+		for _, x := range xs {
+			if x == 0 { continue }
+			if x == 1 { break }
+			body()
+		}
+		after()
+	}`)
+	if !reachableCall(t, g, "body") || !reachableCall(t, g, "after") {
+		t.Fatal("all statements must be reachable")
+	}
+}
+
+func TestLabeledBreakLeavesOuterLoop(t *testing.T) {
+	g := buildFunc(t, `func f(xs []int) {
+	outer:
+		for range xs {
+			for range xs {
+				break outer
+			}
+			innerTail()
+		}
+		after()
+	}`)
+	if !reachableCall(t, g, "after") {
+		t.Fatal("after() must be reachable via labeled break")
+	}
+	// innerTail is still reachable: the inner range loop may run zero
+	// iterations.
+	if !reachableCall(t, g, "innerTail") {
+		t.Fatal("innerTail() must be reachable when the inner loop runs zero iterations")
+	}
+}
+
+func TestLabeledContinue(t *testing.T) {
+	g := buildFunc(t, `func f(xs []int) {
+	outer:
+		for range xs {
+			for range xs {
+				continue outer
+			}
+		}
+		after()
+	}`)
+	if !reachableCall(t, g, "after") {
+		t.Fatal("after() must be reachable")
+	}
+}
+
+func TestSwitchAllCasesAndNoDefault(t *testing.T) {
+	g := buildFunc(t, `func f(x int) {
+		switch x {
+		case 1:
+			a()
+		case 2:
+			b()
+		}
+		j()
+	}`)
+	for _, name := range []string{"a", "b", "j"} {
+		if !reachableCall(t, g, name) {
+			t.Fatalf("%s() must be reachable", name)
+		}
+	}
+}
+
+func TestSwitchDefaultReturnEveryPath(t *testing.T) {
+	g := buildFunc(t, `func f(x int) {
+		switch x {
+		case 1:
+			return
+		default:
+			return
+		}
+		j()
+	}`)
+	if reachableCall(t, g, "j") {
+		t.Fatal("j() must be unreachable: every switch path returns and there is a default")
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	g := buildFunc(t, `func f(x int) {
+		switch x {
+		case 1:
+			a()
+			fallthrough
+		case 2:
+			b()
+		default:
+		}
+		j()
+	}`)
+	// The a() case body must edge into the b() case body.
+	ab := blockOfCall(t, g, "a")
+	bb := blockOfCall(t, g, "b")
+	found := false
+	for _, s := range ab.Succs {
+		if s == bb {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("fallthrough must edge case 1's body into case 2's body")
+	}
+}
+
+func TestSelectClauses(t *testing.T) {
+	g := buildFunc(t, `func f(ch chan int) {
+		select {
+		case <-ch:
+			a()
+		default:
+			b()
+		}
+		j()
+	}`)
+	for _, name := range []string{"a", "b", "j"} {
+		if !reachableCall(t, g, name) {
+			t.Fatalf("%s() must be reachable", name)
+		}
+	}
+}
+
+func TestGoto(t *testing.T) {
+	g := buildFunc(t, `func f(c bool) {
+		if c {
+			goto done
+		}
+		a()
+	done:
+		j()
+	}`)
+	if !reachableCall(t, g, "a") || !reachableCall(t, g, "j") {
+		t.Fatal("a() and j() must be reachable")
+	}
+	g2 := buildFunc(t, `func f() {
+		goto done
+		a()
+	done:
+		j()
+	}`)
+	if reachableCall(t, g2, "a") {
+		t.Fatal("a() skipped by unconditional goto must be unreachable")
+	}
+	if !reachableCall(t, g2, "j") {
+		t.Fatal("goto target must be reachable")
+	}
+}
+
+func TestDefersCollected(t *testing.T) {
+	g := buildFunc(t, `func f(c bool) {
+		defer a()
+		if c {
+			defer b()
+		}
+	}`)
+	if len(g.Defers) != 2 {
+		t.Fatalf("collected %d defers, want 2", len(g.Defers))
+	}
+}
+
+func TestDeterministicBlockOrder(t *testing.T) {
+	src := `func f(xs []int) {
+		for i, x := range xs {
+			switch {
+			case x > 0:
+				a()
+			case i > 1:
+				b()
+			}
+		}
+	}`
+	g1 := buildFunc(t, src)
+	g2 := buildFunc(t, src)
+	if len(g1.Blocks) != len(g2.Blocks) {
+		t.Fatalf("block counts differ: %d vs %d", len(g1.Blocks), len(g2.Blocks))
+	}
+	for i := range g1.Blocks {
+		if g1.Blocks[i].Kind != g2.Blocks[i].Kind {
+			t.Fatalf("block %d kind %q vs %q", i, g1.Blocks[i].Kind, g2.Blocks[i].Kind)
+		}
+		if len(g1.Blocks[i].Succs) != len(g2.Blocks[i].Succs) {
+			t.Fatalf("block %d successor counts differ", i)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Package dataflow is a small forward-dataflow engine over internal/lint/cfg
+// graphs: a worklist algorithm with a pluggable lattice, just enough
+// machinery for the flow-sensitive almvet analyzers (timerflow's timer-state
+// lattice, allocflow's loop contexts). It deliberately has no notion of
+// facts, packages, or interprocedural summaries — a Problem sees one
+// function's CFG and transfers facts across its nodes.
+//
+// Determinism: blocks are processed in ascending Block.Index order (the
+// builder numbers them in source order), and the worklist is drained
+// lowest-index-first, so the sequence of Transfer calls — and therefore
+// any diagnostics a Problem accumulates while transferring — is identical
+// across runs and Go versions.
+package dataflow
+
+import (
+	"alm/internal/lint/cfg"
+	"go/ast"
+)
+
+// Fact is one lattice element. The engine treats facts as opaque; a nil
+// Fact is "bottom" (unreached) and is never passed to Transfer or Join.
+type Fact interface{}
+
+// Problem defines one forward-dataflow analysis.
+type Problem interface {
+	// Entry returns the fact holding at function entry.
+	Entry() Fact
+
+	// Transfer applies one CFG node to an incoming fact and returns the
+	// outgoing fact. It must not mutate in; return a fresh or copied
+	// fact when the node changes state.
+	Transfer(n ast.Node, in Fact) Fact
+
+	// Join merges facts arriving over two CFG edges. It must be
+	// commutative and associative, and must not mutate its arguments.
+	Join(a, b Fact) Fact
+
+	// Equal reports whether two facts are indistinguishable — the
+	// fixed-point termination test. Join must be monotone with respect
+	// to it or the worklist will not converge.
+	Equal(a, b Fact) bool
+}
+
+// Result holds the fixed point: the fact at entry to and exit from each
+// reachable block. Unreachable blocks are absent.
+type Result struct {
+	In, Out map[*cfg.Block]Fact
+}
+
+// Forward runs p to a fixed point over g and returns the per-block facts.
+func Forward(g *cfg.Graph, p Problem) *Result {
+	res := &Result{
+		In:  make(map[*cfg.Block]Fact, len(g.Blocks)),
+		Out: make(map[*cfg.Block]Fact, len(g.Blocks)),
+	}
+	res.In[g.Entry] = p.Entry()
+
+	// queued tracks membership; the worklist itself is drained in index
+	// order for determinism.
+	queued := make([]bool, len(g.Blocks))
+	work := []*cfg.Block{g.Entry}
+	queued[g.Entry.Index] = true
+
+	pop := func() *cfg.Block {
+		best := 0
+		for i := 1; i < len(work); i++ {
+			if work[i].Index < work[best].Index {
+				best = i
+			}
+		}
+		blk := work[best]
+		work[best] = work[len(work)-1]
+		work = work[:len(work)-1]
+		queued[blk.Index] = false
+		return blk
+	}
+
+	for len(work) > 0 {
+		blk := pop()
+		fact := res.In[blk]
+		for _, n := range blk.Nodes {
+			fact = p.Transfer(n, fact)
+		}
+		res.Out[blk] = fact
+		for _, succ := range blk.Succs {
+			prev, ok := res.In[succ]
+			var next Fact
+			if !ok {
+				next = fact
+			} else {
+				next = p.Join(prev, fact)
+			}
+			if ok && p.Equal(prev, next) {
+				continue
+			}
+			res.In[succ] = next
+			if !queued[succ.Index] {
+				queued[succ.Index] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	return res
+}
+
+// NodeFacts replays the transfer function through one block, calling
+// visit with the fact holding immediately BEFORE each node. Analyzers
+// use it after Forward converges to inspect the state at a specific
+// statement (e.g. the timer states at a return).
+func NodeFacts(p Problem, blk *cfg.Block, in Fact, visit func(n ast.Node, before Fact)) {
+	fact := in
+	for _, n := range blk.Nodes {
+		visit(n, fact)
+		fact = p.Transfer(n, fact)
+	}
+}

@@ -1,0 +1,160 @@
+package fixer
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+// Unified renders a unified diff (3 lines of context, gofmt -d style
+// headers) between old and new. It returns nil when the contents are
+// byte-identical. The implementation is a plain dynamic-programming LCS
+// over lines — quadratic, which is fine for the source-file sizes almvet
+// handles and keeps the package free of external diff tooling.
+func Unified(name string, old, new []byte) []byte {
+	if bytes.Equal(old, new) {
+		return nil
+	}
+	a, b := splitLines(old), splitLines(new)
+	ops := diffOps(a, b)
+
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "--- %s.orig\n", name)
+	fmt.Fprintf(&buf, "+++ %s\n", name)
+
+	const ctx = 3
+	for h := 0; h < len(ops); {
+		// Skip runs of equal lines between hunks.
+		if ops[h].kind == opEqual {
+			h++
+			continue
+		}
+		// Found a change; the hunk spans from ctx lines before it to ctx
+		// lines after the last change that is within 2*ctx of the next.
+		start := h
+		for start > 0 && ops[start-1].kind == opEqual && h-start < ctx {
+			start--
+		}
+		end := h
+		lastChange := h
+		for end < len(ops) {
+			if ops[end].kind != opEqual {
+				lastChange = end
+				end++
+				continue
+			}
+			if end-lastChange > 2*ctx {
+				break
+			}
+			end++
+		}
+		stop := lastChange + 1
+		for stop < len(ops) && ops[stop].kind == opEqual && stop-lastChange <= ctx {
+			stop++
+		}
+
+		aStart, bStart := ops[start].aLine, ops[start].bLine
+		var aCount, bCount int
+		var body strings.Builder
+		for _, op := range ops[start:stop] {
+			switch op.kind {
+			case opEqual:
+				body.WriteString(" " + op.text)
+				aCount++
+				bCount++
+			case opDelete:
+				body.WriteString("-" + op.text)
+				aCount++
+			case opInsert:
+				body.WriteString("+" + op.text)
+				bCount++
+			}
+		}
+		fmt.Fprintf(&buf, "@@ -%s +%s @@\n", hunkRange(aStart, aCount), hunkRange(bStart, bCount))
+		buf.WriteString(body.String())
+		h = stop
+	}
+	return buf.Bytes()
+}
+
+type opKind int
+
+const (
+	opEqual opKind = iota
+	opDelete
+	opInsert
+)
+
+// op is one diff line; aLine/bLine are the 1-based line numbers this op
+// starts at in the old and new files.
+type op struct {
+	kind         opKind
+	text         string
+	aLine, bLine int
+}
+
+// diffOps computes a line-level edit script via LCS backtracking, with
+// deletions emitted before insertions at each divergence.
+func diffOps(a, b []string) []op {
+	n, m := len(a), len(b)
+	// lcs[i][j] = length of the LCS of a[i:] and b[j:].
+	lcs := make([][]int, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	var ops []op
+	i, j := 0, 0
+	for i < n || j < m {
+		switch {
+		case i < n && j < m && a[i] == b[j]:
+			ops = append(ops, op{opEqual, a[i], i + 1, j + 1})
+			i++
+			j++
+		case i < n && (j == m || lcs[i+1][j] >= lcs[i][j+1]):
+			ops = append(ops, op{opDelete, a[i], i + 1, j + 1})
+			i++
+		default:
+			ops = append(ops, op{opInsert, b[j], i + 1, j + 1})
+			j++
+		}
+	}
+	return ops
+}
+
+// splitLines splits src into lines, each retaining its newline; a final
+// line without one gets the conventional "\ No newline" marker inline so
+// equality still distinguishes it.
+func splitLines(src []byte) []string {
+	if len(src) == 0 {
+		return nil
+	}
+	lines := strings.SplitAfter(string(src), "\n")
+	if lines[len(lines)-1] == "" {
+		lines = lines[:len(lines)-1]
+	} else {
+		lines[len(lines)-1] += "\n\\ No newline at end of file\n"
+	}
+	return lines
+}
+
+func hunkRange(start, count int) string {
+	if count == 1 {
+		return fmt.Sprintf("%d", start)
+	}
+	if count == 0 {
+		// Unified convention: zero-length ranges point at the line before.
+		return fmt.Sprintf("%d,0", start-1)
+	}
+	return fmt.Sprintf("%d,%d", start, count)
+}

@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"alm/internal/lint/analysistest"
+	"alm/internal/lint/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(), maporder.Analyzer, "maporder")
+}

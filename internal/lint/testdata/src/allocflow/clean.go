@@ -1,0 +1,78 @@
+package allocflow
+
+import "strconv"
+
+// unmarked code allocates freely: allocflow is opt-in via //alm:hotpath,
+// exactly like hotalloc.
+func unmarked(tasks []int) []string {
+	var out []string
+	for _, t := range tasks {
+		out = append(out, strconv.Itoa(t))
+	}
+	return out
+}
+
+// prealloc is the steered-toward idiom: capacity known up front, no
+// growth reallocations.
+//
+//alm:hotpath
+func prealloc(tasks []int) []string {
+	out := make([]string, 0, len(tasks))
+	for _, t := range tasks {
+		out = append(out, strconv.Itoa(t))
+	}
+	return out
+}
+
+// appendOnce appends outside any loop: one growth at most.
+//
+//alm:hotpath
+func appendOnce(out []string, s string) []string {
+	return append(out, s)
+}
+
+// logPtrs passes pointers into the interface parameter: a pointer fits
+// the interface word, no boxing allocation.
+//
+//alm:hotpath
+func logPtrs(sink func(any), evs []*event) {
+	for _, ev := range evs {
+		sink(ev)
+	}
+}
+
+// constants fold into interned boxes at compile time.
+//
+//alm:hotpath
+func logConst(sink func(any), n int) {
+	for i := 0; i < n; i++ {
+		sink("checkpoint")
+	}
+}
+
+// hoisted allocates its closure once, outside the loop.
+//
+//alm:hotpath
+func hoisted(tasks []int, run func(func())) {
+	fn := func() {}
+	for range tasks {
+		run(fn)
+	}
+}
+
+// perWave declares its scratch slice inside the outer loop: each wave
+// starts fresh, so the inner append is not a compounding growth bug (the
+// declaration itself sits on the cycle, which is the analyzer's cue).
+//
+//alm:hotpath
+func perWave(waves [][]int) int {
+	total := 0
+	for _, wave := range waves {
+		var tmp []int
+		for _, w := range wave {
+			tmp = append(tmp, w)
+		}
+		total += len(tmp)
+	}
+	return total
+}

@@ -1,0 +1,72 @@
+// Package allocflow exercises the allocflow analyzer: per-iteration
+// allocations inside loops of //alm:hotpath functions — growing appends,
+// capturing closures, and interface boxing.
+package allocflow
+
+import "strconv"
+
+type event struct {
+	name string
+}
+
+// ids grows out by reallocation on the hot path: the declaration should
+// carry capacity for the known element count.
+//
+//alm:hotpath
+func ids(tasks []int) []string {
+	var out []string
+	for _, t := range tasks {
+		out = append(out, strconv.Itoa(t)) // want `append to out in a loop without preallocated capacity`
+	}
+	return out
+}
+
+func use(int) {}
+
+// retryAll allocates one closure per task because the literal captures
+// the loop variable.
+//
+//alm:hotpath
+func retryAll(tasks []int, run func(func())) {
+	for _, t := range tasks {
+		run(func() { use(t) }) // want `closure capturing t allocates on every loop iteration`
+	}
+}
+
+// logAll boxes a concrete struct into an interface parameter once per
+// event.
+//
+//alm:hotpath
+func logAll(sink func(any), evs []event) {
+	for _, ev := range evs {
+		sink(ev) // want `event value boxed into an interface inside a loop`
+	}
+}
+
+// track boxes through a plain assignment; same cost, different syntax.
+//
+//alm:hotpath
+func track(evs []event) {
+	var cur any
+	for _, ev := range evs {
+		cur = ev // want `event value boxed into an interface inside a loop`
+	}
+	_ = cur
+}
+
+// dump is the marked entry point; renderAll below inherits its budget.
+//
+//alm:hotpath
+func dump(evs []event) []string {
+	return renderAll(evs)
+}
+
+// renderAll carries no marker of its own — the diagnostic names the
+// marked root so the reader can trace why the budget applies.
+func renderAll(evs []event) []string {
+	var out []string
+	for _, ev := range evs {
+		out = append(out, ev.name) // want `append to out in a loop without preallocated capacity \(hot path via //alm:hotpath dump\)`
+	}
+	return out
+}

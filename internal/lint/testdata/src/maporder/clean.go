@@ -1,0 +1,70 @@
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// invert only writes into another map: no order-sensitive effect, since
+// the result is the same set regardless of visit order.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// keylessCount has indistinguishable iterations: nothing to leak.
+func keylessCount(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// sortedKeys is the blessed collect-then-sort idiom: the append is
+// order-dependent but a sort in the same block launders it.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// intTotal accumulates integers, which genuinely commute.
+func intTotal(counts map[string]int) int {
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	return total
+}
+
+// annotatedFloat shows the escape hatch doing its job: the human has
+// judged the order sensitivity acceptable and said why.
+func annotatedFloat(weights map[string]float64) float64 {
+	var sum float64
+	//alm:unordered(sum feeds a tolerance check, not output; last-bit wobble is accepted)
+	for _, w := range weights {
+		sum += w
+	}
+	return sum
+}
+
+// sortedIteration is what the suggested fix produces; it must not be
+// flagged, or the fix would not converge.
+func sortedIteration(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}

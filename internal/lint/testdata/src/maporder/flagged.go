@@ -1,0 +1,94 @@
+// Package maporder exercises the maporder analyzer: map-range loops
+// whose bodies leak Go's randomized iteration order into observable
+// effects — trace/metrics emission, ordered output sinks, float
+// accumulation, unsorted appends, and //alm:hotpath calls.
+package maporder
+
+import (
+	"fmt"
+	"io"
+
+	"alm/internal/trace"
+)
+
+// emitPerHost leaks map order into the event trace: the events land in
+// iteration order.
+func emitPerHost(c *trace.Collector, hosts map[string]string) {
+	for h, n := range hosts { // want `map iteration order reaches trace emission \(Emit\)`
+		c.Emit(0, trace.KindFetchFailure, h, n, "down")
+	}
+}
+
+// meanRecovery is the fig14 bug class verbatim: float accumulation in
+// map order perturbs the last bits between runs.
+func meanRecovery(durations map[string]float64) float64 {
+	var sum float64
+	for _, d := range durations { // want `float accumulation into sum \(float addition is order-sensitive\)`
+		sum += d
+	}
+	return sum / float64(len(durations))
+}
+
+// explicitAdd spells the accumulation as x = x + d; same leak.
+func explicitAdd(durations map[string]float64) float64 {
+	var sum float64
+	for _, d := range durations { // want `float accumulation into sum \(float addition is order-sensitive\)`
+		sum = sum + d
+	}
+	return sum
+}
+
+// collectNames appends map values in iteration order and never sorts the
+// result: callers see a different slice every run.
+func collectNames(tasks map[int]string) []string {
+	var out []string
+	for _, name := range tasks { // want `map iteration order reaches an append to out that is not sorted afterwards`
+		out = append(out, name)
+	}
+	return out
+}
+
+// render is a marked hot function; calling it from a map-range body means
+// iteration order reaches the benchmark-visible path.
+//
+//alm:hotpath
+func render(b []byte, v string) []byte {
+	return append(b, v...)
+}
+
+func dumpValues(m map[string]string) []byte {
+	var b []byte
+	for _, v := range m { // want `map iteration order reaches //alm:hotpath function render`
+		b = render(b, v)
+	}
+	return b
+}
+
+// logLine does not emit itself — it calls fmt — and the analyzer must
+// see through it (same-package transitive propagation).
+func logLine(w io.Writer, s string) {
+	fmt.Fprintln(w, s)
+}
+
+func flushPending(w io.Writer, pending map[string]string) {
+	for h, p := range pending { // want `map iteration order reaches trace/metrics emission via logLine`
+		logLine(w, h+p)
+	}
+}
+
+// dumpKeys writes in iteration order through fmt directly; the key-only
+// form still gets the sorted-keys rewrite.
+func dumpKeys(w io.Writer, m map[string]int) {
+	for k := range m { // want `map iteration order reaches output via fmt\.Fprintln`
+		fmt.Fprintln(w, k)
+	}
+}
+
+// annotatedNoReason carries the escape hatch without a justification,
+// which is itself a finding: the reason is the point.
+func annotatedNoReason(w io.Writer, m map[string]int) {
+	//alm:unordered()
+	for k := range m { // want `//alm:unordered annotation is missing its \(reason\)`
+		fmt.Fprintln(w, k)
+	}
+}

@@ -1,0 +1,52 @@
+package timerflow
+
+import (
+	"alm/internal/sim"
+)
+
+// rekick is what the fix produces; it must not be flagged or the fix
+// would not converge.
+func (w *watcher) rekick(d sim.Time, fn func()) {
+	w.timer.Reschedule(d, fn)
+}
+
+// waitDefer covers every exit with one deferred Stop: no leak.
+func waitDefer(e *sim.Engine, d sim.Time, ready func() bool) bool {
+	t := e.Schedule(d, func() {})
+	defer t.Stop()
+	if ready() {
+		return true
+	}
+	return false
+}
+
+// pollUntil never stops its timer on any path: a fire-and-forget
+// watchdog, deliberately out of scope for the leak check.
+func pollUntil(e *sim.Engine, d sim.Time, ready func() bool) bool {
+	t := e.Schedule(d, func() {})
+	for !ready() {
+		if !t.Active() {
+			return false
+		}
+	}
+	return true
+}
+
+// handoff stops one timer and arms a different variable: `:=` defines a
+// new timer rather than re-arming the old one, so no re-arm finding.
+func handoff(e *sim.Engine, old *sim.Timer, d sim.Time, fn func()) *sim.Timer {
+	old.Stop()
+	t := e.Schedule(d, fn)
+	return t
+}
+
+// stopBoth stops on every exit path; symmetric cleanup is fine.
+func stopBoth(e *sim.Engine, d sim.Time, ready func() bool) bool {
+	t := e.Schedule(d, func() {})
+	if ready() {
+		t.Stop()
+		return true
+	}
+	t.Stop()
+	return false
+}

@@ -1,0 +1,53 @@
+// Package timerflow exercises the timerflow analyzer: path-sensitive
+// sim.Timer protocol violations — Stop+Schedule re-arms that should be
+// Reschedule, and timers stopped on one exit path but leaked on another.
+package timerflow
+
+import (
+	"alm/internal/sim"
+)
+
+type watcher struct {
+	eng   *sim.Engine
+	timer *sim.Timer
+}
+
+// kick re-arms through the field the expensive way: Stop removes the
+// heap entry, Schedule allocates a new one. Reschedule does both in
+// place, so the fix is machine-applicable.
+func (w *watcher) kick(d sim.Time, fn func()) {
+	w.timer.Stop()
+	w.timer = w.eng.Schedule(d, fn) // want `timer re-armed with Stop\+Schedule; use Reschedule`
+}
+
+// drain re-arms a local timer variable once per work item; the loop back
+// edge must not wash out the Stop→Schedule sequencing.
+func drain(e *sim.Engine, t *sim.Timer, period sim.Time, work []func()) {
+	for _, fn := range work {
+		t.Stop()
+		t = e.Schedule(period, fn) // want `timer re-armed with Stop\+Schedule; use Reschedule`
+	}
+	t.Stop()
+}
+
+// maybeKick only stops on one path, so the re-arm is flagged but the
+// rewrite is not offered: on the not-stopped path the timer may be nil,
+// where Stop is a no-op but Reschedule would panic.
+func (w *watcher) maybeKick(d sim.Time, fn func()) {
+	if w.timer.Active() {
+		w.timer.Stop()
+	}
+	w.timer = w.eng.Schedule(d, fn) // want `timer re-armed with Stop\+Schedule; use Reschedule`
+}
+
+// waitWithTimeout stops its timer on the normal path but leaks it armed
+// on the early return: the intent to clean up is proven by the Stop, so
+// the uncovered path is a bug, not fire-and-forget.
+func waitWithTimeout(e *sim.Engine, d sim.Time, ready func() bool) bool {
+	t := e.Schedule(d, func() {})
+	if ready() {
+		return true // want `timer t may still be armed on this return path but is stopped on another`
+	}
+	t.Stop()
+	return false
+}

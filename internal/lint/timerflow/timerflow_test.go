@@ -1,0 +1,12 @@
+package timerflow_test
+
+import (
+	"testing"
+
+	"alm/internal/lint/analysistest"
+	"alm/internal/lint/timerflow"
+)
+
+func TestTimerflow(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(), timerflow.Analyzer, "timerflow")
+}
