@@ -1,0 +1,11 @@
+package scratch
+
+//alm:hotpath
+func Collect(src []int) ([]int, []int) {
+	var out, other []int
+	for _, v := range src {
+		out = append(out, v)
+	}
+	other = append(other, 1)
+	return out, other
+}

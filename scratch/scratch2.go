@@ -1,0 +1,11 @@
+package scratch
+
+import "alm/internal/sim"
+
+func RearmAt(e *sim.Engine, deadline sim.Time) {
+	var tm *sim.Timer
+	tm = e.Schedule(1, func() {})
+	tm.Stop()
+	tm = e.At(deadline, func() {})
+	_ = tm.Active()
+}
