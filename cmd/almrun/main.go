@@ -26,6 +26,7 @@ import (
 	"alm/internal/chaos"
 	"alm/internal/metrics"
 	"alm/internal/metrics/lint"
+	"alm/internal/tournament"
 )
 
 func main() {
@@ -44,14 +45,19 @@ func main() {
 		ckpt     = flag.Bool("checkpoint", false, "enable heavyweight full-image checkpointing (related work)")
 		slow     = flag.Float64("slow-factor", 0, "with -fail slow-node: disk bandwidth multiplier (e.g. 0.05)")
 		chaosRun = flag.Bool("chaos", false, "run the chaos invariant checker instead of a single job")
-		seeds    = flag.Int("seeds", 50, "with -chaos: how many consecutive seeds to sweep (starting at -seed)")
-		verbose  = flag.Bool("v", false, "with -chaos: print each generated schedule")
+		tourney  = flag.Bool("tournament", false, "race the recovery-policy set head-to-head under seeded chaos schedules and print a league table per fault class")
+		policies = flag.String("policies", "", "with -tournament: comma-separated policy names (default: every registered policy)")
+		seeds    = flag.Int("seeds", 50, "with -chaos/-tournament: how many consecutive seeds to sweep (starting at -seed)")
+		verbose  = flag.Bool("v", false, "with -chaos/-tournament: print each generated schedule")
 		metricsP = flag.String("metrics", "", "write the run's metrics snapshot to this path (Prometheus text; .json suffix switches to JSON)")
 	)
 	flag.Parse()
 
 	if *chaosRun {
 		os.Exit(runChaos(*seed, *seeds, *verbose, *metricsP))
+	}
+	if *tourney {
+		os.Exit(runTournament(*seed, *seeds, *policies, *verbose))
 	}
 
 	w, err := alm.WorkloadByName(*workload)
@@ -191,6 +197,36 @@ func runChaos(first int64, n int, verbose bool, metricsPath string) int {
 		fmt.Printf("  %s\n      reproduce: %s\n", v, v.Reproducer())
 	}
 	return 1
+}
+
+// runTournament races the recovery-policy set over n consecutive chaos
+// seeds and prints the deterministic per-fault-class league table
+// (tournament.Result.Format, byte-identical across runs — `make
+// tournament-smoke` diffs it against a checked-in golden). Returns the
+// process exit code.
+func runTournament(first int64, n int, policiesCSV string, verbose bool) int {
+	opts := tournament.Options{FirstSeed: first, Seeds: n}
+	if policiesCSV != "" {
+		for _, p := range strings.Split(policiesCSV, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				opts.Policies = append(opts.Policies, p)
+			}
+		}
+	}
+	if verbose {
+		sh, _ := chaos.CheckShape()
+		for seed := first; seed < first+int64(n); seed++ {
+			sched := chaos.Generate(seed, chaos.DefaultBudget(), sh)
+			fmt.Print(sched.String())
+		}
+	}
+	res, err := tournament.Run(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "almrun:", err)
+		return 2
+	}
+	fmt.Print(res.Format())
+	return 0
 }
 
 // writeMetrics renders the snapshot to path — Prometheus text by

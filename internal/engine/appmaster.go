@@ -6,7 +6,6 @@ import (
 	"sort"
 
 	"alm/internal/cluster"
-	"alm/internal/core"
 	"alm/internal/dfs"
 	"alm/internal/faults"
 	"alm/internal/merge"
@@ -128,10 +127,16 @@ type mofEntry struct {
 	issReplicas []topology.NodeID
 }
 
-// appMaster is the per-job MRAppMaster.
+// appMaster is the per-job MRAppMaster. Every recovery, speculation and
+// placement decision is delegated to the job's RecoveryPolicy; the AM
+// owns the mechanics (attempt lifecycle, container requests, accounting)
+// and implements PolicyContext (policy_context.go) as the policy's
+// window into them.
 type appMaster struct {
 	job  *Job
 	conf mr.Config
+
+	policy RecoveryPolicy
 
 	maps    []*taskState
 	reduces []*taskState
@@ -140,8 +145,13 @@ type appMaster struct {
 	completedMaps   int
 	reducesLaunched bool
 
-	fetchReports   map[int]int
 	rerunScheduled map[int]bool
+
+	// nodeFailures / lastNodeFailure record attempt-failure history per
+	// node (task faults and node loss alike) — the signal behind
+	// failure-aware placement policies (atlas).
+	nodeFailures    []int
+	lastNodeFailure []sim.Time
 
 	// reduceExecs holds running reduce executors in registration order
 	// (a slice, not a map, so MOF-availability notifications are
@@ -158,11 +168,13 @@ type appMaster struct {
 
 func newAppMaster(j *Job, inputName string) *appMaster {
 	am := &appMaster{
-		job:            j,
-		conf:           j.Spec.Conf,
-		fetchReports:   make(map[int]int),
-		rerunScheduled: make(map[int]bool),
-		launchTimes:    make(map[*attempt]sim.Time),
+		job:             j,
+		conf:            j.Spec.Conf,
+		policy:          buildPolicy(j.Spec),
+		rerunScheduled:  make(map[int]bool),
+		launchTimes:     make(map[*attempt]sim.Time),
+		nodeFailures:    make([]int, j.Cluster.Topo.NumNodes()),
+		lastNodeFailure: make([]sim.Time, j.Cluster.Topo.NumNodes()),
 	}
 	f, err := j.Cluster.DFS.Lookup(inputName)
 	if err != nil {
@@ -212,12 +224,15 @@ func (am *appMaster) launchMap(t *taskState, highPrio bool, avoid topology.NodeI
 		node: topology.Invalid, highPrio: highPrio, avoid: avoid,
 	}
 	a.id = attemptID(faults.Map, t.idx, a.attemptNo)
-	// Locality: prefer nodes holding a replica of the split.
+	// Locality: prefer nodes holding a replica of the split. The policy
+	// may reorder or replace the preference list (failure-aware
+	// placement); legacy policies return it unchanged.
 	for _, r := range t.block.Replicas {
 		if r != avoid {
 			a.prefer = append(a.prefer, r)
 		}
 	}
+	a.prefer = am.policy.PlaceAttempt(am, faults.Map, t.idx, a.prefer)
 	t.attempts = append(t.attempts, a)
 	prio := 0
 	if highPrio {
@@ -268,6 +283,7 @@ func (am *appMaster) launchReduce(t *taskState, opt reduceLaunchOpts) {
 	if opt.prefer != topology.Invalid {
 		a.prefer = []topology.NodeID{opt.prefer}
 	}
+	a.prefer = am.policy.PlaceAttempt(am, faults.Reduce, t.idx, a.prefer)
 	t.attempts = append(t.attempts, a)
 	if opt.fcm {
 		am.fcmRunning++
@@ -331,6 +347,7 @@ func (am *appMaster) dropAttempt(a *attempt) {
 	}
 	prev := a.state
 	a.state = attemptKilled
+	delete(am.launchTimes, a)
 	if a.cancelReq != nil {
 		a.cancelReq()
 	}
@@ -362,6 +379,7 @@ func (am *appMaster) mapFinishedISS(t *taskState, a *attempt, parts []*merge.Seg
 	}
 	a.state = attemptSucceeded
 	a.progress = 1
+	delete(am.launchTimes, a)
 	am.job.Cluster.Release(a.container)
 	am.job.Tracer.Emit(am.job.Eng.Now(), trace.KindTaskFinished, a.id, a.nodeName(am.job), "map")
 	prev := am.mofs[t.idx]
@@ -408,6 +426,7 @@ func (am *appMaster) reduceFinished(t *taskState, a *attempt, out reduceOutcome)
 	}
 	a.state = attemptSucceeded
 	a.progress = 1
+	delete(am.launchTimes, a)
 	a.output = out.output
 	a.outputLogical = out.outputLogical
 	a.prefixOutput = out.prefix
@@ -447,6 +466,7 @@ func (am *appMaster) attemptFailed(a *attempt, reason string) {
 	t := am.task(a.typ, a.taskIdx)
 	wasRunning := a.state == attemptRunning
 	a.state = attemptFailed
+	delete(am.launchTimes, a)
 	if a.cancelReq != nil {
 		a.cancelReq()
 	}
@@ -463,6 +483,7 @@ func (am *appMaster) attemptFailed(a *attempt, reason string) {
 	}
 	am.job.Tracer.Emit(am.job.Eng.Now(), trace.KindTaskFailed, a.id, a.nodeName(am.job), reason)
 	t.failures++
+	am.noteNodeFailure(a.node)
 	if a.typ == faults.Map {
 		am.job.result.MapAttemptFailures++
 	} else {
@@ -481,89 +502,22 @@ func (am *appMaster) attemptFailed(a *attempt, reason string) {
 			attemptID(a.typ, a.taskIdx, 0)[:5], t.failures, reason))
 		return
 	}
-	am.recover(a, t)
+	am.policy.OnAttemptFailed(am, FailedAttempt{
+		Typ: a.typ, TaskIdx: a.taskIdx, Node: a.node, HighPrio: a.highPrio, Reason: reason,
+	})
 }
 
-// recover applies the mode's recovery policy to one failed attempt.
-func (am *appMaster) recover(a *attempt, t *taskState) {
-	if a.typ == faults.Map {
-		// Maps are short: both baseline and SFM re-execute on a healthy
-		// node (SFM at high priority).
-		if t.done && !t.rerunInFlight {
-			return // output already available from an earlier attempt
-		}
-		if t.done {
-			t.rerunInFlight = true
-		}
-		am.launchMap(t, am.job.Spec.Mode.SFMEnabled() || a.highPrio, a.node)
+// noteNodeFailure charges one attempt failure to the node's history.
+func (am *appMaster) noteNodeFailure(node topology.NodeID) {
+	if node == topology.Invalid {
 		return
 	}
-	if t.done || t.liveAttempts() > 0 && !am.job.Spec.Mode.SFMEnabled() {
-		return // a sibling attempt is still running (baseline speculation)
-	}
-	if !am.job.Spec.Mode.SFMEnabled() {
-		// Stock YARN: re-launch the reduce from scratch anywhere. ALG
-		// prefers the original node so its local logs can be replayed.
-		opt := reduceLaunchOpts{}
-		if am.job.Spec.Mode.ALGEnabled() && am.job.Cluster.NodeUsable(a.node) {
-			opt.prefer = a.node
-			opt.localResume = true
-		} else {
-			opt.prefer = topology.Invalid
-			if !am.job.Cluster.NodeUsable(a.node) {
-				opt.avoid = a.node
-			}
-		}
-		am.launchReduce(t, opt)
-		return
-	}
-	// SFM: Algorithm 1 for this failure report.
-	report := core.FailureReport{
-		SourceNode:    a.node,
-		NodeAlive:     a.node != topology.Invalid && am.job.Cluster.NodeReachable(a.node),
-		FailedReduces: []int{t.idx},
-	}
-	am.runAlgorithm1(report)
-	// SFM enhances — never removes — the stock re-execution guarantee:
-	// if the policy produced no recovery attempt (ablated speculation,
-	// exhausted local limit on a dead node), fall back to a baseline
-	// relaunch so the task is never orphaned.
-	if !t.done && t.liveAttempts() == 0 {
-		opt := reduceLaunchOpts{prefer: topology.Invalid}
-		if !am.job.Cluster.NodeUsable(a.node) {
-			opt.avoid = a.node
-		}
-		am.launchReduce(t, opt)
-	}
+	am.nodeFailures[node]++
+	am.lastNodeFailure[node] = am.job.Eng.Now()
 }
 
-// runAlgorithm1 executes the SFM policy decisions.
-func (am *appMaster) runAlgorithm1(report core.FailureReport) {
-	actions := core.Algorithm1(report, am, am.job.Spec.SFM)
-	for _, act := range actions {
-		switch act.Kind {
-		case core.ActionRerunMap:
-			mt := am.maps[act.TaskIdx]
-			if am.rerunScheduled[act.TaskIdx] || (mt.done && am.mofAvailable(act.TaskIdx)) {
-				continue
-			}
-			am.rerunScheduled[act.TaskIdx] = true
-			if mt.done {
-				mt.rerunInFlight = true
-			}
-			am.job.Tracer.Emit(am.job.Eng.Now(), trace.KindMapRescheduled, attemptID(faults.Map, act.TaskIdx, 0), "", "sfm proactive regen")
-			am.launchMap(mt, act.HighPrio, act.AvoidNode)
-		case core.ActionRelaunchLocal:
-			am.launchReduce(am.reduces[act.TaskIdx], reduceLaunchOpts{prefer: act.Node, localResume: true})
-		case core.ActionSpeculativeFCM:
-			am.launchReduce(am.reduces[act.TaskIdx], reduceLaunchOpts{fcm: true, prefer: topology.Invalid, avoid: act.AvoidNode})
-		case core.ActionSpeculativeRegular:
-			am.launchReduce(am.reduces[act.TaskIdx], reduceLaunchOpts{prefer: topology.Invalid, avoid: act.AvoidNode})
-		}
-	}
-}
-
-// SchedulerView implementation for core.Algorithm1.
+// SchedulerView implementation for core.Algorithm1 (also part of
+// PolicyContext; the rest lives in policy_context.go).
 func (am *appMaster) AttemptsOnNode(reduceIdx int, node topology.NodeID) int {
 	n := 0
 	for _, a := range am.reduces[reduceIdx].attempts {
@@ -592,44 +546,7 @@ func (am *appMaster) onNodeLost(node topology.NodeID) {
 		return
 	}
 	am.job.Tracer.Emit(am.job.Eng.Now(), trace.KindNodeDetected, "", am.job.Cluster.Topo.Node(node).Name, "heartbeat expiry")
-	// Kill attempts running there.
-	var failedReduces []int
-	for _, lists := range [][]*taskState{am.maps, am.reduces} {
-		for _, t := range lists {
-			for _, a := range t.attempts {
-				if a.state == attemptRunning && a.node == node {
-					if am.job.Spec.Mode.SFMEnabled() && a.typ == faults.Reduce {
-						// Batch into one Algorithm 1 report below.
-						failedReduces = append(failedReduces, t.idx)
-						am.markFailedNoRecover(a, "node lost")
-					} else {
-						am.attemptFailed(a, "node lost")
-					}
-					if am.jobDone {
-						return
-					}
-				}
-			}
-		}
-	}
-	if am.job.Spec.Mode.SFMEnabled() {
-		report := core.FailureReport{
-			SourceNode:    node,
-			NodeAlive:     false,
-			LostMOFMaps:   am.mapsWithMOFOn(node),
-			FailedReduces: failedReduces,
-		}
-		am.runAlgorithm1(report)
-		// Never orphan a reduce: if the (possibly ablated) policy left a
-		// failed task with no attempt, fall back to a stock relaunch.
-		for _, idx := range failedReduces {
-			t := am.reduces[idx]
-			if !t.done && t.liveAttempts() == 0 && !am.jobDone {
-				am.launchReduce(t, reduceLaunchOpts{prefer: topology.Invalid, avoid: node})
-			}
-		}
-	}
-	// Baseline: lost MOFs are rediscovered by reducers' fetch failures.
+	am.policy.OnNodeLost(am, node)
 }
 
 // markFailedNoRecover accounts an attempt failure without triggering the
@@ -641,6 +558,7 @@ func (am *appMaster) markFailedNoRecover(a *attempt, reason string) {
 	t := am.task(a.typ, a.taskIdx)
 	wasRunning := a.state == attemptRunning
 	a.state = attemptFailed
+	delete(am.launchTimes, a)
 	if a.cancelReq != nil {
 		a.cancelReq()
 	}
@@ -657,6 +575,7 @@ func (am *appMaster) markFailedNoRecover(a *attempt, reason string) {
 	}
 	am.job.Tracer.Emit(am.job.Eng.Now(), trace.KindTaskFailed, a.id, a.nodeName(am.job), reason)
 	t.failures++
+	am.noteNodeFailure(a.node)
 	if a.typ == faults.Map {
 		am.job.result.MapAttemptFailures++
 	} else {
@@ -710,35 +629,7 @@ func (am *appMaster) onFetchFailureReport(reduceIdx int, host topology.NodeID, m
 	am.job.Tracer.Emit(am.job.Eng.Now(), trace.KindFetchFailure,
 		attemptID(faults.Reduce, reduceIdx, 0), am.job.Cluster.Topo.Node(host).Name,
 		fmt.Sprintf("%d maps", len(mapIdxs)))
-	if am.job.Spec.Mode.SFMEnabled() && am.job.Spec.SFM.ProactiveMapRegen && !am.job.Cluster.NodeReachable(host) {
-		// SFM is aware of the cause: regenerate all of the host's MOFs
-		// proactively; reducers get the wait advisory meanwhile.
-		lost := am.mapsWithMOFOn(host)
-		if len(lost) > 0 {
-			if am.job.Spec.SFM.WaitAdvisory {
-				am.job.result.WaitAdvisories++
-				am.job.result.Counters.Add("sfm.wait_advisories", 1)
-				am.job.Tracer.Emit(am.job.Eng.Now(), trace.KindWaitAdvisory,
-					attemptID(faults.Reduce, reduceIdx, 0), am.job.Cluster.Topo.Node(host).Name,
-					fmt.Sprintf("wait for regeneration of %d maps", len(lost)))
-			}
-			am.runAlgorithm1(core.FailureReport{SourceNode: host, NodeAlive: false, LostMOFMaps: lost})
-		}
-		return
-	}
-	// Stock behaviour: count reports per map; re-execute after threshold.
-	for _, m := range mapIdxs {
-		am.fetchReports[m]++
-		if am.fetchReports[m] >= am.conf.MapRerunFetchReports && !am.mofAvailable(m) && !am.rerunScheduled[m] {
-			am.rerunScheduled[m] = true
-			mt := am.maps[m]
-			if mt.done {
-				mt.rerunInFlight = true
-			}
-			am.job.Tracer.Emit(am.job.Eng.Now(), trace.KindMapRescheduled, attemptID(faults.Map, m, 0), "", "fetch-failure threshold")
-			am.launchMap(mt, false, host)
-		}
-	}
+	am.policy.OnFetchFailureReport(am, FetchFailureReport{ReduceIdx: reduceIdx, Host: host, MapIdxs: mapIdxs})
 }
 
 // registerExec / unregisterExec maintain the deterministic listener list.
@@ -757,30 +648,16 @@ func (am *appMaster) unregisterExec(ex mapAvailListener) {
 
 // onFetchStarvationDeath implements Hadoop's TooManyFetchFailureTransition:
 // when a reducer dies of fetch starvation, the AM re-executes the maps it
-// was blocked on (their output is evidently gone), in every mode.
+// was blocked on (their output is evidently gone), in every mode; the
+// policy picks the regeneration priority.
 func (am *appMaster) onFetchStarvationDeath(blockedMaps []int) {
-	for _, m := range blockedMaps {
-		if am.mofAvailable(m) || am.rerunScheduled[m] {
-			continue
-		}
-		am.rerunScheduled[m] = true
-		mt := am.maps[m]
-		if mt.done {
-			mt.rerunInFlight = true
-		}
-		am.job.Tracer.Emit(am.job.Eng.Now(), trace.KindMapRescheduled,
-			attemptID(faults.Map, m, 0), "", "reducer starvation death")
-		am.launchMap(mt, am.job.Spec.Mode.SFMEnabled(), topology.Invalid)
-	}
+	am.policy.OnStarvationDeath(am, blockedMaps)
 }
 
 // shouldWait reports whether a reducer blocked on this map should wait
 // (SFM wait advisory) instead of accumulating failures.
 func (am *appMaster) shouldWait(mapIdx int) bool {
-	if !am.job.Spec.Mode.SFMEnabled() || !am.job.Spec.SFM.WaitAdvisory {
-		return false
-	}
-	return !am.mofAvailable(mapIdx) && am.rerunScheduled[mapIdx]
+	return am.policy.ShouldWait(am, mapIdx)
 }
 
 // ---- reduce launch gating ----
@@ -838,7 +715,8 @@ func (am *appMaster) monitorTick() {
 			}
 		}
 	}
-	am.speculationTick()
+	am.assertLaunchTimes()
+	am.policy.OnStragglerTick(am)
 	am.job.Eng.Schedule(am.conf.HeartbeatInterval, am.monitorTick)
 }
 

@@ -69,8 +69,19 @@ type JobSpec struct {
 	NumReduces int
 	Conf       mr.Config
 	Mode       Mode
-	ALG        core.ALGOptions
-	SFM        core.SFMOptions
+	// Policy selects the recovery policy by registry name (see
+	// PolicyNames: "yarn", "alg", "sfm", "alm", "binocular", "atlas").
+	// Empty selects the policy matching Mode. The four legacy names pin
+	// Mode to their data plane; related-work policies (binocular, atlas)
+	// ride on whatever Mode the spec sets.
+	Policy string
+	// DecisionTrace additionally emits every policy decision as a
+	// policy-decision trace event. Decisions are always collected in
+	// Result.Decisions; the trace emission is opt-in so legacy traces
+	// stay byte-identical.
+	DecisionTrace bool
+	ALG           core.ALGOptions
+	SFM           core.SFMOptions
 	// SamplePerSplit bounds real records materialised per input split.
 	SamplePerSplit int
 	Seed           int64
@@ -143,6 +154,16 @@ func (s JobSpec) Defaulted() (JobSpec, error) {
 			s.Checkpoint.ImageBytes = int64(s.Conf.ReduceMemoryMB) << 20
 		}
 	}
+	if s.Policy == "" {
+		s.Policy = s.Mode.String()
+	}
+	f, ok := policyRegistry[s.Policy]
+	if !ok {
+		return s, fmt.Errorf("engine: unknown recovery policy %q (known: %v)", s.Policy, PolicyNames())
+	}
+	if f.mode >= 0 {
+		s.Mode = f.mode
+	}
 	if err := s.Conf.Validate(); err != nil {
 		return s, err
 	}
@@ -177,6 +198,11 @@ type Result struct {
 	// WaitAdvisories counts SFM wait advisories issued to reducers (each
 	// one suppresses a self-kill while a lost map regenerates).
 	WaitAdvisories int
+
+	// Decisions is the recovery policy's decision trace: every recorded
+	// choice with its scored alternatives and counterfactual regret, in
+	// simulation order (policy.go).
+	Decisions []PolicyDecision
 
 	Counters mr.Counters
 	Trace    *trace.Collector

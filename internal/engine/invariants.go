@@ -20,6 +20,39 @@ var invariantsEnabled = false
 // all of them checked.
 func EnableInvariantChecks() { invariantsEnabled = true }
 
+// assertLaunchTimes verifies (checked builds only) that the speculation
+// bookkeeping map holds entries for running attempts exclusively. Before
+// retirement pruning landed, entries of completed and killed attempts
+// accumulated for the life of the AM — harmless for one job, unbounded
+// growth across long multi-job runs.
+func (am *appMaster) assertLaunchTimes() {
+	if !invariantsEnabled {
+		return
+	}
+	// Walk attempts in deterministic task order (never the map) so the
+	// first violation reported is stable across runs. Every launchTimes
+	// key is an attempt owned by some task, so a retired entry is always
+	// found this way; the count check catches anything else.
+	running := 0
+	for _, lists := range [][]*taskState{am.maps, am.reduces} {
+		for _, t := range lists {
+			for _, a := range t.attempts {
+				if a.state == attemptRunning {
+					running++
+					continue
+				}
+				if _, leaked := am.launchTimes[a]; leaked {
+					panic(fmt.Sprintf("engine: launchTimes entry for %s in state %d (retired attempt not pruned)", a.id, a.state))
+				}
+			}
+		}
+	}
+	if len(am.launchTimes) > running {
+		panic(fmt.Sprintf("engine: launchTimes holds %d entries for %d running attempts (retired attempts not pruned)",
+			len(am.launchTimes), running))
+	}
+}
+
 // assertDiskOps verifies (testing builds only) that pendingDiskOps never
 // undercounts the disk-op flows still in flight. Equality cannot be
 // asserted at every instant — a flow that just finished keeps its counter

@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"sort"
+	"time"
+
+	"alm/internal/faults"
+	"alm/internal/sim"
+	"alm/internal/topology"
+)
+
+// atlasPolicy adds ATLAS-style failure-aware placement (after Yildiz et
+// al.'s ATLAS: an adaptive failure-aware scheduler for Hadoop): the
+// AppMaster's per-node failure history predicts where the next failure
+// is likely, and attempts steer toward nodes with the cleanest record.
+// Data locality is honoured only when the replica-holding node's record
+// is as clean as the best available — a preference ATLAS found cheaper
+// to give up than a re-execution. Recovery semantics are stock YARN;
+// only PlaceAttempt changes, which is exactly the hook the policy
+// framework exists to expose.
+type atlasPolicy struct {
+	stockPolicy
+}
+
+func newAtlasPolicy() *atlasPolicy {
+	return &atlasPolicy{stockPolicy: *newStockPolicy("atlas", false)}
+}
+
+// atlasRecencyWindow is how long a node's latest failure keeps counting
+// as an active warning sign on top of its lifetime tally.
+const atlasRecencyWindow = 5 * time.Minute
+
+// atlasPreferWidth bounds the preference list handed to the RM.
+const atlasPreferWidth = 4
+
+func (p *atlasPolicy) failureScore(pc PolicyContext, node topology.NodeID) float64 {
+	s := float64(pc.NodeFailures(node))
+	if last := pc.LastNodeFailure(node); last > 0 && pc.Now()-last < sim.Time(atlasRecencyWindow) {
+		s += 2 // a fresh failure weighs like two historical ones
+	}
+	return s
+}
+
+func (p *atlasPolicy) PlaceAttempt(pc PolicyContext, typ faults.TaskType, taskIdx int, prefer []topology.NodeID) []topology.NodeID {
+	n := pc.NumNodes()
+	best := -1.0 // minimum failure score among usable nodes
+	for id := 0; id < n; id++ {
+		node := topology.NodeID(id)
+		if !pc.NodeUsable(node) {
+			continue
+		}
+		if s := p.failureScore(pc, node); best < 0 || s < best {
+			best = s
+		}
+	}
+	if best < 0 {
+		return prefer // no usable node in sight; leave the default
+	}
+	// Locality first, but only on nodes whose record matches the best.
+	out := make([]topology.NodeID, 0, atlasPreferWidth)
+	var demoted []topology.NodeID
+	for _, node := range prefer {
+		if pc.NodeUsable(node) && p.failureScore(pc, node) <= best {
+			out = append(out, node)
+		} else {
+			demoted = append(demoted, node)
+		}
+	}
+	// Then the cleanest nodes cluster-wide (score ascending, id
+	// ascending for determinism).
+	type scored struct {
+		node topology.NodeID
+		s    float64
+	}
+	rest := make([]scored, 0, n)
+	for id := 0; id < n; id++ {
+		node := topology.NodeID(id)
+		if !pc.NodeUsable(node) || containsNode(out, node) {
+			continue
+		}
+		rest = append(rest, scored{node, p.failureScore(pc, node)})
+	}
+	sort.SliceStable(rest, func(i, j int) bool {
+		if rest[i].s != rest[j].s {
+			return rest[i].s < rest[j].s
+		}
+		return rest[i].node < rest[j].node
+	})
+	for _, r := range rest {
+		if len(out) >= atlasPreferWidth {
+			break
+		}
+		out = append(out, r.node)
+	}
+	if len(demoted) > 0 && len(out) > 0 {
+		// Record the locality trade: the preferred replica node was
+		// demoted for its failure record.
+		pc.Decide(newDecision(pc.Now(), p.name, PolicyEventPlacement,
+			attemptID(typ, taskIdx, 0), "steer:"+pc.NodeName(out[0]), -p.failureScore(pc, out[0]),
+			[]ScoredAction{{Action: "locality:" + pc.NodeName(demoted[0]), Score: -p.failureScore(pc, demoted[0])}}))
+	}
+	return out
+}
+
+func containsNode(list []topology.NodeID, node topology.NodeID) bool {
+	for _, n := range list {
+		if n == node {
+			return true
+		}
+	}
+	return false
+}

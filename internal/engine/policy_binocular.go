@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"sort"
+
+	"alm/internal/faults"
+	"alm/internal/trace"
+)
+
+// binocularPolicy implements two-estimator ("binocular") straggler
+// speculation in the spirit of Fu et al.'s binocular speculation work:
+// a backup launches only when two independent views agree the attempt
+// is an outlier — LATE's remaining-time estimate AND the raw
+// progress-rate view. A single LATE eye misfires when an attempt's
+// early progress was fast (remaining underestimates) or when a whole
+// wave is uniformly slow; requiring agreement suppresses those false
+// backups. One-eyed verdicts are recorded as hold decisions whose
+// regret quantifies the disagreement, so a tournament can price what
+// the second eye vetoed. Recovery semantics are stock YARN.
+type binocularPolicy struct {
+	stockPolicy
+}
+
+func newBinocularPolicy() *binocularPolicy {
+	return &binocularPolicy{stockPolicy: *newStockPolicy("binocular", false)}
+}
+
+func (p *binocularPolicy) OnStragglerTick(pc PolicyContext) {
+	if !pc.Conf().SpeculativeExecution || pc.JobDone() {
+		return
+	}
+	conf := pc.Conf()
+	now := pc.Now()
+	for _, typ := range []faults.TaskType{faults.Map, faults.Reduce} {
+		type cand struct {
+			info      AttemptInfo
+			idx       int
+			remaining float64 // LATE eye: elapsed * (1-p) / p
+			rate      float64 // progress eye: p / elapsed
+		}
+		var cands []cand
+		var remainings, rates []float64
+		n := pc.NumTasks(typ)
+		for idx := 0; idx < n; idx++ {
+			if pc.TaskDone(typ, idx) || pc.LiveAttempts(typ, idx) != 1 {
+				continue
+			}
+			a, ok := pc.RunningAttemptInfo(typ, idx)
+			if !ok {
+				continue
+			}
+			elapsed := (now - a.Launched).Seconds()
+			if elapsed < conf.SpeculativeMinRuntime.Seconds() || a.Progress <= 0.01 {
+				continue
+			}
+			c := cand{a, idx, elapsed * (1 - a.Progress) / a.Progress, a.Progress / elapsed}
+			cands = append(cands, c)
+			remainings = append(remainings, c.remaining)
+			rates = append(rates, c.rate)
+		}
+		if len(cands) < 3 {
+			continue // not enough peers to judge slowness
+		}
+		sort.Float64s(remainings)
+		sort.Float64s(rates)
+		remThreshold := trueMedian(remainings) / conf.SpeculativeSlowRatio
+		rateThreshold := trueMedian(rates) * conf.SpeculativeSlowRatio
+		for _, c := range cands {
+			lateEye := c.remaining > remThreshold && c.remaining >= conf.SpeculativeMinRemaining.Seconds()
+			rateEye := c.rate < rateThreshold
+			if !lateEye && !rateEye {
+				continue
+			}
+			if lateEye != rateEye {
+				// The eyes disagree: hold the backup, and record what the
+				// convinced eye believes the miss costs.
+				pc.Decide(newDecision(now, p.name, PolicyEventStraggler, c.info.ID,
+					"hold-one-eye", remThreshold,
+					[]ScoredAction{{Action: "backup", Score: c.remaining}}))
+				continue
+			}
+			if pc.SpeculativeLaunched() >= pc.SpeculativeCap() {
+				pc.Counter("speculation.cap_hit", 1)
+				pc.Emit(trace.KindSpeculationCap, c.info.ID, c.info.NodeName,
+					"speculative cap reached; straggler left without backup")
+				pc.Decide(newDecision(now, p.name, PolicyEventStraggler, c.info.ID,
+					"hold-cap-exhausted", remThreshold,
+					[]ScoredAction{{Action: "backup", Score: c.remaining}}))
+				return
+			}
+			pc.Emit(trace.KindTaskLaunched, c.info.ID, c.info.NodeName,
+				"speculative backup (binocular)")
+			pc.Counter("speculation.backups", 1)
+			pc.Decide(newDecision(now, p.name, PolicyEventStraggler, c.info.ID,
+				"backup", c.remaining, []ScoredAction{{Action: "hold", Score: remThreshold}}))
+			pc.SpeculativeBackup(typ, c.idx, c.info.Node)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package engine_test
+
+// Policy-parity suite: every legacy Mode must keep producing the exact
+// byte sequence of trace events (and the same Result accounting) it
+// produced before recovery decisions moved behind the RecoveryPolicy
+// interface. The goldens under testdata/parity were generated from the
+// pre-refactor engine; a diff here means the policy reimplementation of
+// a mode diverged from the hardcoded original.
+//
+// Regenerate (only when a deliberate behaviour change is intended):
+//
+//	go test ./internal/engine -run TestPolicyParityGoldens -update-policy-goldens
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"alm/internal/chaos"
+	"alm/internal/engine"
+	"alm/internal/faults"
+	"alm/internal/mr"
+	"alm/internal/workloads"
+)
+
+var updatePolicyGoldens = flag.Bool("update-policy-goldens", false,
+	"rewrite testdata/parity goldens from the current engine behaviour")
+
+// parityScenario is one (workload, fault plan) fixture checked under all
+// four modes.
+type parityScenario struct {
+	name string
+	spec engine.JobSpec
+	plan *faults.Plan
+}
+
+// parityScenarios covers the paper's two motivating amplifications at
+// test scale plus three seeded chaos schedules (mixed gray failures).
+func parityScenarios() []parityScenario {
+	conf := mr.DefaultConfig()
+	scen := []parityScenario{
+		{
+			// Fig. 3 shape: temporal amplification — the reducer's node
+			// stops mid-reduce.
+			name: "fig3",
+			spec: engine.JobSpec{
+				Workload:   workloads.Wordcount(),
+				InputBytes: 8 * conf.BlockSizeBytes,
+				NumReduces: 1,
+				Seed:       11,
+			},
+			plan: faults.StopNodeOfTaskAtReduceProgress(faults.Reduce, 0, 0.45),
+		},
+		{
+			// Fig. 4 shape: spatial amplification — a MOF-only node stops
+			// at 55% job progress.
+			name: "fig4",
+			spec: engine.JobSpec{
+				Workload:   workloads.Terasort(),
+				InputBytes: 8 * conf.BlockSizeBytes,
+				NumReduces: 4,
+				Seed:       11,
+			},
+			plan: faults.StopMOFNodeAtJobProgress(0.55),
+		},
+	}
+	sh, _ := chaos.CheckShape()
+	wls := []*workloads.Workload{workloads.Terasort(), workloads.Wordcount(), workloads.Secondarysort()}
+	for _, seed := range []int64{11, 12, 13} {
+		sched := chaos.Generate(seed, chaos.DefaultBudget(), sh)
+		cconf := mr.DefaultConfig()
+		cconf.MaxTaskAttempts = 8
+		scen = append(scen, parityScenario{
+			name: fmt.Sprintf("chaos-%d", seed),
+			spec: engine.JobSpec{
+				Workload:   wls[int(((seed%3)+3)%3)],
+				InputBytes: int64(sh.Maps) * cconf.BlockSizeBytes,
+				NumReduces: sh.Reduces,
+				Conf:       cconf,
+				Seed:       seed,
+			},
+			plan: sched.Plan(),
+		})
+	}
+	return scen
+}
+
+// summarize renders the byte-identity fingerprint of one run: the trace
+// dump hash plus every Result field the acceptance criteria pin.
+func summarize(res engine.Result) string {
+	sum := sha256.Sum256([]byte(res.Trace.Dump()))
+	names := make([]string, 0, len(res.Counters))
+	for name := range res.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var ctr strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&ctr, "%s=%d;", name, res.Counters[name])
+	}
+	return fmt.Sprintf(
+		"trace=%x events=%d completed=%v dur=%s mapdone=%s out=%d outbytes=%d mapfail=%d redfail=%d add=%d retries=%d wait=%d counters=%s",
+		sum, len(res.Trace.Events), res.Completed, res.Duration, res.MapPhaseDone,
+		len(res.Output), res.OutputLogicalBytes,
+		res.MapAttemptFailures, res.ReduceAttemptFailures, res.AdditionalReduceFailures,
+		res.FetchRetries, res.WaitAdvisories, ctr.String())
+}
+
+func runParity(t *testing.T, spec engine.JobSpec, plan *faults.Plan) engine.Result {
+	t.Helper()
+	_, cs := chaos.CheckShape()
+	res, err := engine.Run(spec, cs, engine.WithPlan(plan))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func TestPolicyParityGoldens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parity sweep is not short")
+	}
+	for _, sc := range parityScenarios() {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			var got strings.Builder
+			for _, mode := range []engine.Mode{engine.ModeYARN, engine.ModeALG, engine.ModeSFM, engine.ModeALM} {
+				spec := sc.spec
+				spec.Mode = mode
+				res := runParity(t, spec, sc.plan)
+				fmt.Fprintf(&got, "%s %s\n", mode, summarize(res))
+			}
+			path := filepath.Join("testdata", "parity", sc.name+".golden")
+			if *updatePolicyGoldens {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got.String()), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update-policy-goldens): %v", err)
+			}
+			if got.String() != string(want) {
+				t.Errorf("parity fingerprint changed for %s:\n got:\n%s\nwant:\n%s", sc.name, got.String(), want)
+			}
+		})
+	}
+}

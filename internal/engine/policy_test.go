@@ -1,0 +1,231 @@
+package engine
+
+import (
+	"testing"
+
+	"alm/internal/faults"
+	"alm/internal/mr"
+	"alm/internal/trace"
+	"alm/internal/workloads"
+)
+
+// TestTrueMedianBoundary pins the straggler-threshold regression: the
+// old median (sorted[len/2]) is upper-biased on even peer counts, which
+// inflates the LATE slowness threshold and suppresses a backup right at
+// the decision boundary.
+func TestTrueMedianBoundary(t *testing.T) {
+	sorted := []float64{10, 20, 100, 300}
+	slowRatio := 0.3 // mr.DefaultConfig().SpeculativeSlowRatio
+
+	if got := trueMedian(sorted); got != 60 {
+		t.Fatalf("trueMedian(%v) = %v, want 60", sorted, got)
+	}
+
+	straggler := sorted[len(sorted)-1] // 300s remaining
+
+	// Old estimator: median=100 -> threshold ~333s -> the 300s straggler
+	// is NOT backed up.
+	biased := sorted[len(sorted)/2]
+	if straggler > biased/slowRatio {
+		t.Fatalf("boundary case lost: straggler %v should sit below the biased threshold %v",
+			straggler, biased/slowRatio)
+	}
+	// True median: 60 -> threshold 200s -> the straggler IS backed up.
+	if straggler <= trueMedian(sorted)/slowRatio {
+		t.Fatalf("true-median threshold %v still suppresses the %vs straggler",
+			trueMedian(sorted)/slowRatio, straggler)
+	}
+
+	// Odd lengths and the empty slice keep their obvious values.
+	if got := trueMedian([]float64{1, 5, 9}); got != 5 {
+		t.Fatalf("odd-length median = %v, want 5", got)
+	}
+	if got := trueMedian(nil); got != 0 {
+		t.Fatalf("empty median = %v, want 0", got)
+	}
+}
+
+// TestNewDecisionRecord checks the counterfactual bookkeeping: the
+// chosen action is filtered from the alternatives, the rest are kept
+// best-first bounded at decisionTopK, and regret is the margin of the
+// best unchosen alternative (floored at zero).
+func TestNewDecisionRecord(t *testing.T) {
+	alts := []ScoredAction{
+		{Action: "a", Score: 0.5},
+		{Action: "chosen", Score: 1.2}, // must be filtered out
+		{Action: "b", Score: 2.0},
+		{Action: "c", Score: 1.5},
+		{Action: "d", Score: 0.1},
+	}
+	d := newDecision(0, "test", PolicyEventAttemptFailed, "r0a0", "chosen", 1.2, alts)
+	if len(d.TopK) != decisionTopK {
+		t.Fatalf("TopK size = %d, want %d", len(d.TopK), decisionTopK)
+	}
+	wantOrder := []string{"b", "c", "a"}
+	for i, w := range wantOrder {
+		if d.TopK[i].Action != w {
+			t.Fatalf("TopK[%d] = %q, want %q (full: %v)", i, d.TopK[i].Action, w, d.TopK)
+		}
+	}
+	if d.Regret != 2.0-1.2 {
+		t.Fatalf("regret = %v, want 0.8", d.Regret)
+	}
+
+	// Argmax choice: zero regret even with worse alternatives present.
+	d = newDecision(0, "test", PolicyEventAttemptFailed, "r0a0", "chosen", 1.2,
+		[]ScoredAction{{Action: "worse", Score: 1.0}})
+	if d.Regret != 0 {
+		t.Fatalf("argmax regret = %v, want 0", d.Regret)
+	}
+	if d.Detail() == "" {
+		t.Fatal("empty decision detail")
+	}
+}
+
+// TestPolicyDefaulting checks the registry wiring in JobSpec.Defaulted:
+// legacy policy names pin their data-plane mode, an empty Policy falls
+// back to the Mode's name, related-work policies keep the spec's mode,
+// and unknown names are rejected.
+func TestPolicyDefaulting(t *testing.T) {
+	base := JobSpec{Workload: workloads.Wordcount(), InputBytes: 1 << 30}
+
+	spec := base
+	spec.Policy = "alm"
+	got, err := spec.Defaulted()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Mode != ModeALM {
+		t.Fatalf("policy alm resolved mode %v, want %v", got.Mode, ModeALM)
+	}
+
+	spec = base
+	spec.Mode = ModeSFM
+	got, err = spec.Defaulted()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Policy != "sfm" {
+		t.Fatalf("empty policy defaulted to %q, want sfm", got.Policy)
+	}
+
+	spec = base
+	spec.Policy, spec.Mode = "binocular", ModeALG
+	got, err = spec.Defaulted()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Mode != ModeALG {
+		t.Fatalf("binocular changed mode to %v, want it untouched (%v)", got.Mode, ModeALG)
+	}
+
+	spec = base
+	spec.Policy = "no-such-policy"
+	if _, err := spec.Defaulted(); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+
+	if n := len(PolicyNames()); n < 6 {
+		t.Fatalf("registry has %d policies, want >= 6 (%v)", n, PolicyNames())
+	}
+}
+
+// TestRelatedWorkPoliciesComplete runs the fig-3 shape (reducer's node
+// stops mid-reduce) under the related-work policies: jobs must complete,
+// produce the same logical output as stock YARN, and leave a populated
+// decision trace.
+func TestRelatedWorkPoliciesComplete(t *testing.T) {
+	run := func(policy string) Result {
+		t.Helper()
+		conf := mr.DefaultConfig()
+		conf.SpeculativeExecution = true
+		spec := JobSpec{
+			Workload:   workloads.Wordcount(),
+			InputBytes: 8 * conf.BlockSizeBytes,
+			NumReduces: 2,
+			Conf:       conf,
+			Seed:       11,
+			Policy:     policy,
+		}
+		plan := faults.StopNodeOfTaskAtReduceProgress(faults.Reduce, 0, 0.45)
+		res, err := Run(spec, smallCluster(), WithPlan(plan))
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if !res.Completed {
+			t.Fatalf("%s: job failed: %s", policy, res.FailReason)
+		}
+		return res
+	}
+
+	base := run("yarn")
+	for _, policy := range []string{"binocular", "atlas"} {
+		res := run(policy)
+		if len(res.Output) != len(base.Output) {
+			t.Fatalf("%s: %d output records, yarn baseline has %d",
+				policy, len(res.Output), len(base.Output))
+		}
+		if len(res.Decisions) == 0 {
+			t.Fatalf("%s: no decisions recorded", policy)
+		}
+		for _, d := range res.Decisions {
+			if d.Policy != policy {
+				t.Fatalf("%s: decision stamped with policy %q", policy, d.Policy)
+			}
+		}
+	}
+}
+
+// TestDecisionTraceEmission checks that JobSpec.DecisionTrace mirrors
+// every recorded decision as a policy-decision trace event — and that
+// without the flag the trace stays clean while Result.Decisions is
+// still populated.
+func TestDecisionTraceEmission(t *testing.T) {
+	conf := mr.DefaultConfig()
+	spec := JobSpec{
+		Workload:   workloads.Wordcount(),
+		InputBytes: 8 * conf.BlockSizeBytes,
+		NumReduces: 2,
+		Seed:       11,
+		Policy:     "alg",
+	}
+	plan := faults.StopNodeOfTaskAtReduceProgress(faults.Reduce, 0, 0.45)
+
+	count := func(res Result) int {
+		n := 0
+		for _, ev := range res.Trace.Events {
+			if ev.Kind == trace.KindPolicyDecision {
+				n++
+			}
+		}
+		return n
+	}
+
+	spec.DecisionTrace = true
+	traced, err := Run(spec, smallCluster(), WithPlan(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !traced.Completed {
+		t.Fatalf("job failed: %s", traced.FailReason)
+	}
+	if len(traced.Decisions) == 0 {
+		t.Fatal("no decisions recorded")
+	}
+	if got := count(traced); got != len(traced.Decisions) {
+		t.Fatalf("%d policy-decision trace events, %d decisions", got, len(traced.Decisions))
+	}
+
+	spec.DecisionTrace = false
+	quiet, err := Run(spec, smallCluster(), WithPlan(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := count(quiet); got != 0 {
+		t.Fatalf("%d policy-decision trace events with DecisionTrace off", got)
+	}
+	if len(quiet.Decisions) != len(traced.Decisions) {
+		t.Fatalf("decision count changed with tracing: %d vs %d",
+			len(quiet.Decisions), len(traced.Decisions))
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"sort"
 
 	"alm/internal/faults"
-	"alm/internal/topology"
 	"alm/internal/trace"
 )
 
@@ -19,65 +18,85 @@ import (
 // ineffective under node failures anyway — an observation the
 // TestStockSpeculation* tests reproduce.
 
-// speculationTick scans running tasks for stragglers — tasks whose
-// LATE-style estimated remaining time vastly exceeds the median peer's —
-// and launches one backup attempt each. Called from the AM's monitor
-// loop.
-func (am *appMaster) speculationTick() {
-	if !am.conf.SpeculativeExecution || am.jobDone {
-		return
-	}
-	now := am.job.Eng.Now()
-	for _, tasks := range [][]*taskState{am.maps, am.reduces} {
-		// Estimate remaining time for every single-attempt running task
-		// (LATE's heuristic: elapsed * (1-p) / p).
+// lateStragglerScan is the shared LATE-style straggler scan used by the
+// legacy policies' OnStragglerTick: estimate remaining time for every
+// single-attempt running task, and back up each one whose estimate
+// vastly exceeds the median peer's. Runs over the PolicyContext so any
+// policy can reuse it; the caller gates on Config.SpeculativeExecution.
+func lateStragglerScan(pc PolicyContext, policy string) {
+	conf := pc.Conf()
+	now := pc.Now()
+	for _, typ := range []faults.TaskType{faults.Map, faults.Reduce} {
+		// LATE's heuristic: remaining = elapsed * (1-p) / p.
 		type cand struct {
-			t         *taskState
-			a         *attempt
+			info      AttemptInfo
+			idx       int
 			remaining float64
 		}
 		var cands []cand
 		var remainings []float64
-		for _, t := range tasks {
-			if t.done || t.liveAttempts() != 1 {
+		n := pc.NumTasks(typ)
+		for idx := 0; idx < n; idx++ {
+			if pc.TaskDone(typ, idx) || pc.LiveAttempts(typ, idx) != 1 {
 				continue
 			}
-			a := t.runningAttempt()
-			if a == nil {
+			a, ok := pc.RunningAttemptInfo(typ, idx)
+			if !ok {
 				continue
 			}
-			elapsed := (now - am.launchTimes[a]).Seconds()
-			if elapsed < am.conf.SpeculativeMinRuntime.Seconds() || a.progress <= 0.01 {
+			elapsed := (now - a.Launched).Seconds()
+			if elapsed < conf.SpeculativeMinRuntime.Seconds() || a.Progress <= 0.01 {
 				continue
 			}
-			rem := elapsed * (1 - a.progress) / a.progress
-			cands = append(cands, cand{t, a, rem})
+			rem := elapsed * (1 - a.Progress) / a.Progress
+			cands = append(cands, cand{a, idx, rem})
 			remainings = append(remainings, rem)
 		}
 		if len(remainings) < 3 {
 			continue // not enough peers to judge slowness
 		}
 		sort.Float64s(remainings)
-		median := remainings[len(remainings)/2]
-		threshold := median / am.conf.SpeculativeSlowRatio
+		threshold := trueMedian(remainings) / conf.SpeculativeSlowRatio
 		for _, c := range cands {
-			if c.remaining <= threshold || c.remaining < 30 {
+			if c.remaining <= threshold || c.remaining < conf.SpeculativeMinRemaining.Seconds() {
 				continue
 			}
-			if am.speculativeLaunched >= am.speculativeCap() {
+			if pc.SpeculativeLaunched() >= pc.SpeculativeCap() {
+				// The backup budget ran out mid-scan: without a record,
+				// tournament runs can't tell a healthy task set from a
+				// starved one. Attribute the missing backup and stop.
+				pc.Counter("speculation.cap_hit", 1)
+				pc.Emit(trace.KindSpeculationCap, c.info.ID, c.info.NodeName,
+					"speculative cap reached; straggler left without backup")
+				pc.Decide(newDecision(now, policy, PolicyEventStraggler, c.info.ID,
+					"hold-cap-exhausted", threshold,
+					[]ScoredAction{{Action: "backup", Score: c.remaining}}))
 				return
 			}
-			am.speculativeLaunched++
-			am.job.Tracer.Emit(now, trace.KindTaskLaunched, c.a.id, c.a.nodeName(am.job),
+			pc.Emit(trace.KindTaskLaunched, c.info.ID, c.info.NodeName,
 				"speculative backup (straggler)")
-			am.job.result.Counters.Add("speculation.backups", 1)
-			if c.a.typ == faults.Map {
-				am.launchMap(c.t, false, c.a.node)
-			} else {
-				am.launchReduce(c.t, reduceLaunchOpts{prefer: topology.Invalid, avoid: c.a.node})
-			}
+			pc.Counter("speculation.backups", 1)
+			pc.Decide(newDecision(now, policy, PolicyEventStraggler, c.info.ID,
+				"backup", c.remaining, []ScoredAction{{Action: "hold", Score: threshold}}))
+			pc.SpeculativeBackup(typ, c.idx, c.info.Node)
 		}
 	}
+}
+
+// trueMedian returns the median of an already-sorted slice: the middle
+// element for odd lengths, the mean of the two middle elements for even
+// lengths. The previous remainings[len/2] was upper-biased on even peer
+// counts, which inflated the slowness threshold and suppressed backups
+// right at the decision boundary (see TestTrueMedianBoundary).
+func trueMedian(sorted []float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
 }
 
 // speculativeCap bounds total backup attempts to 10% of the job's tasks

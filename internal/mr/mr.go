@@ -162,6 +162,11 @@ type Config struct {
 	// SpeculativeSlowRatio: an attempt whose progress rate is below this
 	// fraction of the median peer rate gets a backup.
 	SpeculativeSlowRatio float64
+	// SpeculativeMinRemaining: an attempt whose estimated remaining time
+	// is below this is never worth a backup (the backup's launch overhead
+	// would exceed the saving). Hadoop hardcodes ~30s; lifted into the
+	// config so policy tournaments can tune it.
+	SpeculativeMinRemaining time.Duration
 
 	// Data-plane functions.
 	Comparator  KeyComparator
@@ -192,21 +197,22 @@ func DefaultConfig() Config {
 		ShuffleMemoryShare:  0.70,
 		InMemMergeThreshold: 0.66,
 
-		TaskTimeout:           70 * time.Second,
-		NodeExpiry:            70 * time.Second,
-		HeartbeatInterval:     3 * time.Second,
-		FetchConnectTimeout:   10 * time.Second,
-		FetchRetries:          4,
-		FetchRetryBackoff:     3 * time.Second,
-		MapRerunFetchReports:  3,
-		StallKillWindow:       30 * time.Second,
-		MaxTaskAttempts:       4,
-		MaxMapsPerFetch:       20,
-		TaskLaunchOverhead:    10 * time.Second,
-		SpeculativeExecution:  false,
-		SpeculativeMinRuntime: 60 * time.Second,
-		SpeculativeSlowRatio:  0.3,
-		SlowStartFraction:     0.05,
+		TaskTimeout:             70 * time.Second,
+		NodeExpiry:              70 * time.Second,
+		HeartbeatInterval:       3 * time.Second,
+		FetchConnectTimeout:     10 * time.Second,
+		FetchRetries:            4,
+		FetchRetryBackoff:       3 * time.Second,
+		MapRerunFetchReports:    3,
+		StallKillWindow:         30 * time.Second,
+		MaxTaskAttempts:         4,
+		MaxMapsPerFetch:         20,
+		TaskLaunchOverhead:      10 * time.Second,
+		SpeculativeExecution:    false,
+		SpeculativeMinRuntime:   60 * time.Second,
+		SpeculativeSlowRatio:    0.3,
+		SpeculativeMinRemaining: 30 * time.Second,
+		SlowStartFraction:       0.05,
 
 		Comparator:  DefaultComparator,
 		Grouper:     DefaultGrouper,
@@ -236,6 +242,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("mr: MaxMapsPerFetch must be >= 1, got %d", c.MaxMapsPerFetch)
 	case c.SlowStartFraction < 0 || c.SlowStartFraction > 1:
 		return fmt.Errorf("mr: SlowStartFraction must be in [0,1], got %g", c.SlowStartFraction)
+	case c.SpeculativeMinRemaining < 0:
+		return fmt.Errorf("mr: SpeculativeMinRemaining must be >= 0, got %v", c.SpeculativeMinRemaining)
 	}
 	return nil
 }

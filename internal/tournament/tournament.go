@@ -1,0 +1,320 @@
+// Package tournament races the registered recovery policies head-to-head
+// under the chaos generator's seeded fault schedules and builds a
+// deterministic league table per fault class. Where the chaos checker
+// (internal/chaos) asserts invariants — every mode must recover — the
+// tournament ranks: which policy recovers *fastest*, how many decisions
+// it took, and how much counterfactual regret those decisions carried.
+//
+// Everything is a pure function of (first seed, seed count, budget,
+// policy set): schedules come from chaos.Generate, the engine is
+// deterministic, and the table formatting is fixed-order, so two runs of
+// the same tournament emit byte-identical tables (make tournament-smoke
+// diffs one against a checked-in golden).
+package tournament
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"alm/internal/chaos"
+	"alm/internal/engine"
+	"alm/internal/faults"
+	"alm/internal/mr"
+	"alm/internal/workloads"
+)
+
+// Class buckets a chaos schedule by its most severe fault action, so the
+// league table can answer "who wins under crashes" separately from "who
+// wins under gray degradation".
+type Class string
+
+// Fault classes, in decreasing severity. A schedule is classified by the
+// most severe action it contains: crash (data destroyed) > dark (nodes
+// unreachable, data intact) > gray (degraded but reachable) > task-kill
+// (process-level failures only).
+const (
+	ClassCrash    Class = "crash"
+	ClassDark     Class = "dark"
+	ClassGray     Class = "gray"
+	ClassTaskKill Class = "task-kill"
+)
+
+// classOrder fixes the table emission order.
+var classOrder = []Class{ClassCrash, ClassDark, ClassGray, ClassTaskKill}
+
+// Classify maps a schedule to its fault class by scanning its actions
+// for the most severe kind present.
+func Classify(s *chaos.Schedule) Class {
+	class := ClassTaskKill
+	for _, inj := range s.Injections {
+		switch inj.Do.Kind {
+		case faults.CrashNode, faults.CrashRack:
+			return ClassCrash
+		case faults.StopNodeNetwork, faults.PartitionNode:
+			class = ClassDark
+		case faults.SlowNode, faults.DegradeNIC, faults.FlakyLink:
+			if class == ClassTaskKill {
+				class = ClassGray
+			}
+		}
+	}
+	return class
+}
+
+// Options configures one tournament.
+type Options struct {
+	// Policies are the registry names to race (default: every registered
+	// policy, sorted).
+	Policies []string
+	// FirstSeed and Seeds select the chaos schedules: consecutive seeds
+	// starting at FirstSeed.
+	FirstSeed int64
+	Seeds     int
+	// Budget bounds schedule hostility (default chaos.DefaultBudget).
+	Budget chaos.Budget
+}
+
+// RunScore is one (policy, seed) outcome.
+type RunScore struct {
+	Policy    string
+	Seed      int64
+	Class     Class
+	Completed bool
+	Duration  time.Duration
+	// Decisions and TotalRegret summarize the run's decision trace; the
+	// counters attribute speculation behaviour.
+	Decisions   int
+	TotalRegret float64
+	Backups     int64
+	CapHits     int64
+}
+
+// Row is one policy's standings within a fault class.
+type Row struct {
+	Policy    string
+	Wins      int // seeds where this policy had the fastest completed run
+	Completed int
+	Runs      int
+	// MeanDuration averages completed runs only (0 if none completed).
+	MeanDuration time.Duration
+	Decisions    int
+	// MeanRegret is total regret over total decisions (0 if none).
+	MeanRegret float64
+	Backups    int64
+	CapHits    int64
+}
+
+// ClassTable is the league table for one fault class.
+type ClassTable struct {
+	Class Class
+	Seeds []int64
+	Rows  []Row
+}
+
+// Result is a finished tournament.
+type Result struct {
+	FirstSeed int64
+	Seeds     int
+	Policies  []string
+	Scores    []RunScore // seed-major, policy-minor deterministic order
+	Tables    []ClassTable
+}
+
+// specFor mirrors the chaos checker's job geometry (workload rotating
+// with the seed, 8 maps, 4 reduces, MaxTaskAttempts raised to 8) but
+// schedules through a named policy and turns speculation on — the
+// tournament is exactly the consumer the straggler-scan counters and
+// decision traces were built for.
+func specFor(seed int64, policy string, sh chaos.Shape) engine.JobSpec {
+	wls := []*workloads.Workload{workloads.Terasort(), workloads.Wordcount(), workloads.Secondarysort()}
+	conf := mr.DefaultConfig()
+	conf.MaxTaskAttempts = 8
+	conf.SpeculativeExecution = true
+	// Test-scale speculation thresholds: chaos jobs finish in minutes of
+	// virtual time, so the stock 60s/30s gates would ablate the straggler
+	// scan entirely and with it everything the tournament is ranking.
+	conf.SpeculativeMinRuntime = 15 * time.Second
+	conf.SpeculativeMinRemaining = 5 * time.Second
+	return engine.JobSpec{
+		Workload:   wls[int(((seed%3)+3)%3)],
+		InputBytes: int64(sh.Maps) * conf.BlockSizeBytes,
+		NumReduces: sh.Reduces,
+		Conf:       conf,
+		Seed:       seed,
+		Policy:     policy,
+	}
+}
+
+// Run races the policy set over the seeded schedules and assembles the
+// per-class league tables.
+func Run(opts Options) (*Result, error) {
+	if opts.Seeds < 1 {
+		opts.Seeds = 1
+	}
+	if opts.Budget.MaxActions == 0 {
+		opts.Budget = chaos.DefaultBudget()
+	}
+	policies := opts.Policies
+	if len(policies) == 0 {
+		policies = engine.PolicyNames()
+	}
+	policies = append([]string(nil), policies...)
+	sort.Strings(policies)
+	seen := make(map[string]bool, len(policies))
+	for _, p := range policies {
+		if seen[p] {
+			return nil, fmt.Errorf("tournament: duplicate policy %q", p)
+		}
+		seen[p] = true
+	}
+
+	sh, cs := chaos.CheckShape()
+	res := &Result{FirstSeed: opts.FirstSeed, Seeds: opts.Seeds, Policies: policies}
+	for seed := opts.FirstSeed; seed < opts.FirstSeed+int64(opts.Seeds); seed++ {
+		sched := chaos.Generate(seed, opts.Budget, sh)
+		class := Classify(&sched)
+		for _, policy := range policies {
+			run, err := engine.Run(specFor(seed, policy, sh), cs, engine.WithPlan(sched.Plan()))
+			if err != nil {
+				return nil, fmt.Errorf("tournament: seed %d policy %s: %w", seed, policy, err)
+			}
+			score := RunScore{
+				Policy:    policy,
+				Seed:      seed,
+				Class:     class,
+				Completed: run.Completed,
+				Duration:  time.Duration(run.Duration),
+				Decisions: len(run.Decisions),
+				Backups:   run.Counters["speculation.backups"],
+				CapHits:   run.Counters["speculation.cap_hit"],
+			}
+			for _, d := range run.Decisions {
+				score.TotalRegret += d.Regret
+			}
+			res.Scores = append(res.Scores, score)
+		}
+	}
+	res.Tables = buildTables(res.Scores, policies)
+	return res, nil
+}
+
+// buildTables groups scores by class, awards each seed's win to the
+// fastest completed run (ties to the lexicographically first policy —
+// scores arrive policy-sorted, so first-fastest wins), and ranks rows.
+func buildTables(scores []RunScore, policies []string) []ClassTable {
+	type agg struct {
+		rows  map[string]*Row
+		seeds []int64
+	}
+	byClass := make(map[Class]*agg)
+	forClass := func(c Class) *agg {
+		a := byClass[c]
+		if a == nil {
+			a = &agg{rows: make(map[string]*Row)}
+			for _, p := range policies {
+				a.rows[p] = &Row{Policy: p}
+			}
+			byClass[c] = a
+		}
+		return a
+	}
+
+	bySeed := make(map[int64][]RunScore)
+	var seeds []int64
+	for _, s := range scores {
+		if _, ok := bySeed[s.Seed]; !ok {
+			seeds = append(seeds, s.Seed)
+		}
+		bySeed[s.Seed] = append(bySeed[s.Seed], s)
+	}
+
+	regret := make(map[Class]map[string]float64)
+	for _, seed := range seeds {
+		runs := bySeed[seed]
+		class := runs[0].Class
+		a := forClass(class)
+		a.seeds = append(a.seeds, seed)
+		winner := ""
+		var best time.Duration
+		for _, s := range runs {
+			row := a.rows[s.Policy]
+			row.Runs++
+			row.Decisions += s.Decisions
+			row.Backups += s.Backups
+			row.CapHits += s.CapHits
+			if regret[class] == nil {
+				regret[class] = make(map[string]float64)
+			}
+			regret[class][s.Policy] += s.TotalRegret
+			if s.Completed {
+				row.Completed++
+				row.MeanDuration += s.Duration // sum for now; divided below
+				if winner == "" || s.Duration < best {
+					winner, best = s.Policy, s.Duration
+				}
+			}
+		}
+		if winner != "" {
+			a.rows[winner].Wins++
+		}
+	}
+
+	var tables []ClassTable
+	for _, class := range classOrder {
+		a := byClass[class]
+		if a == nil {
+			continue
+		}
+		t := ClassTable{Class: class, Seeds: a.seeds}
+		for _, p := range policies {
+			row := *a.rows[p]
+			if row.Completed > 0 {
+				row.MeanDuration /= time.Duration(row.Completed)
+			}
+			if row.Decisions > 0 {
+				row.MeanRegret = regret[class][p] / float64(row.Decisions)
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		sort.SliceStable(t.Rows, func(i, j int) bool {
+			a, b := t.Rows[i], t.Rows[j]
+			if a.Wins != b.Wins {
+				return a.Wins > b.Wins
+			}
+			if a.Completed != b.Completed {
+				return a.Completed > b.Completed
+			}
+			if a.MeanDuration != b.MeanDuration {
+				return a.MeanDuration < b.MeanDuration
+			}
+			return a.Policy < b.Policy
+		})
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// Format renders the deterministic league table text.
+func (r *Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tournament: seeds %d..%d, policies %s\n",
+		r.FirstSeed, r.FirstSeed+int64(r.Seeds)-1, strings.Join(r.Policies, ","))
+	for _, t := range r.Tables {
+		seeds := make([]string, len(t.Seeds))
+		for i, s := range t.Seeds {
+			seeds[i] = fmt.Sprintf("%d", s)
+		}
+		fmt.Fprintf(&b, "\nclass %-9s (%d seed(s): %s)\n", t.Class, len(t.Seeds), strings.Join(seeds, " "))
+		fmt.Fprintf(&b, "  %-10s %4s %9s %10s %9s %11s %8s %8s\n",
+			"policy", "wins", "completed", "mean-dur", "decisions", "mean-regret", "backups", "cap-hits")
+		for _, row := range t.Rows {
+			fmt.Fprintf(&b, "  %-10s %4d %6d/%-2d %9.1fs %9d %11.3f %8d %8d\n",
+				row.Policy, row.Wins, row.Completed, row.Runs,
+				row.MeanDuration.Seconds(), row.Decisions, row.MeanRegret,
+				row.Backups, row.CapHits)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,112 @@
+package tournament
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"alm/internal/chaos"
+	"alm/internal/faults"
+)
+
+var updateLeague = flag.Bool("update-league", false,
+	"rewrite testdata/league-28-6.golden from the current tournament output")
+
+func sched(kinds ...faults.ActionKind) *chaos.Schedule {
+	s := &chaos.Schedule{}
+	for _, k := range kinds {
+		s.Injections = append(s.Injections, faults.Injection{Do: faults.Action{Kind: k}})
+	}
+	return s
+}
+
+func TestClassifyPrecedence(t *testing.T) {
+	cases := []struct {
+		name string
+		s    *chaos.Schedule
+		want Class
+	}{
+		{"crash-beats-dark", sched(faults.PartitionNode, faults.CrashNode), ClassCrash},
+		{"rack-crash", sched(faults.FailTask, faults.CrashRack), ClassCrash},
+		{"dark-beats-gray", sched(faults.SlowNode, faults.StopNodeNetwork), ClassDark},
+		{"gray-beats-taskkill", sched(faults.FailTask, faults.FlakyLink), ClassGray},
+		{"nic-is-gray", sched(faults.DegradeNIC), ClassGray},
+		{"taskkill-only", sched(faults.FailTask, faults.FailTask), ClassTaskKill},
+		{"empty", sched(), ClassTaskKill},
+	}
+	for _, c := range cases {
+		if got := Classify(c.s); got != c.want {
+			t.Errorf("%s: Classify = %s, want %s", c.name, got, c.want)
+		}
+	}
+}
+
+// TestLeagueGolden pins the deterministic league table for the smoke
+// range (the same seeds `make tournament-smoke` runs): ≥3 fault classes,
+// all registered policies, with populated regret and backup columns.
+func TestLeagueGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tournament sweep is not short")
+	}
+	res, err := Run(Options{FirstSeed: 28, Seeds: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Format()
+
+	if len(res.Tables) < 3 {
+		t.Fatalf("smoke range covers %d fault classes, want >= 3", len(res.Tables))
+	}
+	if len(res.Policies) < 4 {
+		t.Fatalf("smoke range races %d policies, want >= 4", len(res.Policies))
+	}
+	var regret float64
+	for _, s := range res.Scores {
+		if !s.Completed {
+			t.Errorf("policy %s did not recover seed %d", s.Policy, s.Seed)
+		}
+		regret += s.TotalRegret
+	}
+	if regret == 0 {
+		t.Error("no run recorded counterfactual regret; the smoke range lost its constraint-hitting seed")
+	}
+
+	path := filepath.Join("testdata", "league-28-6.golden")
+	if *updateLeague {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update-league): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("league table changed:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestDeterminism re-runs a small tournament and requires byte-identical
+// tables — the property the Makefile smoke diff rests on.
+func TestDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tournament sweep is not short")
+	}
+	opts := Options{FirstSeed: 11, Seeds: 2, Policies: []string{"yarn", "alm", "binocular", "atlas"}}
+	a, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Format() != b.Format() {
+		t.Errorf("tournament not deterministic:\nfirst:\n%s\nsecond:\n%s", a.Format(), b.Format())
+	}
+}

@@ -33,6 +33,12 @@ const (
 	KindFetchRetry     Kind = "fetch-retry"
 	KindJobFinished    Kind = "job-finished"
 	KindJobFailed      Kind = "job-failed"
+	// KindSpeculationCap marks a straggler left without a backup because
+	// the speculative budget was exhausted mid-scan.
+	KindSpeculationCap Kind = "speculation-cap"
+	// KindPolicyDecision is a recovery-policy decision trace (emitted only
+	// when JobSpec.DecisionTrace is on; see engine/policy.go).
+	KindPolicyDecision Kind = "policy-decision"
 )
 
 // Event is one discrete occurrence.
