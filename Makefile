@@ -4,7 +4,7 @@
 GO ?= go
 ALMVET := bin/almvet
 
-.PHONY: all build test race vet fix-check lint-test bench bench-alloc bench-compare bench-smoke chaos chaos-smoke tournament-smoke metrics-smoke ci clean
+.PHONY: all build test race vet fix-check lint-test bench bench-alloc bench-compare bench-smoke chaos chaos-smoke shuffle-smoke tournament-smoke metrics-smoke ci clean
 
 all: build
 
@@ -82,6 +82,16 @@ chaos:
 chaos-smoke:
 	$(GO) run -race ./cmd/almrun -chaos -seed 11 -seeds 8
 
+# shuffle-smoke sweeps a fixed seed batch of the remote-shuffle chaos
+# matrix ({yarn,alm} with the tier enabled, tier faults in the draw) and
+# diffs the deterministic sweep transcript against the checked-in
+# golden. Catches both invariant violations and any drift in the seeded
+# tier fault schedules.
+shuffle-smoke:
+	@mkdir -p bin
+	$(GO) run ./cmd/almrun -chaos -shuffle=remote -seed 11 -seeds 4 > bin/shuffle-chaos.txt
+	diff -u internal/shuffletier/testdata/shuffle-chaos-11-4.golden bin/shuffle-chaos.txt
+
 # tournament-smoke races every registered recovery policy head-to-head
 # over a small seeded chaos batch (3 fault classes, one seed that hits
 # the speculation constraints so regret/backup columns are non-zero) and
@@ -103,7 +113,7 @@ metrics-smoke:
 	$(GO) run ./cmd/almrun -workload terasort -size-gb 12.5 -reduces 20 -mode yarn -fail mof-node -at 0.55 -metrics bin/metrics-b.prom
 	cmp bin/metrics-a.prom bin/metrics-b.prom
 
-ci: build test race vet fix-check bench-smoke bench-alloc chaos-smoke tournament-smoke metrics-smoke
+ci: build test race vet fix-check bench-smoke bench-alloc chaos-smoke shuffle-smoke tournament-smoke metrics-smoke
 
 clean:
 	rm -rf bin

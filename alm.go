@@ -95,6 +95,10 @@ type (
 	// CheckpointOptions enables the heavyweight full-image checkpointing
 	// the paper's Section III contrasts ALG against.
 	CheckpointOptions = engine.CheckpointOptions
+	// ShuffleOptions selects the shuffle data path; Remote pushes MOF
+	// partition segments to the replicated shuffle tier so map-node loss
+	// no longer invalidates delivered map output.
+	ShuffleOptions = engine.ShuffleOptions
 	// RunOption configures a Run call (see WithFaults, WithObserver,
 	// WithMetrics, WithTrace).
 	RunOption = engine.RunOption
@@ -231,6 +235,28 @@ func StopNodeOfTaskAtReduceProgress(typ TaskType, idx int, frac float64) *FaultP
 // amplification scenario).
 func StopMOFNodeAtJobProgress(frac float64) *FaultPlan {
 	return faults.StopMOFNodeAtJobProgress(frac)
+}
+
+// CrashMOFNodeAtJobProgress crashes a node holding map output but no
+// ReduceTask when overall job progress reaches the fraction — the
+// scenario the remote shuffle tier exists to survive without map
+// recomputation.
+func CrashMOFNodeAtJobProgress(frac float64) *FaultPlan {
+	return faults.CrashMOFNodeAtJobProgress(frac)
+}
+
+// CrashTierNodeAtTime kills the remote-shuffle service on tier ordinal
+// ord at t; healAfter > 0 restarts it empty after that delay. Requires
+// ShuffleOptions.Remote.
+func CrashTierNodeAtTime(t time.Duration, ord int, healAfter time.Duration) *FaultPlan {
+	return faults.CrashTierNodeAtTime(t, ord, healAfter)
+}
+
+// HotPartitionAtTime marks reduce partition part as shuffle-tier hot at
+// t: its primary replica serves at factor of its bandwidth until
+// healAfter (0 = permanent). Requires ShuffleOptions.Remote.
+func HotPartitionAtTime(t time.Duration, part int, factor float64, healAfter time.Duration) *FaultPlan {
+	return faults.HotPartitionAtTime(t, part, factor, healAfter)
 }
 
 // SlowNodeOfTaskAtReduceProgress degrades the disks of the node hosting

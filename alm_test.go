@@ -44,8 +44,8 @@ func TestFacadeFaultPlan(t *testing.T) {
 
 func TestExperimentRegistryFacade(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 15 {
-		t.Fatalf("ExperimentIDs = %d entries, want 15", len(ids))
+	if len(ids) != 16 {
+		t.Fatalf("ExperimentIDs = %d entries, want 16", len(ids))
 	}
 	if ExperimentDescription("fig8") == "" {
 		t.Fatal("missing description for fig8")

@@ -44,8 +44,11 @@ func main() {
 		iss      = flag.Bool("iss", false, "enable ISS intermediate-data replication (related work)")
 		ckpt     = flag.Bool("checkpoint", false, "enable heavyweight full-image checkpointing (related work)")
 		slow     = flag.Float64("slow-factor", 0, "with -fail slow-node: disk bandwidth multiplier (e.g. 0.05)")
+		shuffle  = flag.String("shuffle", "local", "local | remote: shuffle data path (remote pushes MOFs to the replicated shuffle tier; with -chaos, sweeps the remote invariant matrix)")
 		chaosRun = flag.Bool("chaos", false, "run the chaos invariant checker instead of a single job")
 		tourney  = flag.Bool("tournament", false, "race the recovery-policy set head-to-head under seeded chaos schedules and print a league table per fault class")
+		standing = flag.Bool("standings", false, "with -tournament: print the regret-weighted overall standings instead of the per-class league table")
+		seedDet  = flag.Int64("seed-detail", -1, "with -tournament: print the drill-down (schedule + per-policy outcomes) for this seed instead of the league table")
 		policies = flag.String("policies", "", "with -tournament: comma-separated policy names (default: every registered policy)")
 		seeds    = flag.Int("seeds", 50, "with -chaos/-tournament: how many consecutive seeds to sweep (starting at -seed)")
 		verbose  = flag.Bool("v", false, "with -chaos/-tournament: print each generated schedule")
@@ -53,11 +56,19 @@ func main() {
 	)
 	flag.Parse()
 
+	remote := false
+	switch *shuffle {
+	case "local":
+	case "remote":
+		remote = true
+	default:
+		fatal(fmt.Errorf("unknown shuffle path %q", *shuffle))
+	}
 	if *chaosRun {
-		os.Exit(runChaos(*seed, *seeds, *verbose, *metricsP))
+		os.Exit(runChaos(*seed, *seeds, remote, *verbose, *metricsP))
 	}
 	if *tourney {
-		os.Exit(runTournament(*seed, *seeds, *policies, *verbose))
+		os.Exit(runTournament(*seed, *seeds, *policies, *verbose, *standing, *seedDet))
 	}
 
 	w, err := alm.WorkloadByName(*workload)
@@ -106,6 +117,9 @@ func main() {
 		NumReduces: *reduces,
 		Mode:       mode,
 		Seed:       *seed,
+	}
+	if remote {
+		spec.Shuffle = alm.ShuffleOptions{Remote: true}
 	}
 	if *iss {
 		spec.ISS = alm.ISSOptions{Enabled: true}
@@ -157,16 +171,29 @@ func main() {
 }
 
 // runChaos sweeps n consecutive chaos seeds under all four engine modes
-// and reports invariant violations with a minimal reproducer command
-// line each. Returns the process exit code.
-func runChaos(first int64, n int, verbose bool, metricsPath string) int {
+// (or, with remote, the {yarn,alm} x remote-shuffle matrix with tier
+// faults in the draw) and reports invariant violations with a minimal
+// reproducer command line each. Returns the process exit code.
+func runChaos(first int64, n int, remote, verbose bool, metricsPath string) int {
 	if n < 1 {
 		n = 1
 	}
 	budget := chaos.DefaultBudget()
-	fmt.Printf("chaos: sweeping %d seed(s) from %d under modes yarn|alg|sfm|alm\n", n, first)
+	modes := chaos.Modes
+	sweep := chaos.CheckSeeds
+	if remote {
+		budget.TierFaults = true
+		modes = chaos.RemoteModes
+		sweep = chaos.CheckSeedsRemote
+		fmt.Printf("chaos: sweeping %d seed(s) from %d under modes yarn|alm with the remote shuffle tier\n", n, first)
+	} else {
+		fmt.Printf("chaos: sweeping %d seed(s) from %d under modes yarn|alg|sfm|alm\n", n, first)
+	}
 	if verbose {
 		sh, _ := chaos.CheckShape()
+		if remote {
+			sh.TierNodes = chaos.RemoteTierNodes
+		}
 		for seed := first; seed < first+int64(n); seed++ {
 			sched := chaos.Generate(seed, budget, sh)
 			fmt.Print(sched.String())
@@ -174,7 +201,7 @@ func runChaos(first int64, n int, verbose bool, metricsPath string) int {
 	}
 	checked := 0
 	reg := metrics.NewRegistry()
-	all := chaos.CheckSeeds(first, n, budget, reg, func(seed int64, bad []chaos.Violation) {
+	all := sweep(first, n, budget, reg, func(seed int64, bad []chaos.Violation) {
 		checked++
 		status := "ok"
 		if len(bad) > 0 {
@@ -189,7 +216,7 @@ func runChaos(first int64, n int, verbose bool, metricsPath string) int {
 		}
 	}
 	if len(all) == 0 {
-		fmt.Printf("chaos: all invariants held over %d seed(s) x %d modes\n", n, len(chaos.Modes))
+		fmt.Printf("chaos: all invariants held over %d seed(s) x %d modes\n", n, len(modes))
 		return 0
 	}
 	fmt.Printf("\nchaos: %d invariant violation(s):\n", len(all))
@@ -202,9 +229,10 @@ func runChaos(first int64, n int, verbose bool, metricsPath string) int {
 // runTournament races the recovery-policy set over n consecutive chaos
 // seeds and prints the deterministic per-fault-class league table
 // (tournament.Result.Format, byte-identical across runs — `make
-// tournament-smoke` diffs it against a checked-in golden). Returns the
-// process exit code.
-func runTournament(first int64, n int, policiesCSV string, verbose bool) int {
+// tournament-smoke` diffs it against a checked-in golden), the
+// regret-weighted standings (-standings), or one seed's drill-down
+// (-seed-detail). Returns the process exit code.
+func runTournament(first int64, n int, policiesCSV string, verbose, standings bool, seedDetail int64) int {
 	opts := tournament.Options{FirstSeed: first, Seeds: n}
 	if policiesCSV != "" {
 		for _, p := range strings.Split(policiesCSV, ",") {
@@ -225,7 +253,14 @@ func runTournament(first int64, n int, policiesCSV string, verbose bool) int {
 		fmt.Fprintln(os.Stderr, "almrun:", err)
 		return 2
 	}
-	fmt.Print(res.Format())
+	switch {
+	case seedDetail >= 0:
+		fmt.Print(res.FormatSeedDetail(seedDetail))
+	case standings:
+		fmt.Print(res.FormatStandings())
+	default:
+		fmt.Print(res.Format())
+	}
 	return 0
 }
 

@@ -28,6 +28,9 @@ type Shape struct {
 	Racks   int
 	Maps    int
 	Reduces int
+	// TierNodes is the remote-shuffle tier size; tier faults are only
+	// generated when it is non-zero (and Budget.TierFaults is set).
+	TierNodes int
 }
 
 // Budget bounds how hostile a generated schedule may get. The point is
@@ -61,6 +64,11 @@ type Budget struct {
 	// / AllowRackCrash permit it.
 	AllowCrash     bool
 	AllowRackCrash bool
+	// TierFaults admits remote-shuffle tier faults (tier-service crashes
+	// and hot partitions) into the draw. It is off by default so every
+	// pre-tier seed keeps generating a byte-identical schedule: the tier
+	// draws sit behind this gate and consume no randomness when disabled.
+	TierFaults bool
 }
 
 // DefaultBudget is hostile but always recoverable.
@@ -105,6 +113,20 @@ func darkKind(k faults.ActionKind) bool {
 	switch k {
 	case faults.StopNodeNetwork, faults.PartitionNode, faults.CrashNode, faults.CrashRack:
 		return true
+	}
+	return false
+}
+
+// HasTierCrash reports whether the schedule kills a shuffle-tier
+// service. Tier crashes are service-level (the host node stays up), so
+// they count as neither dark nor data-destroying — the tier re-replicates
+// or re-pushes everything it lost — but invariants about zero map
+// recomputation only hold in their absence.
+func (s *Schedule) HasTierCrash() bool {
+	for _, inj := range s.Injections {
+		if inj.Do.Kind == faults.CrashTierNode {
+			return true
+		}
 	}
 	return false
 }
@@ -202,6 +224,10 @@ func describe(inj *faults.Injection) string {
 		do = fmt.Sprintf("flaky-link %d<->%d p=%.2f bw=x%.2f heal=%v", a.Node, a.Node2, a.FailProb, a.Factor, a.HealAfter)
 	case faults.HealNode:
 		do = fmt.Sprintf("heal node=%d", a.Node)
+	case faults.CrashTierNode:
+		do = fmt.Sprintf("crash-tier ordinal=%d heal=%v", a.Node, a.HealAfter)
+	case faults.HotPartition:
+		do = fmt.Sprintf("hot-partition part=%d x%.2f heal=%v", a.TaskIdx, a.Factor, a.HealAfter)
 	}
 	s := when + " -> " + do
 	if inj.Every > 0 {
@@ -239,7 +265,7 @@ func Generate(seed int64, b Budget, sh Shape) Schedule {
 		return n
 	}
 
-	darkUsed, crashUsed := 0, false
+	darkUsed, crashUsed, tierUsed := 0, false, 0
 	taskKills := make(map[int]int)
 	slot := b.Horizon / time.Duration(b.MaxActions)
 	if slot <= b.MinSpacing {
@@ -282,94 +308,127 @@ func Generate(seed int64, b Budget, sh Shape) Schedule {
 		}
 
 		var inj faults.Injection
-		switch {
-		case roll < 25:
-			inj = failTask()
-		case roll < 45: // transient partition
-			if darkUsed >= b.MaxDark || overlapping(t, t+heal) >= b.MaxConcurrent {
+		injSet := false
+		// Tier faults live behind their own gate AND their own draws, all
+		// taken after the legacy ones: with TierFaults off the sequence of
+		// rng calls is unchanged, so every pre-tier seed still generates a
+		// byte-identical schedule.
+		if b.TierFaults && sh.TierNodes > 0 {
+			tierRoll := rng.Intn(100)
+			ord := rng.Intn(sh.TierNodes)
+			part := rng.Intn(sh.Reduces)
+			factor := 0.1 + 0.4*rng.Float64()
+			switch {
+			case tierRoll < 12 && tierUsed < 2 && overlapping(t, t+heal) < b.MaxConcurrent:
+				// Tier-service crash, always healing (the service restarts
+				// empty): storage loss the tier must repair, never node loss.
+				tierUsed++
+				active = append(active, window{t, t + heal})
+				inj = faults.Injection{
+					When: faults.Trigger{Kind: faults.AtTime, Time: t},
+					Do:   faults.Action{Kind: faults.CrashTierNode, Selector: faults.NodeExplicit, Node: ord, HealAfter: heal},
+				}
+				injSet = true
+			case tierRoll < 25 && tierUsed < 2 && overlapping(t, t+heal) < b.MaxConcurrent:
+				tierUsed++
+				active = append(active, window{t, t + heal})
+				inj = faults.Injection{
+					When: faults.Trigger{Kind: faults.AtTime, Time: t},
+					Do:   faults.Action{Kind: faults.HotPartition, TaskIdx: part, Factor: factor, HealAfter: heal},
+				}
+				injSet = true
+			}
+		}
+		if !injSet {
+			switch {
+			case roll < 25:
 				inj = failTask()
-				break
-			}
-			darkUsed++
-			active = append(active, window{t, t + heal})
-			when := faults.Trigger{Kind: faults.AtTime, Time: t}
-			if roll%2 == 0 {
-				when = faults.Trigger{Kind: faults.AtReducePhaseProgress, Fraction: frac}
-			}
-			inj = faults.Injection{
-				When: when,
-				Do:   faults.Action{Kind: faults.PartitionNode, Selector: faults.NodeExplicit, Node: node, HealAfter: heal},
-			}
-		case roll < 60: // flaky link
-			if overlapping(t, t+heal) >= b.MaxConcurrent {
-				inj = failTask()
-				break
-			}
-			active = append(active, window{t, t + heal})
-			inj = faults.Injection{
-				When: faults.Trigger{Kind: faults.AtTime, Time: t},
-				Do: faults.Action{Kind: faults.FlakyLink, Selector: faults.NodeExplicit,
-					Node: node, Node2: node2,
-					FailProb: 0.2 + 0.6*rng.Float64(), Factor: 0.3 + 0.7*rng.Float64(), HealAfter: heal},
-			}
-		case roll < 70: // degraded NIC
-			if overlapping(t, t+heal) >= b.MaxConcurrent {
-				inj = failTask()
-				break
-			}
-			active = append(active, window{t, t + heal})
-			inj = faults.Injection{
-				When: faults.Trigger{Kind: faults.AtTime, Time: t},
-				Do: faults.Action{Kind: faults.DegradeNIC, Selector: faults.NodeExplicit,
-					Node: node, Factor: 0.1 + 0.4*rng.Float64(), HealAfter: heal},
-			}
-		case roll < 80: // slow disks (the paper's faulty node)
-			if overlapping(t, t+heal) >= b.MaxConcurrent {
-				inj = failTask()
-				break
-			}
-			active = append(active, window{t, t + heal})
-			inj = faults.Injection{
-				When: faults.Trigger{Kind: faults.AtTime, Time: t},
-				Do: faults.Action{Kind: faults.SlowNode, Selector: faults.NodeExplicit,
-					Node: node, Factor: 0.05 + 0.45*rng.Float64(), HealAfter: heal},
-			}
-		case roll < 90: // network stop, healing on its own schedule
-			if darkUsed >= b.MaxDark || overlapping(t, t+heal) >= b.MaxConcurrent {
-				inj = failTask()
-				break
-			}
-			darkUsed++
-			active = append(active, window{t, t + heal})
-			inj = faults.Injection{
-				When: faults.Trigger{Kind: faults.AtTime, Time: t},
-				Do:   faults.Action{Kind: faults.StopNodeNetwork, Selector: faults.NodeExplicit, Node: node, HealAfter: heal},
-			}
-		case roll < 95: // node crash (permanent, data gone)
-			if !b.AllowCrash || crashUsed || darkUsed >= b.MaxDark {
-				inj = failTask()
-				break
-			}
-			crashUsed = true
-			darkUsed++
-			when := faults.Trigger{Kind: faults.AtTime, Time: t}
-			if roll%2 == 0 {
-				when = faults.Trigger{Kind: faults.AtJobProgress, Fraction: frac}
-			}
-			inj = faults.Injection{
-				When: when,
-				Do:   faults.Action{Kind: faults.CrashNode, Selector: faults.NodeExplicit, Node: node},
-			}
-		default: // correlated rack crash
-			if !b.AllowRackCrash || crashUsed || darkUsed >= b.MaxDark {
-				inj = failTask()
-				break
-			}
-			crashUsed = true
-			darkUsed = b.MaxDark // a whole rack: no further dark actions
-			inj = faults.Injection{
-				When: faults.Trigger{Kind: faults.AtTime, Time: t},
-				Do:   faults.Action{Kind: faults.CrashRack, Rack: rng.Intn(sh.Racks)},
+			case roll < 45: // transient partition
+				if darkUsed >= b.MaxDark || overlapping(t, t+heal) >= b.MaxConcurrent {
+					inj = failTask()
+					break
+				}
+				darkUsed++
+				active = append(active, window{t, t + heal})
+				when := faults.Trigger{Kind: faults.AtTime, Time: t}
+				if roll%2 == 0 {
+					when = faults.Trigger{Kind: faults.AtReducePhaseProgress, Fraction: frac}
+				}
+				inj = faults.Injection{
+					When: when,
+					Do:   faults.Action{Kind: faults.PartitionNode, Selector: faults.NodeExplicit, Node: node, HealAfter: heal},
+				}
+			case roll < 60: // flaky link
+				if overlapping(t, t+heal) >= b.MaxConcurrent {
+					inj = failTask()
+					break
+				}
+				active = append(active, window{t, t + heal})
+				inj = faults.Injection{
+					When: faults.Trigger{Kind: faults.AtTime, Time: t},
+					Do: faults.Action{Kind: faults.FlakyLink, Selector: faults.NodeExplicit,
+						Node: node, Node2: node2,
+						FailProb: 0.2 + 0.6*rng.Float64(), Factor: 0.3 + 0.7*rng.Float64(), HealAfter: heal},
+				}
+			case roll < 70: // degraded NIC
+				if overlapping(t, t+heal) >= b.MaxConcurrent {
+					inj = failTask()
+					break
+				}
+				active = append(active, window{t, t + heal})
+				inj = faults.Injection{
+					When: faults.Trigger{Kind: faults.AtTime, Time: t},
+					Do: faults.Action{Kind: faults.DegradeNIC, Selector: faults.NodeExplicit,
+						Node: node, Factor: 0.1 + 0.4*rng.Float64(), HealAfter: heal},
+				}
+			case roll < 80: // slow disks (the paper's faulty node)
+				if overlapping(t, t+heal) >= b.MaxConcurrent {
+					inj = failTask()
+					break
+				}
+				active = append(active, window{t, t + heal})
+				inj = faults.Injection{
+					When: faults.Trigger{Kind: faults.AtTime, Time: t},
+					Do: faults.Action{Kind: faults.SlowNode, Selector: faults.NodeExplicit,
+						Node: node, Factor: 0.05 + 0.45*rng.Float64(), HealAfter: heal},
+				}
+			case roll < 90: // network stop, healing on its own schedule
+				if darkUsed >= b.MaxDark || overlapping(t, t+heal) >= b.MaxConcurrent {
+					inj = failTask()
+					break
+				}
+				darkUsed++
+				active = append(active, window{t, t + heal})
+				inj = faults.Injection{
+					When: faults.Trigger{Kind: faults.AtTime, Time: t},
+					Do:   faults.Action{Kind: faults.StopNodeNetwork, Selector: faults.NodeExplicit, Node: node, HealAfter: heal},
+				}
+			case roll < 95: // node crash (permanent, data gone)
+				if !b.AllowCrash || crashUsed || darkUsed >= b.MaxDark {
+					inj = failTask()
+					break
+				}
+				crashUsed = true
+				darkUsed++
+				when := faults.Trigger{Kind: faults.AtTime, Time: t}
+				if roll%2 == 0 {
+					when = faults.Trigger{Kind: faults.AtJobProgress, Fraction: frac}
+				}
+				inj = faults.Injection{
+					When: when,
+					Do:   faults.Action{Kind: faults.CrashNode, Selector: faults.NodeExplicit, Node: node},
+				}
+			default: // correlated rack crash
+				if !b.AllowRackCrash || crashUsed || darkUsed >= b.MaxDark {
+					inj = failTask()
+					break
+				}
+				crashUsed = true
+				darkUsed = b.MaxDark // a whole rack: no further dark actions
+				inj = faults.Injection{
+					When: faults.Trigger{Kind: faults.AtTime, Time: t},
+					Do:   faults.Action{Kind: faults.CrashRack, Rack: rng.Intn(sh.Racks)},
+				}
 			}
 		}
 

@@ -110,6 +110,64 @@ func TestScheduleClassifiers(t *testing.T) {
 	}
 }
 
+// TestTierFaultsGated pins the compatibility contract: with TierFaults
+// off the generator must produce byte-identical schedules whether or not
+// the shape advertises a tier, and tier faults appear only behind the
+// gate — always in range, always healing.
+func TestTierFaultsGated(t *testing.T) {
+	sh, _ := CheckShape()
+	shTier := sh
+	shTier.TierNodes = RemoteTierNodes
+	b := DefaultBudget()
+	bTier := b
+	bTier.TierFaults = true
+
+	sawTier := false
+	for seed := int64(0); seed < 100; seed++ {
+		legacy := Generate(seed, b, sh)
+		if !reflect.DeepEqual(legacy, Generate(seed, b, shTier)) {
+			t.Fatalf("seed %d: schedule changed by shape.TierNodes alone (gate leak)", seed)
+		}
+		if !reflect.DeepEqual(legacy, Generate(seed, bTier, sh)) {
+			t.Fatalf("seed %d: schedule changed by Budget.TierFaults without a tier", seed)
+		}
+		if legacy.HasTierCrash() {
+			t.Fatalf("seed %d: tier crash generated without the gate", seed)
+		}
+
+		s := Generate(seed, bTier, shTier)
+		if err := s.Plan().Validate(); err != nil {
+			t.Fatalf("seed %d: tier-enabled plan invalid: %v\n%s", seed, err, s.String())
+		}
+		tiers := 0
+		for i := range s.Injections {
+			switch a := s.Injections[i].Do; a.Kind {
+			case faults.CrashTierNode:
+				tiers++
+				sawTier = true
+				if a.Node >= shTier.TierNodes {
+					t.Fatalf("seed %d: tier ordinal %d out of range", seed, a.Node)
+				}
+				if a.HealAfter <= 0 {
+					t.Fatalf("seed %d: tier crash without heal (service must restart)", seed)
+				}
+			case faults.HotPartition:
+				tiers++
+				sawTier = true
+				if a.TaskIdx >= shTier.Reduces {
+					t.Fatalf("seed %d: hot partition %d out of range", seed, a.TaskIdx)
+				}
+			}
+		}
+		if tiers > 2 {
+			t.Fatalf("seed %d: %d tier faults exceed the per-schedule cap of 2", seed, tiers)
+		}
+	}
+	if !sawTier {
+		t.Fatal("100 tier-enabled seeds produced no tier fault at all")
+	}
+}
+
 // The heal-fast no-lost-nodes invariant is the canary for the HealAfter
 // machinery: running a quick seed batch end to end proves the checker
 // itself is wired (an engine that dropped the heal schedule fails here
@@ -121,6 +179,20 @@ func TestCheckSeedsSmoke(t *testing.T) {
 	if vs := CheckSeeds(11, 2, DefaultBudget(), nil, nil); len(vs) != 0 {
 		for _, v := range vs {
 			t.Errorf("%s", v)
+		}
+	}
+}
+
+// TestCheckSeedRemoteSmoke runs the remote-shuffle invariant matrix for
+// one seed end to end: termination, output identity, determinism, the
+// tier-recovery obligation ledger, and the no-map-recompute claim.
+func TestCheckSeedRemoteSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 6 full simulations")
+	}
+	if vs := CheckSeedRemote(11, DefaultBudget(), nil); len(vs) != 0 {
+		for _, v := range vs {
+			t.Errorf("%s\n  repro: %s", v, v.Reproducer())
 		}
 	}
 }

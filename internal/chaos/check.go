@@ -18,19 +18,38 @@ type Violation struct {
 	Mode      engine.Mode
 	Invariant string
 	Detail    string
+	// Remote marks a violation found under the remote-shuffle matrix
+	// (CheckSeedRemote); the reproducer needs the -shuffle=remote flag.
+	Remote bool
 }
 
 func (v Violation) String() string {
-	return fmt.Sprintf("seed=%d mode=%s invariant=%s: %s", v.Seed, v.Mode, v.Invariant, v.Detail)
+	mode := v.Mode.String()
+	if v.Remote {
+		mode += "+remote"
+	}
+	return fmt.Sprintf("seed=%d mode=%s invariant=%s: %s", v.Seed, mode, v.Invariant, v.Detail)
 }
 
 // Reproducer returns the command line that replays exactly this seed.
 func (v Violation) Reproducer() string {
+	if v.Remote {
+		return fmt.Sprintf("go run ./cmd/almrun -chaos -shuffle=remote -seed %d -seeds 1", v.Seed)
+	}
 	return fmt.Sprintf("go run ./cmd/almrun -chaos -seed %d -seeds 1", v.Seed)
 }
 
 // Modes is the full mode matrix every schedule is checked under.
 var Modes = []engine.Mode{engine.ModeYARN, engine.ModeALG, engine.ModeSFM, engine.ModeALM}
+
+// RemoteModes is the pair the remote-shuffle tier matrix runs under:
+// stock retry versus the full ALM stack, both with MOFs pushed to the
+// tier.
+var RemoteModes = []engine.Mode{engine.ModeYARN, engine.ModeALM}
+
+// RemoteTierNodes is the tier size remote chaos runs use (mirrors the
+// engine's ShuffleOptions default so generated ordinals stay in range).
+const RemoteTierNodes = 3
 
 // CheckShape is the fixed small job/cluster geometry chaos runs use:
 // the paper's 2×10 testbed, 8 map splits (1 GiB at the default 128 MB
@@ -70,7 +89,7 @@ func specFor(seed int64, mode engine.Mode, sh Shape) engine.JobSpec {
 // via engine.EnableInvariantChecks) into an error instead of killing the
 // whole sweep. conservationErr carries the post-run cluster accounting
 // check.
-func runOne(spec engine.JobSpec, cs engine.ClusterSpec, plan *faults.Plan) (res engine.Result, conservationErr, runErr error) {
+func runOne(spec engine.JobSpec, cs engine.ClusterSpec, plan *faults.Plan) (res engine.Result, tierPending int, conservationErr, runErr error) {
 	defer func() {
 		if r := recover(); r != nil {
 			runErr = fmt.Errorf("engine panic: %v", r)
@@ -79,9 +98,14 @@ func runOne(spec engine.JobSpec, cs engine.ClusterSpec, plan *faults.Plan) (res 
 	var h engine.Handles
 	res, err := engine.Run(spec, cs, engine.WithPlan(plan), engine.WithHandles(&h))
 	if err != nil {
-		return res, nil, err
+		return res, 0, nil, err
 	}
-	return res, h.Cluster.CheckConservation(), nil
+	if h.Job != nil {
+		if tier := h.Job.Tier(); tier != nil {
+			tierPending = tier.PendingRecovery()
+		}
+	}
+	return res, tierPending, h.Cluster.CheckConservation(), nil
 }
 
 func sameOutput(a, b []mr.Record) bool {
@@ -115,7 +139,7 @@ func CheckSeed(seed int64, budget Budget, reg *metrics.Registry) []Violation {
 		spec := specFor(seed, mode, sh)
 		reg.Counter("alm_chaos_runs_total", "mode", mode.String()).Add(3)
 
-		base, baseCons, err := runOne(spec, cs, nil)
+		base, _, baseCons, err := runOne(spec, cs, nil)
 		if err != nil {
 			add(mode, "baseline-run", err.Error())
 			continue
@@ -128,7 +152,7 @@ func CheckSeed(seed int64, budget Budget, reg *metrics.Registry) []Violation {
 			add(mode, "conservation", "baseline: "+baseCons.Error())
 		}
 
-		res, cons, err := runOne(spec, cs, sched.Plan())
+		res, _, cons, err := runOne(spec, cs, sched.Plan())
 		if err != nil {
 			add(mode, "chaos-run", err.Error())
 			continue
@@ -157,7 +181,105 @@ func CheckSeed(seed int64, budget Budget, reg *metrics.Registry) []Violation {
 			}
 		}
 
-		res2, _, err := runOne(spec, cs, sched.Plan())
+		res2, _, _, err := runOne(spec, cs, sched.Plan())
+		if err != nil {
+			add(mode, "determinism", "repeat run failed: "+err.Error())
+			continue
+		}
+		switch {
+		case res2.Duration != res.Duration:
+			add(mode, "determinism", fmt.Sprintf("durations differ: %v vs %v", res.Duration, res2.Duration))
+		case res2.Events.Processed != res.Events.Processed:
+			add(mode, "determinism", fmt.Sprintf("event counts differ: %d vs %d", res.Events.Processed, res2.Events.Processed))
+		case !sameOutput(res2.Output, res.Output):
+			add(mode, "determinism", "outputs differ between identical runs")
+		case res2.FetchRetries != res.FetchRetries:
+			add(mode, "determinism", fmt.Sprintf("fetch retries differ: %d vs %d", res.FetchRetries, res2.FetchRetries))
+		}
+	}
+	return vs
+}
+
+// remoteSpecFor is specFor with the remote shuffle tier enabled, sized
+// to the shape the generator drew ordinals from.
+func remoteSpecFor(seed int64, mode engine.Mode, sh Shape) engine.JobSpec {
+	spec := specFor(seed, mode, sh)
+	spec.Shuffle.Remote = true
+	spec.Shuffle.TierNodes = sh.TierNodes
+	return spec
+}
+
+// CheckSeedRemote is CheckSeed's counterpart for the remote-shuffle
+// tier: the generated schedule additionally draws tier-service crashes
+// and hot partitions, and each run asserts the tier's own invariants on
+// top of the usual ones — every obligation the tier accepted is repaired
+// (re-replicated or re-pushed) before the job completes, and under a
+// single dark node with no tier crash a map-node loss causes zero map
+// recomputation, because delivered MOFs live in the tier.
+func CheckSeedRemote(seed int64, budget Budget, reg *metrics.Registry) []Violation {
+	engine.EnableInvariantChecks()
+	sh, cs := CheckShape()
+	sh.TierNodes = RemoteTierNodes
+	budget.TierFaults = true
+	sched := Generate(seed, budget, sh)
+	var vs []Violation
+	add := func(mode engine.Mode, invariant, detail string) {
+		reg.Counter("alm_chaos_violations_total", "invariant", invariant).Inc()
+		vs = append(vs, Violation{Seed: seed, Mode: mode, Invariant: invariant, Detail: detail, Remote: true})
+	}
+
+	for _, mode := range RemoteModes {
+		spec := remoteSpecFor(seed, mode, sh)
+		reg.Counter("alm_chaos_runs_total", "mode", mode.String()+"+remote").Add(3)
+
+		base, _, baseCons, err := runOne(spec, cs, nil)
+		if err != nil {
+			add(mode, "baseline-run", err.Error())
+			continue
+		}
+		if !base.Completed {
+			add(mode, "baseline-termination", base.FailReason)
+			continue
+		}
+		if baseCons != nil {
+			add(mode, "conservation", "baseline: "+baseCons.Error())
+		}
+
+		res, pending, cons, err := runOne(spec, cs, sched.Plan())
+		if err != nil {
+			add(mode, "chaos-run", err.Error())
+			continue
+		}
+		if !res.Completed {
+			add(mode, "termination", fmt.Sprintf("job did not complete: %s", res.FailReason))
+			continue
+		}
+		if cons != nil {
+			add(mode, "conservation", cons.Error())
+		}
+		if !sameOutput(res.Output, base.Output) {
+			add(mode, "output-identity", fmt.Sprintf(
+				"recovered output differs from failure-free run (%d vs %d records)",
+				len(res.Output), len(base.Output)))
+		}
+		if pending != 0 {
+			add(mode, "tier-recovery", fmt.Sprintf(
+				"%d tier segments still owed at job end: a killed tier node's "+
+					"storage was neither re-replicated nor re-pushed", pending))
+		}
+		if sched.SingleDark() && !sched.HasTierCrash() {
+			if n := res.Trace.Count(trace.KindMapRescheduled); n != 0 {
+				add(mode, "no-map-recompute", fmt.Sprintf(
+					"%d completed maps recomputed although their MOFs were safe in the tier", n))
+			}
+		}
+		if mode.SFMEnabled() && sched.SingleDark() && !sched.HasTierCrash() && res.AdditionalReduceFailures != 0 {
+			add(mode, "no-amplification", fmt.Sprintf(
+				"%d healthy reducers infected under a single-failure schedule",
+				res.AdditionalReduceFailures))
+		}
+
+		res2, _, _, err := runOne(spec, cs, sched.Plan())
 		if err != nil {
 			add(mode, "determinism", "repeat run failed: "+err.Error())
 			continue
@@ -191,6 +313,20 @@ func CheckSeeds(first int64, n int, budget Budget, reg *metrics.Registry, report
 	var all []Violation
 	for seed := first; seed < first+int64(n); seed++ {
 		bad := CheckSeed(seed, budget, reg)
+		reg.Counter("alm_chaos_seeds_total").Inc()
+		if report != nil {
+			report(seed, bad)
+		}
+		all = append(all, bad...)
+	}
+	return all
+}
+
+// CheckSeedsRemote is CheckSeeds over the remote-shuffle matrix.
+func CheckSeedsRemote(first int64, n int, budget Budget, reg *metrics.Registry, report func(seed int64, bad []Violation)) []Violation {
+	var all []Violation
+	for seed := first; seed < first+int64(n); seed++ {
+		bad := CheckSeedRemote(seed, budget, reg)
 		reg.Counter("alm_chaos_seeds_total").Inc()
 		if report != nil {
 			report(seed, bad)

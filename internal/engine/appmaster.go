@@ -495,6 +495,11 @@ func (am *appMaster) attemptFailed(a *attempt, reason string) {
 			(reason == "too many fetch failures" || reason == "progress timeout") {
 			am.job.result.AdditionalReduceFailures++
 		}
+		if am.job.tier != nil && !t.done {
+			// The attempt's fetched segments died with it; the next
+			// attempt refetches, so the tier owes the partition again.
+			am.job.tier.ResetDelivered(a.taskIdx)
+		}
 	}
 	if t.failures >= am.conf.MaxTaskAttempts {
 		am.jobDone = true
@@ -580,6 +585,9 @@ func (am *appMaster) markFailedNoRecover(a *attempt, reason string) {
 		am.job.result.MapAttemptFailures++
 	} else {
 		am.job.result.ReduceAttemptFailures++
+		if am.job.tier != nil && !t.done {
+			am.job.tier.ResetDelivered(a.taskIdx)
+		}
 	}
 	if t.failures >= am.conf.MaxTaskAttempts {
 		am.jobDone = true
@@ -588,6 +596,14 @@ func (am *appMaster) markFailedNoRecover(a *attempt, reason string) {
 }
 
 func (am *appMaster) mapsWithMOFOn(node topology.NodeID) []int {
+	if am.job.tier != nil {
+		// Remote shuffle: committed MOFs live in the tier, not on map
+		// nodes, so losing a map node invalidates nothing already pushed.
+		// Under-replicated segments are repaired by the tier itself
+		// (re-replication or re-push), surfacing as tierRerunNeeded only
+		// when no copy survives anywhere.
+		return nil
+	}
 	out := make([]int, 0, len(am.mofs))
 	for i, m := range am.mofs {
 		if m != nil && m.node == node && !am.rerunScheduled[i] {
@@ -616,6 +632,9 @@ func (am *appMaster) mofHost(mapIdx int) (topology.NodeID, bool) {
 }
 
 func (am *appMaster) mofAvailable(mapIdx int) bool {
+	if tier := am.job.tier; tier != nil {
+		return am.mofs[mapIdx] != nil && tier.FullyServable(mapIdx)
+	}
 	_, ok := am.mofHost(mapIdx)
 	return ok
 }
@@ -657,7 +676,34 @@ func (am *appMaster) onFetchStarvationDeath(blockedMaps []int) {
 // shouldWait reports whether a reducer blocked on this map should wait
 // (SFM wait advisory) instead of accumulating failures.
 func (am *appMaster) shouldWait(mapIdx int) bool {
+	if tier := am.job.tier; tier != nil && tier.Recovering(mapIdx) {
+		// The tier is re-replicating or re-pushing this map's segments;
+		// a strike now would be the amplification the tier exists to stop.
+		return true
+	}
 	return am.policy.ShouldWait(am, mapIdx)
+}
+
+// tierChanged fans a shuffle-tier state change (replica gained or lost,
+// tier node crashed or healed, hot flag flipped) to every running reduce
+// executor so serving hosts are re-resolved.
+func (am *appMaster) tierChanged() {
+	if am.jobDone {
+		return
+	}
+	for _, ex := range am.reduceExecs {
+		ex.onTierChanged()
+	}
+}
+
+// tierRerunNeeded fires when a committed map's segments were lost from
+// every tier replica and the producing node is gone too: the only copy
+// left is the input split, so the map must re-execute and re-push.
+func (am *appMaster) tierRerunNeeded(mapIdx int) {
+	if am.jobDone || am.rerunScheduled[mapIdx] {
+		return
+	}
+	am.ScheduleMapRerun(mapIdx, true, topology.Invalid, "tier replicas lost; source node dark")
 }
 
 // ---- reduce launch gating ----

@@ -17,6 +17,7 @@ import (
 	"alm/internal/merge"
 	"alm/internal/metrics"
 	"alm/internal/mr"
+	"alm/internal/shuffletier"
 	"alm/internal/sim"
 	"alm/internal/topology"
 	"alm/internal/trace"
@@ -92,10 +93,31 @@ type JobSpec struct {
 	// partitions from replicas instead of waiting for regeneration. It
 	// composes with any Mode (the paper discusses ISS over stock YARN).
 	ISS ISSOptions
+	// Shuffle selects the shuffle data plane: the stock map-node-serving
+	// path, or the push-based remote shuffle tier (internal/shuffletier).
+	// Mutually exclusive with ISS (both relocate MOF durability).
+	Shuffle ShuffleOptions
 	// Checkpoint enables the heavyweight system-level checkpointing the
 	// paper's Section III contrasts ALG against: periodic synchronous
 	// snapshots of the task's entire memory image to HDFS.
 	Checkpoint CheckpointOptions
+}
+
+// ShuffleOptions selects and sizes the remote shuffle tier.
+type ShuffleOptions struct {
+	// Remote routes map output through the replicated shuffle tier:
+	// maps push partition segments to tier nodes at commit and reducers
+	// fetch from the tier, so losing a map node after commit invalidates
+	// nothing.
+	Remote bool
+	// TierNodes, Replication, MaxInflight, MaxQueue and HotFactor size
+	// the tier (zero: shuffletier defaults — 3 nodes, 2 replicas, 4
+	// ingest slots, queue-depth-8 backpressure, 3× hot-spot factor).
+	TierNodes   int
+	Replication int
+	MaxInflight int
+	MaxQueue    int
+	HotFactor   float64
 }
 
 // ISSOptions configures intermediate-data replication.
@@ -145,6 +167,9 @@ func (s JobSpec) Defaulted() (JobSpec, error) {
 	}
 	if s.ISS.Enabled && s.ISS.Replicas <= 0 {
 		s.ISS.Replicas = 1
+	}
+	if s.Shuffle.Remote && s.ISS.Enabled {
+		return s, fmt.Errorf("engine: ISS and Shuffle.Remote are mutually exclusive")
 	}
 	if s.Checkpoint.Enabled {
 		if s.Checkpoint.Interval <= 0 {
@@ -254,6 +279,8 @@ type Job struct {
 	startAt  sim.Time
 	met      *jobMetrics
 	obs      Observer
+	// tier is the remote shuffle service; nil unless Spec.Shuffle.Remote.
+	tier *shuffletier.Tier
 
 	// hdfsFlushed holds the real records of ALG-flushed partial reduce
 	// output, keyed by reduce task index (the data behind the HDFS flush
@@ -311,8 +338,37 @@ func NewJob(spec JobSpec, cl *cluster.Cluster, plan *faults.Plan) (*Job, error) 
 	j.met = newJobMetrics()
 	j.Tracer.OnEmit = j.observeEvent
 	cl.SetMetrics(j.met.reg)
+	if spec.Shuffle.Remote {
+		j.tier = shuffletier.New(cl, j.Tracer, spec.NumReduces, shuffletier.Options{
+			TierNodes:   spec.Shuffle.TierNodes,
+			Replication: spec.Shuffle.Replication,
+			MaxInflight: spec.Shuffle.MaxInflight,
+			MaxQueue:    spec.Shuffle.MaxQueue,
+			HotFactor:   spec.Shuffle.HotFactor,
+		})
+		j.tier.SetMetrics(j.met.reg)
+		j.tier.OnChange = func() {
+			if !j.finished && j.am != nil {
+				j.am.tierChanged()
+			}
+		}
+		j.tier.OnBackpressure = func(ord, depth int) {
+			if !j.finished {
+				j.result.WaitAdvisories++
+			}
+		}
+		j.tier.OnRerunNeeded = func(mapIdx int) {
+			if !j.finished && j.am != nil {
+				j.am.tierRerunNeeded(mapIdx)
+			}
+		}
+	}
 	return j, nil
 }
+
+// Tier exposes the remote shuffle service (nil unless Shuffle.Remote) —
+// the chaos harness asserts its recovery obligations drained.
+func (j *Job) Tier() *shuffletier.Tier { return j.tier }
 
 // Start submits the job: loads the input into DFS and boots the
 // AppMaster. The caller then drives the simulation engine.
@@ -351,6 +407,18 @@ func (j *Job) validatePlanTargets() error {
 		}
 		if a.Kind == faults.FlakyLink && (a.Node >= nodes || a.Node2 >= nodes) {
 			return fmt.Errorf("engine: injection %d targets link (%d,%d) of %d nodes", i, a.Node, a.Node2, nodes)
+		}
+		if a.Kind == faults.CrashTierNode || a.Kind == faults.HotPartition {
+			if j.tier == nil {
+				return fmt.Errorf("engine: injection %d is a shuffle-tier fault but the job does not use Shuffle.Remote", i)
+			}
+			if a.Kind == faults.CrashTierNode && a.Node >= j.tier.Size() {
+				return fmt.Errorf("engine: injection %d targets tier ordinal %d of %d", i, a.Node, j.tier.Size())
+			}
+			if a.Kind == faults.HotPartition && a.TaskIdx >= j.Spec.NumReduces {
+				return fmt.Errorf("engine: injection %d targets partition %d of %d", i, a.TaskIdx, j.Spec.NumReduces)
+			}
+			continue
 		}
 		if a.Selector == faults.NodeExplicit && a.Kind != faults.FailTask && a.Kind != faults.CrashRack && a.Node >= nodes {
 			return fmt.Errorf("engine: injection %d targets node %d of %d", i, a.Node, nodes)
@@ -391,6 +459,12 @@ func (j *Job) finish(failed bool, reason string) {
 	} else {
 		j.Tracer.Emit(j.Eng.Now(), trace.KindJobFinished, "", "", "")
 		j.assembleOutput()
+	}
+	if j.tier != nil {
+		j.result.Counters.Add("tier.push.bytes", j.tier.PushBytes())
+		j.result.Counters.Add("tier.replication.bytes", j.tier.ReplicationBytes())
+		j.result.Counters.Add("tier.repush.bytes", j.tier.RepushBytes())
+		j.tier.Close()
 	}
 	j.observeSample(j.Eng.Now())
 	if j.onFinish != nil {
@@ -531,6 +605,9 @@ func (j *Job) apply(do faults.Action) {
 		if do.Kind == faults.CrashNode {
 			j.Cluster.Crash(node)
 			j.crashWipe(node)
+			if j.tier != nil {
+				j.tier.NodeCrashed(node)
+			}
 		} else {
 			j.Cluster.StopNetwork(node)
 			if do.HealAfter > 0 {
@@ -553,6 +630,9 @@ func (j *Job) apply(do faults.Action) {
 				fmt.Sprintf("injected rack %d crash", do.Rack)) //almvet:allow allocflow -- fault injection runs once per scripted fault, not per simulated event
 			j.Cluster.Crash(node)
 			j.crashWipe(node)
+			if j.tier != nil {
+				j.tier.NodeCrashed(node)
+			}
 			j.am.nodeWentDark(node)
 		}
 	case faults.SlowNode:
@@ -602,6 +682,36 @@ func (j *Job) apply(do faults.Action) {
 				j.Tracer.Emit(j.Eng.Now(), trace.KindLinkHealed, "", j.Cluster.Topo.Node(a).Name,
 					fmt.Sprintf("link to %s healed", j.Cluster.Topo.Node(b).Name))
 				j.Cluster.Net.HealLink(a, b)
+			})
+		}
+	case faults.CrashTierNode:
+		if j.tier == nil {
+			return
+		}
+		ord := do.Node
+		j.tier.CrashOrdinal(ord)
+		if do.HealAfter > 0 {
+			j.Eng.Schedule(sim.Time(do.HealAfter), func() {
+				if !j.finished {
+					j.tier.RestoreOrdinal(ord)
+				}
+			})
+		}
+	case faults.HotPartition:
+		if j.tier == nil {
+			return
+		}
+		part := do.TaskIdx
+		primary := j.tier.PrimaryNode(part)
+		j.tier.MarkHotPartition(part, true)
+		j.Cluster.SlowDisks(primary, do.Factor)
+		if do.HealAfter > 0 {
+			j.Eng.Schedule(sim.Time(do.HealAfter), func() {
+				if j.finished {
+					return
+				}
+				j.Cluster.RestoreDisks(primary)
+				j.tier.MarkHotPartition(part, false)
 			})
 		}
 	}

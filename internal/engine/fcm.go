@@ -90,6 +90,14 @@ func (f *fcmExec) onMapAvailable(int) {
 // host-indexed state, so there is nothing to update.
 func (f *fcmExec) onReachabilityChanged(topology.NodeID, bool) {}
 
+// onTierChanged re-checks pipeline start: a tier repair completing may
+// have just made the last missing segment servable.
+func (f *fcmExec) onTierChanged() {
+	if !f.dead && !f.started {
+		f.maybeBegin()
+	}
+}
+
 func (f *fcmExec) start() {
 	f.after(f.job.Spec.Conf.TaskLaunchOverhead, f.begin)
 }
@@ -175,7 +183,15 @@ func (f *fcmExec) maybeBegin() {
 	f.started = true
 	inputs := make([]core.PartitionInput, 0, len(am.maps))
 	for m, mof := range am.mofs {
-		inputs = append(inputs, core.PartitionInput{MapID: m, Node: mof.node, Segment: mof.parts[f.t.idx]})
+		node := mof.node
+		if tier := f.job.tier; tier != nil {
+			// Remote shuffle: supply comes from the tier replica serving
+			// this partition (mofAvailable above guaranteed one exists).
+			if h, ok := tier.ServeNode(m, f.t.idx); ok {
+				node = h
+			}
+		}
+		inputs = append(inputs, core.PartitionInput{MapID: m, Node: node, Segment: mof.parts[f.t.idx]})
 	}
 	f.sources = core.PlanFCM(f.job.Spec.Workload.Cmp(), inputs)
 	total := core.TotalLogicalBytes(f.sources)

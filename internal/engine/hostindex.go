@@ -108,6 +108,13 @@ func (r *reduceExec) serveHost(m int) (topology.NodeID, bool) {
 	if mof == nil {
 		return topology.Invalid, false // map not finished yet
 	}
+	if tier := r.job.tier; tier != nil {
+		// Remote shuffle: the segment is fetched from whichever tier
+		// replica currently serves this partition. No replica servable
+		// means the tier is repairing — the map has no host until then
+		// (onTierChanged reindexes the moment one appears).
+		return tier.ServeNode(m, r.t.idx)
+	}
 	if h, ok := am.mofHost(m); ok {
 		return h, true
 	}
@@ -150,6 +157,9 @@ func (r *reduceExec) markCopied(m int) {
 	}
 	r.copied[m] = true
 	r.copiedCount++
+	if tier := r.job.tier; tier != nil {
+		tier.MarkDelivered(m, r.t.idx)
+	}
 	if r.hostIdx != nil {
 		r.hostIdx.pending.clear(m)
 		r.reindexMap(m)
@@ -192,6 +202,22 @@ func (r *reduceExec) onReachabilityChanged(_ topology.NodeID, reachable bool) {
 	if reachable {
 		r.job.Eng.Schedule(0, r.fillFetchers)
 	}
+}
+
+// onTierChanged re-resolves pending maps' serving tier nodes after any
+// tier state change (replica gained/lost, tier node crash/heal, hot
+// flag). Like a heal, a newly servable replica has no other event that
+// would restart an idle shuffle, so the fetchers are woken through a
+// zero-delay event.
+func (r *reduceExec) onTierChanged() {
+	if r.dead || r.stage != core.StageShuffle || r.hostIdx == nil {
+		return
+	}
+	r.hostIdx.pending.each(func(m int) bool {
+		r.reindexMap(m)
+		return true
+	})
+	r.job.Eng.Schedule(0, r.fillFetchers)
 }
 
 // checkHostIndex verifies the index against a full scan (testing builds

@@ -105,6 +105,25 @@ func (m *mapExec) afterWrite(outBytes int64) {
 	}
 	parts := m.buildPartitions(outBytes)
 	m.job.result.Counters.Add("map.output.bytes", outBytes)
+	if m.job.tier != nil {
+		// Remote shuffle: push every partition segment to the tier. The
+		// map commits only once each partition is stored on at least one
+		// tier replica — until then a map-node loss costs only this
+		// attempt, never a delivered MOF.
+		partBytes := make([]int64, len(parts))
+		for r, s := range parts {
+			partBytes[r] = s.LogicalBytes
+		}
+		m.job.tier.Push(m.t.idx, m.a.node, partBytes, func() {
+			if m.dead || !m.job.Cluster.NodeReachable(m.a.node) {
+				// Commit report lost: the progress timeout reclaims the
+				// attempt, exactly like the stranded-write path below.
+				return
+			}
+			m.job.am.mapFinished(m.t, m.a, parts)
+		})
+		return
+	}
 	if m.job.Spec.ISS.Enabled {
 		// ISS: replicate the MOF to HDFS before committing the map —
 		// the availability/overhead trade the paper's related work makes.

@@ -14,11 +14,13 @@ import (
 )
 
 // mapAvailListener is notified when a map's output becomes available
-// (first completion or regeneration) and when a node's reachability
-// flips — the two events that move a pending map between serving hosts.
+// (first completion or regeneration), when a node's reachability flips,
+// and — under remote shuffle — when the tier's serving state changes:
+// the three events that move a pending map between serving hosts.
 type mapAvailListener interface {
 	onMapAvailable(mapIdx int)
 	onReachabilityChanged(id topology.NodeID, reachable bool)
+	onTierChanged()
 }
 
 // reduceExec runs one regular ReduceTask attempt through the three
@@ -714,12 +716,22 @@ func (r *reduceExec) selfFail(reason string) {
 	r.job.am.attemptFailed(r.a, reason)
 }
 
-// unavailablePending lists pending maps whose MOFs are unreachable.
+// unavailablePending lists pending maps whose MOFs are unreachable (or,
+// under remote shuffle, not servable from any tier replica).
 func (r *reduceExec) unavailablePending() []int {
 	am := r.job.am
+	tier := r.job.tier
 	var out []int
 	r.hostIdx.pending.each(func(m int) bool {
-		if mof := am.mofs[m]; mof != nil && !r.job.Cluster.NodeReachable(mof.node) {
+		mof := am.mofs[m]
+		if mof == nil {
+			return true
+		}
+		if tier != nil {
+			if !tier.ServableFor(m, r.t.idx) {
+				out = append(out, m)
+			}
+		} else if !r.job.Cluster.NodeReachable(mof.node) {
 			out = append(out, m)
 		}
 		return true
@@ -733,10 +745,21 @@ func (r *reduceExec) unavailablePending() []int {
 // advisory active there is nothing to strike about, so no self-kill.
 func (r *reduceExec) anyStrikeablePending() bool {
 	am := r.job.am
+	tier := r.job.tier
 	found := false
 	r.hostIdx.pending.each(func(m int) bool {
 		mof := am.mofs[m]
 		if mof == nil || am.shouldWait(m) {
+			return true
+		}
+		if tier != nil {
+			// Remote shuffle: strikes target the tier, not map nodes. A
+			// segment with no servable replica and no repair under way
+			// (shouldWait covered repairs above) is strikeable.
+			if !tier.ServableFor(m, r.t.idx) {
+				found = true
+				return false
+			}
 			return true
 		}
 		if !r.job.Cluster.NodeReachable(mof.node) {

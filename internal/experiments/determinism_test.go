@@ -6,9 +6,10 @@ import "testing"
 // byte-identically — the repo's reproducibility contract. fig3 (temporal
 // amplification) and fig4 (spatial amplification) together cover the
 // fetch-session, host-index and timer paths the event-engine rework
-// touched; the CI race job runs this test under -race as well.
+// touched; the CI race job runs this test under -race as well. shuffle
+// exercises the remote-tier push/serve/repair paths the same way.
 func TestExperimentsDeterministicAcrossRuns(t *testing.T) {
-	for _, id := range []string{"fig3", "fig4"} {
+	for _, id := range []string{"fig3", "fig4", "shuffle"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			t.Parallel()

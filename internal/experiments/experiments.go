@@ -178,6 +178,7 @@ var Registry = []Entry{
 	{"fig15", "Benefits of enabling both ALG and SFM", Fig15},
 	{"ablations", "ALM design-choice ablations (extension beyond the paper)", Ablations},
 	{"related", "ALM vs heavyweight checkpointing and ISS (extension beyond the paper)", RelatedWork},
+	{"shuffle", "Remote-shuffle tier amplification showdown: {stock,ALM}x{local,remote} (extension beyond the paper)", Shuffle},
 }
 
 // index maps experiment IDs to Registry positions; built once so every

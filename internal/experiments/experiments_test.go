@@ -28,7 +28,7 @@ func run(t *testing.T, id string) *Table {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig1", "fig2", "fig3", "fig4", "fig8", "fig9", "fig10",
-		"table2", "fig11", "fig12", "fig13", "fig14", "fig15", "ablations", "related"}
+		"table2", "fig11", "fig12", "fig13", "fig14", "fig15", "ablations", "related", "shuffle"}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
 			t.Errorf("experiment %s missing from registry", id)
@@ -290,6 +290,53 @@ func TestRelatedWorkShape(t *testing.T) {
 	if almFail >= yarnFail {
 		t.Errorf("ALM under failure (%.1fs) should beat stock YARN (%.1fs)", almFail, yarnFail)
 	}
+}
+
+// TestShuffleShowdown asserts the PR's acceptance shape: under the
+// map-node-crash scenario both remote-shuffle configs amplify strictly
+// less than stock, and ALM+remote is best (or tied) overall.
+func TestShuffleShowdown(t *testing.T) {
+	// The crash contrast needs MOFs worth recomputing; 1/16 scale jobs
+	// finish their maps too fast, so run at 1/4 scale (25 GB Terasort).
+	f, _ := ByID("shuffle")
+	tbl, err := f(Options{Scale: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	amp := map[string]float64{}
+	for _, cfg := range []string{"stock", "alm", "remote-shuffle", "alm+remote-shuffle"} {
+		v, ok := tbl.Value(cfg, "crash_amp")
+		if !ok {
+			t.Fatalf("missing row %s", cfg)
+		}
+		amp[cfg] = v
+	}
+	if amp["remote-shuffle"] >= amp["stock"] {
+		t.Errorf("remote-shuffle crash amplification %.3f not below stock %.3f",
+			amp["remote-shuffle"], amp["stock"])
+	}
+	if amp["alm+remote-shuffle"] >= amp["stock"] {
+		t.Errorf("alm+remote crash amplification %.3f not below stock %.3f",
+			amp["alm+remote-shuffle"], amp["stock"])
+	}
+	for cfg, v := range amp {
+		if amp["alm+remote-shuffle"] > v+1e-9 {
+			t.Errorf("alm+remote (%.3f) worse than %s (%.3f); it must be best or tied",
+				amp["alm+remote-shuffle"], cfg, v)
+		}
+	}
+	for _, cfg := range []string{"remote-shuffle", "alm+remote-shuffle"} {
+		if net, _ := tbl.Value(cfg, "tier_net_gb"); net <= 0 {
+			t.Errorf("%s: tier network bytes not accounted", cfg)
+		}
+	}
+	for _, cfg := range []string{"stock", "alm"} {
+		if net, _ := tbl.Value(cfg, "tier_net_gb"); net != 0 {
+			t.Errorf("%s: local shuffle shows tier traffic (%.2f GB)", cfg, net)
+		}
+	}
+	t.Logf("crash amplification: stock=%.3f alm=%.3f remote=%.3f alm+remote=%.3f",
+		amp["stock"], amp["alm"], amp["remote-shuffle"], amp["alm+remote-shuffle"])
 }
 
 func TestTableRender(t *testing.T) {

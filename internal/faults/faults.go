@@ -98,6 +98,18 @@ const (
 	// CrashRack crashes every node of rack Action.Rack at once — a
 	// correlated failure (PDU or top-of-rack switch loss).
 	CrashRack
+	// CrashTierNode kills the remote-shuffle service on tier ordinal
+	// Action.Node (not a topology node index): its stored segments are
+	// lost and must be re-replicated or re-pushed. A positive HealAfter
+	// restarts the service empty after that long. Only meaningful for
+	// runs with Shuffle.Remote; the engine rejects it otherwise.
+	CrashTierNode
+	// HotPartition flags reduce partition Action.TaskIdx as a shuffle-tier
+	// hot spot: fetches shift off its primary replica and the primary's
+	// disks degrade to Factor of their bandwidth (skewed keys
+	// concentrating load on one tier node). A positive HealAfter clears
+	// the skew. Remote-shuffle runs only.
+	HotPartition
 )
 
 // NodeSelector picks the node an action targets.
@@ -294,6 +306,20 @@ func (inj *Injection) validate() error {
 		if a.Rack < 0 {
 			return fmt.Errorf("negative rack index %d", a.Rack)
 		}
+	case CrashTierNode:
+		if a.Selector != NodeExplicit {
+			return fmt.Errorf("CrashTierNode requires an explicit tier ordinal")
+		}
+		if a.Node < 0 {
+			return fmt.Errorf("negative tier ordinal %d", a.Node)
+		}
+	case HotPartition:
+		if a.TaskIdx < 0 {
+			return fmt.Errorf("negative hot partition index %d", a.TaskIdx)
+		}
+		if a.Factor <= 0 || a.Factor > 1 {
+			return fmt.Errorf("HotPartition factor %v outside (0,1]", a.Factor)
+		}
 	default:
 		return fmt.Errorf("unknown action kind %d", a.Kind)
 	}
@@ -338,6 +364,10 @@ func kindName(k ActionKind) string {
 		return "DegradeNIC"
 	case CrashRack:
 		return "CrashRack"
+	case CrashTierNode:
+		return "CrashTierNode"
+	case HotPartition:
+		return "HotPartition"
 	}
 	return fmt.Sprintf("ActionKind(%d)", int(k))
 }
@@ -428,5 +458,38 @@ func CrashRackAtTime(t time.Duration, rack int) *Plan {
 	return p.Add(
 		Trigger{Kind: AtTime, Time: t},
 		Action{Kind: CrashRack, Rack: rack},
+	)
+}
+
+// CrashMOFNodeAtJobProgress crashes (process death, local data lost) a
+// node that hosts MOFs but no reducer when overall job progress reaches
+// the fraction — the harsher sibling of StopMOFNodeAtJobProgress, used
+// by the remote-shuffle showdown's map-node-crash matrix.
+func CrashMOFNodeAtJobProgress(frac float64) *Plan {
+	p := &Plan{}
+	return p.Add(
+		Trigger{Kind: AtJobProgress, Fraction: frac},
+		Action{Kind: CrashNode, Selector: NodeWithMOFsOnly},
+	)
+}
+
+// CrashTierNodeAtTime kills the shuffle service on tier ordinal ord at
+// time t, restarting it empty after healAfter (zero: stays down).
+func CrashTierNodeAtTime(t time.Duration, ord int, healAfter time.Duration) *Plan {
+	p := &Plan{}
+	return p.Add(
+		Trigger{Kind: AtTime, Time: t},
+		Action{Kind: CrashTierNode, Selector: NodeExplicit, Node: ord, HealAfter: healAfter},
+	)
+}
+
+// HotPartitionAtTime marks reduce partition part as a shuffle-tier hot
+// spot at time t, degrading the primary replica's disks to factor of
+// their bandwidth until healAfter elapses (zero: stays hot).
+func HotPartitionAtTime(t time.Duration, part int, factor float64, healAfter time.Duration) *Plan {
+	p := &Plan{}
+	return p.Add(
+		Trigger{Kind: AtTime, Time: t},
+		Action{Kind: HotPartition, TaskIdx: part, Factor: factor, HealAfter: healAfter},
 	)
 }

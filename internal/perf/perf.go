@@ -95,6 +95,12 @@ func Benchmarks() []Bench {
 			Func:   func(b *testing.B) { benchExperiment(b, "table2") },
 			Budget: &Budget{AllocsPerOp: 400_000, BytesPerOp: 36_000_000, Tolerance: 0.20},
 		},
+		{
+			Name:   "remote_shuffle_crash",
+			Desc:   "remote shuffle tier under a MOF-node crash: push/commit, tier fetches, repair without map rerun",
+			Func:   benchRemoteShuffleCrash,
+			Budget: &Budget{AllocsPerOp: 87_000, BytesPerOp: 7_200_000, Tolerance: 0.20},
+		},
 	}
 }
 
@@ -164,6 +170,22 @@ func benchFig4HeapLoad(b *testing.B) {
 		Mode:       engine.ModeYARN,
 		Seed:       11,
 	}, func() *faults.Plan { return faults.StopMOFNodeAtJobProgress(0.55) })
+}
+
+// benchRemoteShuffleCrash drives the shuffle-heavy terasort through the
+// remote tier (push, replicate, commit, serve) and crashes the busiest
+// MOF node mid-shuffle, so the tier's fetch-redirect and repair paths —
+// the //alm:hotpath sections of internal/shuffletier — dominate the
+// profile instead of local fetch sessions.
+func benchRemoteShuffleCrash(b *testing.B) {
+	benchJob(b, engine.JobSpec{
+		Workload:   workloads.Terasort(),
+		InputBytes: scaled(100 << 30),
+		NumReduces: 20,
+		Mode:       engine.ModeALM,
+		Seed:       11,
+		Shuffle:    engine.ShuffleOptions{Remote: true},
+	}, func() *faults.Plan { return faults.CrashMOFNodeAtJobProgress(0.55) })
 }
 
 func benchExperiment(b *testing.B, id string) {

@@ -50,11 +50,13 @@ func Classify(s *chaos.Schedule) Class {
 	class := ClassTaskKill
 	for _, inj := range s.Injections {
 		switch inj.Do.Kind {
-		case faults.CrashNode, faults.CrashRack:
+		case faults.CrashNode, faults.CrashRack, faults.CrashTierNode:
+			// A tier-service crash destroys stored shuffle segments; the
+			// tier repairs them, but the schedule is still a crash regime.
 			return ClassCrash
 		case faults.StopNodeNetwork, faults.PartitionNode:
 			class = ClassDark
-		case faults.SlowNode, faults.DegradeNIC, faults.FlakyLink:
+		case faults.SlowNode, faults.DegradeNIC, faults.FlakyLink, faults.HotPartition:
 			if class == ClassTaskKill {
 				class = ClassGray
 			}
@@ -118,7 +120,8 @@ type Result struct {
 	FirstSeed int64
 	Seeds     int
 	Policies  []string
-	Scores    []RunScore // seed-major, policy-minor deterministic order
+	Budget    chaos.Budget // the budget schedules were generated under
+	Scores    []RunScore   // seed-major, policy-minor deterministic order
 	Tables    []ClassTable
 }
 
@@ -171,7 +174,7 @@ func Run(opts Options) (*Result, error) {
 	}
 
 	sh, cs := chaos.CheckShape()
-	res := &Result{FirstSeed: opts.FirstSeed, Seeds: opts.Seeds, Policies: policies}
+	res := &Result{FirstSeed: opts.FirstSeed, Seeds: opts.Seeds, Policies: policies, Budget: opts.Budget}
 	for seed := opts.FirstSeed; seed < opts.FirstSeed+int64(opts.Seeds); seed++ {
 		sched := chaos.Generate(seed, opts.Budget, sh)
 		class := Classify(&sched)
@@ -294,6 +297,156 @@ func buildTables(scores []RunScore, policies []string) []ClassTable {
 		tables = append(tables, t)
 	}
 	return tables
+}
+
+// Standing is one policy's overall regret-weighted score across every
+// fault class. Points reward outcomes (3 per seed won, 1 per other
+// completed run); the score divides points by (1 + mean decision
+// regret), so a policy that wins by burning speculative capacity on
+// counterfactually useless backups ranks below one that wins cleanly.
+type Standing struct {
+	Policy     string
+	Score      float64
+	Points     int
+	Wins       int
+	Completed  int
+	Runs       int
+	MeanRegret float64
+}
+
+// Standings computes the overall regret-weighted standings from the
+// per-seed scores. Ranking is by score (desc), then wins, then policy
+// name — fully deterministic.
+func (r *Result) Standings() []Standing {
+	byPolicy := make(map[string]*Standing, len(r.Policies))
+	for _, p := range r.Policies {
+		byPolicy[p] = &Standing{Policy: p}
+	}
+	decisions := make(map[string]int, len(r.Policies))
+	regret := make(map[string]float64, len(r.Policies))
+
+	bySeed := make(map[int64][]RunScore)
+	var seeds []int64
+	for _, s := range r.Scores {
+		if _, ok := bySeed[s.Seed]; !ok {
+			seeds = append(seeds, s.Seed)
+		}
+		bySeed[s.Seed] = append(bySeed[s.Seed], s)
+	}
+	for _, seed := range seeds {
+		winner := ""
+		var best time.Duration
+		for _, s := range bySeed[seed] {
+			st := byPolicy[s.Policy]
+			st.Runs++
+			decisions[s.Policy] += s.Decisions
+			regret[s.Policy] += s.TotalRegret
+			if s.Completed {
+				st.Completed++
+				st.Points++ // finish point; upgraded below if it won
+				if winner == "" || s.Duration < best {
+					winner, best = s.Policy, s.Duration
+				}
+			}
+		}
+		if winner != "" {
+			byPolicy[winner].Wins++
+			byPolicy[winner].Points += 2 // 1 finish + 2 = 3 for the win
+		}
+	}
+	out := make([]Standing, 0, len(r.Policies))
+	for _, p := range r.Policies {
+		st := *byPolicy[p]
+		if d := decisions[p]; d > 0 {
+			st.MeanRegret = regret[p] / float64(d)
+		}
+		st.Score = float64(st.Points) / (1 + st.MeanRegret)
+		out = append(out, st)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		if a.Wins != b.Wins {
+			return a.Wins > b.Wins
+		}
+		return a.Policy < b.Policy
+	})
+	return out
+}
+
+// FormatStandings renders the regret-weighted standings table,
+// deterministic and golden-locked like Format.
+func (r *Result) FormatStandings() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "standings: seeds %d..%d, regret-weighted (points = 3*win + 1*finish; score = points/(1+mean-regret))\n",
+		r.FirstSeed, r.FirstSeed+int64(r.Seeds)-1)
+	fmt.Fprintf(&b, "  %4s %-10s %8s %6s %4s %9s %11s\n",
+		"rank", "policy", "score", "points", "wins", "completed", "mean-regret")
+	for i, st := range r.Standings() {
+		fmt.Fprintf(&b, "  %4d %-10s %8.3f %6d %4d %6d/%-2d %11.3f\n",
+			i+1, st.Policy, st.Score, st.Points, st.Wins, st.Completed, st.Runs, st.MeanRegret)
+	}
+	return b.String()
+}
+
+// FormatSeedDetail renders the drill-down for one seed: the generated
+// schedule followed by every policy's outcome, fastest first.
+func (r *Result) FormatSeedDetail(seed int64) string {
+	var runs []RunScore
+	for _, s := range r.Scores {
+		if s.Seed == seed {
+			runs = append(runs, s)
+		}
+	}
+	if len(runs) == 0 {
+		return fmt.Sprintf("seed %d not in tournament range %d..%d\n",
+			seed, r.FirstSeed, r.FirstSeed+int64(r.Seeds)-1)
+	}
+	budget := r.Budget
+	if budget.MaxActions == 0 {
+		budget = chaos.DefaultBudget()
+	}
+	sh, _ := chaos.CheckShape()
+	sched := chaos.Generate(seed, budget, sh)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed %d detail (class %s)\n", seed, runs[0].Class)
+	b.WriteString(sched.String())
+	winner := ""
+	var best time.Duration
+	for _, s := range runs {
+		if s.Completed && (winner == "" || s.Duration < best) {
+			winner, best = s.Policy, s.Duration
+		}
+	}
+	sort.SliceStable(runs, func(i, j int) bool {
+		a, c := runs[i], runs[j]
+		if a.Completed != c.Completed {
+			return a.Completed
+		}
+		if a.Duration != c.Duration {
+			return a.Duration < c.Duration
+		}
+		return a.Policy < c.Policy
+	})
+	fmt.Fprintf(&b, "  %-10s %-9s %9s %9s %11s %8s %8s\n",
+		"policy", "result", "duration", "decisions", "regret", "backups", "cap-hits")
+	for _, s := range runs {
+		result := "completed"
+		if !s.Completed {
+			result = "FAILED"
+		}
+		mark := ""
+		if s.Policy == winner {
+			mark = "  <- winner"
+		}
+		fmt.Fprintf(&b, "  %-10s %-9s %8.1fs %9d %11.3f %8d %8d%s\n",
+			s.Policy, result, s.Duration.Seconds(), s.Decisions, s.TotalRegret,
+			s.Backups, s.CapHits, mark)
+	}
+	return b.String()
 }
 
 // Format renders the deterministic league table text.

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"alm/internal/chaos"
@@ -32,6 +33,8 @@ func TestClassifyPrecedence(t *testing.T) {
 		{"dark-beats-gray", sched(faults.SlowNode, faults.StopNodeNetwork), ClassDark},
 		{"gray-beats-taskkill", sched(faults.FailTask, faults.FlakyLink), ClassGray},
 		{"nic-is-gray", sched(faults.DegradeNIC), ClassGray},
+		{"tier-crash-is-crash", sched(faults.SlowNode, faults.CrashTierNode), ClassCrash},
+		{"hot-partition-is-gray", sched(faults.FailTask, faults.HotPartition), ClassGray},
 		{"taskkill-only", sched(faults.FailTask, faults.FailTask), ClassTaskKill},
 		{"empty", sched(), ClassTaskKill},
 	}
@@ -88,6 +91,57 @@ func TestLeagueGolden(t *testing.T) {
 	}
 	if got != string(want) {
 		t.Errorf("league table changed:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestStandingsAndSeedDetailGolden pins the regret-weighted standings
+// and the per-seed drill-down for the same smoke range as the league
+// table. Regenerate all three goldens with -update-league.
+func TestStandingsAndSeedDetailGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tournament sweep is not short")
+	}
+	res, err := Run(Options{FirstSeed: 28, Seeds: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	standings := res.Standings()
+	if len(standings) != len(res.Policies) {
+		t.Fatalf("standings cover %d policies, want %d", len(standings), len(res.Policies))
+	}
+	var points int
+	for i, st := range standings {
+		points += st.Points
+		if i > 0 && st.Score > standings[i-1].Score {
+			t.Fatalf("standings not sorted by score: %v", standings)
+		}
+	}
+	if points == 0 {
+		t.Fatal("no standings points awarded across the smoke range")
+	}
+	if got := res.FormatSeedDetail(9999); !strings.Contains(got, "not in tournament range") {
+		t.Fatalf("out-of-range seed detail = %q", got)
+	}
+
+	for _, g := range []struct{ name, got string }{
+		{"standings-28-6.golden", res.FormatStandings()},
+		{"seed-detail-28.golden", res.FormatSeedDetail(28)},
+	} {
+		path := filepath.Join("testdata", g.name)
+		if *updateLeague {
+			if err := os.WriteFile(path, []byte(g.got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing golden (run with -update-league): %v", err)
+		}
+		if g.got != string(want) {
+			t.Errorf("%s changed:\n got:\n%s\nwant:\n%s", g.name, g.got, want)
+		}
 	}
 }
 

@@ -39,6 +39,14 @@ const (
 	// KindPolicyDecision is a recovery-policy decision trace (emitted only
 	// when JobSpec.DecisionTrace is on; see engine/policy.go).
 	KindPolicyDecision Kind = "policy-decision"
+	// Remote-shuffle-tier events (internal/shuffletier; emitted only in
+	// Shuffle.Remote runs so legacy traces stay byte-identical).
+	KindTierCommitted    Kind = "tier-committed"
+	KindTierNodeLost     Kind = "tier-node-lost"
+	KindTierReplicated   Kind = "tier-replicated"
+	KindTierRepush       Kind = "tier-repush"
+	KindTierBackpressure Kind = "tier-backpressure"
+	KindTierHotPartition Kind = "tier-hot-partition"
 )
 
 // Event is one discrete occurrence.
