@@ -4,7 +4,7 @@
 GO ?= go
 ALMVET := bin/almvet
 
-.PHONY: all build test race vet fix-check lint-test bench bench-alloc bench-compare bench-smoke chaos chaos-smoke shuffle-smoke tournament-smoke metrics-smoke ci clean
+.PHONY: all build test race vet fix-check lint-test bench bench-alloc bench-compare bench-smoke bench-sweep sweep-race chaos chaos-smoke shuffle-smoke tournament-smoke metrics-smoke ci clean
 
 all: build
 
@@ -58,6 +58,22 @@ bench:
 # noise.
 bench-alloc:
 	$(GO) run ./cmd/almbench -perf -perf-out '' -check-budgets
+
+# bench-sweep times the full 1x-scale paper sweep (every experiment) at
+# 1 and 8 sweep workers and folds the wall-clock results into
+# BENCH_engine.json (entries paper_sweep_1x_workers{1,8}), leaving the
+# rest of the baseline untouched. Slow — two full paper-scale sweeps —
+# so it is a manual target, not part of `make ci`. Compare runs with
+# `make bench-compare OLD=old.json` like any other baseline change.
+bench-sweep:
+	$(GO) run ./cmd/almbench -perf-sweep -perf-out BENCH_engine.json
+
+# sweep-race runs the sweep scheduler's own suite under the race
+# detector: ordered delivery, worker parity, cancellation and panic
+# isolation are all concurrency claims, so they get their own racing
+# job in CI.
+sweep-race:
+	$(GO) test -race -count=1 ./internal/sweep
 
 # bench-compare diffs a saved baseline against the checked-in
 # BENCH_engine.json: per-benchmark ns/op, B/op and allocs/op deltas.
@@ -113,7 +129,7 @@ metrics-smoke:
 	$(GO) run ./cmd/almrun -workload terasort -size-gb 12.5 -reduces 20 -mode yarn -fail mof-node -at 0.55 -metrics bin/metrics-b.prom
 	cmp bin/metrics-a.prom bin/metrics-b.prom
 
-ci: build test race vet fix-check bench-smoke bench-alloc chaos-smoke shuffle-smoke tournament-smoke metrics-smoke
+ci: build test race vet fix-check bench-smoke bench-alloc sweep-race chaos-smoke shuffle-smoke tournament-smoke metrics-smoke
 
 clean:
 	rm -rf bin

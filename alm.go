@@ -162,15 +162,6 @@ func Run(spec JobSpec, cs ClusterSpec, opts ...RunOption) (Result, error) {
 	return engine.Run(spec, cs, all...)
 }
 
-// RunWithPlan executes one job with a positional fault plan.
-//
-// Deprecated: use Run(spec, cs, WithFaults(plan)) — RunWithPlan keeps the
-// pre-options behaviour (trace attached) for one release and will be
-// removed.
-func RunWithPlan(spec JobSpec, cs ClusterSpec, plan *FaultPlan) (Result, error) {
-	return Run(spec, cs, WithFaults(plan), WithTrace())
-}
-
 // WithFaults injects the given fault plan into the run.
 func WithFaults(plan *FaultPlan) RunOption { return engine.WithPlan(plan) }
 

@@ -25,16 +25,21 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"alm"
 	"alm/internal/perf"
+	"alm/internal/sweep"
 )
 
 func main() {
@@ -43,9 +48,10 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = paper sizes)")
 		seed     = flag.Int64("seed", 11, "simulation seed")
 		listFlag = flag.Bool("list", false, "list experiment IDs and exit")
-		workers  = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+		workers  = flag.Int("workers", runtime.NumCPU(), "parallel sweep engines (tables are byte-identical at any worker count)")
 		format   = flag.String("format", "text", "output format: text | json | csv")
 		perfFlag = flag.Bool("perf", false, "run the engine performance harness instead of experiments")
+		perfSwp  = flag.Bool("perf-sweep", false, "time the full paper sweep at 1 and 8 workers and fold the wall-clock results into -perf-out")
 		perfOut  = flag.String("perf-out", "BENCH_engine.json", "output path for -perf results ('-' for stdout, '' to skip writing)")
 		budgets  = flag.Bool("check-budgets", false, "with -perf: verify results against their allocation budgets and exit 1 on any breach")
 		compare  = flag.String("compare", "", "old BENCH_engine.json to diff against; the new file is the first positional argument (default: the -perf-out path)")
@@ -106,6 +112,14 @@ func main() {
 		return
 	}
 
+	if *perfSwp {
+		if err := runPerfSweep(*scale, *seed, *perfOut); err != nil {
+			fmt.Fprintf(os.Stderr, "perf-sweep: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *listFlag {
 		for _, id := range alm.ExperimentIDs() {
 			fmt.Printf("%-10s %s\n", id, alm.ExperimentDescription(id))
@@ -116,10 +130,17 @@ func main() {
 	ids := alm.ExperimentIDs()
 	if *expFlag != "" {
 		ids = strings.Split(*expFlag, ",")
+		for i := range ids {
+			ids[i] = strings.TrimSpace(ids[i])
+		}
 	}
 	opt := alm.ExperimentOptions{Scale: *scale, Seed: *seed, Workers: *workers}
 
-	failed := 0
+	// sinkFailed counts metrics-file write errors; the sink runs on
+	// whichever worker finishes the owning experiment, so the counter is
+	// atomic. Each case key maps to a distinct file, so concurrent
+	// writes never collide.
+	var sinkFailed atomic.Int32
 	if *metrDir != "" {
 		if err := os.MkdirAll(*metrDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "metrics-dir: %v\n", err)
@@ -133,38 +154,111 @@ func main() {
 			path := filepath.Join(*metrDir, name)
 			if err := os.WriteFile(path, snap.Prometheus(), 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "metrics %s: %v\n", caseKey, err)
-				failed++
+				sinkFailed.Add(1)
 			}
 		}
 	}
-	for _, id := range ids {
-		id = strings.TrimSpace(id)
+
+	// The full sweep fans experiments over the shared scheduler: each
+	// unit renders its table off to the side, delivery prints in ID
+	// order, so stdout matches the historical serial loop at any worker
+	// count.
+	failed := 0
+	outs := make([]struct {
+		text string
+		err  error
+	}, len(ids))
+	sweep.Do(context.Background(), len(ids), *workers, func(i int) error {
+		id := ids[i]
 		start := time.Now() //almvet:allow detnow -- wall-clock runtime of the experiment binary itself, not simulated time
 		tbl, err := alm.RunExperiment(id, opt)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
-			failed++
-			continue
+			outs[i].err = fmt.Errorf("experiment %s failed: %v", id, err)
+			return nil
 		}
 		switch *format {
 		case "json":
 			data, err := json.MarshalIndent(tbl, "", "  ")
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "experiment %s: %v\n", id, err)
-				failed++
-				continue
+				outs[i].err = fmt.Errorf("experiment %s: %v", id, err)
+				return nil
 			}
-			fmt.Println(string(data))
+			outs[i].text = string(data) + "\n"
 		case "csv":
-			fmt.Printf("# %s: %s\n%s\n", tbl.ID, tbl.Title, tbl.RenderCSV())
+			outs[i].text = fmt.Sprintf("# %s: %s\n%s\n", tbl.ID, tbl.Title, tbl.RenderCSV())
 		default:
-			fmt.Print(tbl.Render())
-			fmt.Printf("(%s computed in %v wall time)\n\n", id, time.Since(start).Round(time.Millisecond))
+			outs[i].text = tbl.Render() +
+				fmt.Sprintf("(%s computed in %v wall time)\n\n", id, time.Since(start).Round(time.Millisecond))
 		}
-	}
-	if failed > 0 {
+		return nil
+	}, func(i int, err error) {
+		if err != nil && outs[i].err == nil {
+			outs[i].err = err
+		}
+		if outs[i].err != nil {
+			fmt.Fprintln(os.Stderr, outs[i].err)
+			failed++
+			return
+		}
+		fmt.Print(outs[i].text)
+	})
+	if failed+int(sinkFailed.Load()) > 0 {
 		os.Exit(1)
 	}
+}
+
+// runPerfSweep times the full paper sweep (every experiment ID) at 1 and
+// 8 workers and folds the wall-clock results into the BENCH_engine.json
+// at outPath, keeping every other benchmark entry intact. The sweep
+// output is byte-identical at both worker counts, so the two entries
+// measure scheduling overhead and parallel speedup only; the speedup
+// recorded is bounded by the machine's core count.
+func runPerfSweep(scale float64, seed int64, outPath string) error {
+	if outPath == "" || outPath == "-" {
+		return fmt.Errorf("needs a writable -perf-out path")
+	}
+	ids := alm.ExperimentIDs()
+	scaleTag := strconv.FormatFloat(scale, 'g', -1, 64)
+	var results []perf.Result
+	for _, w := range []int{1, 8} {
+		opt := alm.ExperimentOptions{Scale: scale, Seed: seed, Workers: w}
+		start := time.Now() //almvet:allow detnow -- wall-clock measurement is the whole point here
+		for _, id := range ids {
+			expStart := time.Now() //almvet:allow detnow -- progress reporting
+			if _, err := alm.RunExperiment(id, opt); err != nil {
+				return fmt.Errorf("experiment %s at %d workers: %v", id, w, err)
+			}
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			fmt.Fprintf(os.Stderr, "  %-10s %8v  heap %5.1f GiB (sys %5.1f GiB)\n",
+				id, time.Since(expStart).Round(time.Millisecond),
+				float64(ms.HeapAlloc)/(1<<30), float64(ms.HeapSys)/(1<<30))
+		}
+		elapsed := time.Since(start)
+		name := fmt.Sprintf("paper_sweep_%sx_workers%d", scaleTag, w)
+		fmt.Fprintf(os.Stderr, "%-32s %14.0f ns/op  (%v wall)\n", name, float64(elapsed.Nanoseconds()), elapsed.Round(time.Millisecond))
+		results = append(results, perf.Result{
+			Name:       name,
+			Desc:       fmt.Sprintf("full paper sweep (%d experiments) at %sx scale, %d sweep workers, wall clock", len(ids), scaleTag, w),
+			Iterations: 1,
+			NsPerOp:    float64(elapsed.Nanoseconds()),
+		})
+	}
+	base, err := readBenchFile(outPath)
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	merged := perf.MergeResults(base, results)
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := perf.WriteJSON(f, merged); err != nil {
+		return err
+	}
+	fmt.Printf("folded %d sweep results into %s (%d total)\n", len(results), outPath, len(merged))
+	return nil
 }
 
 // readBenchFile loads one BENCH_engine.json document's results.

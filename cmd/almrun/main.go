@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"alm"
@@ -51,6 +52,7 @@ func main() {
 		seedDet  = flag.Int64("seed-detail", -1, "with -tournament: print the drill-down (schedule + per-policy outcomes) for this seed instead of the league table")
 		policies = flag.String("policies", "", "with -tournament: comma-separated policy names (default: every registered policy)")
 		seeds    = flag.Int("seeds", 50, "with -chaos/-tournament: how many consecutive seeds to sweep (starting at -seed)")
+		workers  = flag.Int("workers", runtime.NumCPU(), "with -chaos/-tournament: parallel sweep engines (output is byte-identical at any worker count)")
 		verbose  = flag.Bool("v", false, "with -chaos/-tournament: print each generated schedule")
 		metricsP = flag.String("metrics", "", "write the run's metrics snapshot to this path (Prometheus text; .json suffix switches to JSON)")
 	)
@@ -65,10 +67,10 @@ func main() {
 		fatal(fmt.Errorf("unknown shuffle path %q", *shuffle))
 	}
 	if *chaosRun {
-		os.Exit(runChaos(*seed, *seeds, remote, *verbose, *metricsP))
+		os.Exit(runChaos(*seed, *seeds, *workers, remote, *verbose, *metricsP))
 	}
 	if *tourney {
-		os.Exit(runTournament(*seed, *seeds, *policies, *verbose, *standing, *seedDet))
+		os.Exit(runTournament(*seed, *seeds, *workers, *policies, *verbose, *standing, *seedDet))
 	}
 
 	w, err := alm.WorkloadByName(*workload)
@@ -172,9 +174,10 @@ func main() {
 
 // runChaos sweeps n consecutive chaos seeds under all four engine modes
 // (or, with remote, the {yarn,alm} x remote-shuffle matrix with tier
-// faults in the draw) and reports invariant violations with a minimal
-// reproducer command line each. Returns the process exit code.
-func runChaos(first int64, n int, remote, verbose bool, metricsPath string) int {
+// faults in the draw) across workers parallel engines, and reports
+// invariant violations with a minimal reproducer command line each.
+// Returns the process exit code.
+func runChaos(first int64, n, workers int, remote, verbose bool, metricsPath string) int {
 	if n < 1 {
 		n = 1
 	}
@@ -201,7 +204,7 @@ func runChaos(first int64, n int, remote, verbose bool, metricsPath string) int 
 	}
 	checked := 0
 	reg := metrics.NewRegistry()
-	all := sweep(first, n, budget, reg, func(seed int64, bad []chaos.Violation) {
+	all := sweep(first, n, budget, workers, reg, func(seed int64, bad []chaos.Violation) {
 		checked++
 		status := "ok"
 		if len(bad) > 0 {
@@ -232,8 +235,8 @@ func runChaos(first int64, n int, remote, verbose bool, metricsPath string) int 
 // tournament-smoke` diffs it against a checked-in golden), the
 // regret-weighted standings (-standings), or one seed's drill-down
 // (-seed-detail). Returns the process exit code.
-func runTournament(first int64, n int, policiesCSV string, verbose, standings bool, seedDetail int64) int {
-	opts := tournament.Options{FirstSeed: first, Seeds: n}
+func runTournament(first int64, n, workers int, policiesCSV string, verbose, standings bool, seedDetail int64) int {
+	opts := tournament.Options{FirstSeed: first, Seeds: n, Workers: workers}
 	if policiesCSV != "" {
 		for _, p := range strings.Split(policiesCSV, ",") {
 			if p = strings.TrimSpace(p); p != "" {

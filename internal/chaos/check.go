@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -8,6 +9,7 @@ import (
 	"alm/internal/faults"
 	"alm/internal/metrics"
 	"alm/internal/mr"
+	"alm/internal/sweep"
 	"alm/internal/trace"
 	"alm/internal/workloads"
 )
@@ -127,17 +129,25 @@ func sameOutput(a, b []mr.Record) bool {
 // accumulates sweep metrics (runs per mode, violations per invariant).
 func CheckSeed(seed int64, budget Budget, reg *metrics.Registry) []Violation {
 	engine.EnableInvariantChecks()
+	vs := checkSeed(seed, budget)
+	applySeedMetrics(reg, Modes, false, vs)
+	return vs
+}
+
+// checkSeed is CheckSeed's pure core: no registry writes, no global
+// toggles — safe to fan out across sweep workers. Metrics are derived
+// from its return value afterwards (applySeedMetrics), in seed order,
+// so a parallel sweep's registry snapshot is byte-identical to serial.
+func checkSeed(seed int64, budget Budget) []Violation {
 	sh, cs := CheckShape()
 	sched := Generate(seed, budget, sh)
 	var vs []Violation
 	add := func(mode engine.Mode, invariant, detail string) {
-		reg.Counter("alm_chaos_violations_total", "invariant", invariant).Inc()
 		vs = append(vs, Violation{Seed: seed, Mode: mode, Invariant: invariant, Detail: detail})
 	}
 
 	for _, mode := range Modes {
 		spec := specFor(seed, mode, sh)
-		reg.Counter("alm_chaos_runs_total", "mode", mode.String()).Add(3)
 
 		base, _, baseCons, err := runOne(spec, cs, nil)
 		if err != nil {
@@ -218,19 +228,24 @@ func remoteSpecFor(seed int64, mode engine.Mode, sh Shape) engine.JobSpec {
 // recomputation, because delivered MOFs live in the tier.
 func CheckSeedRemote(seed int64, budget Budget, reg *metrics.Registry) []Violation {
 	engine.EnableInvariantChecks()
+	vs := checkSeedRemote(seed, budget)
+	applySeedMetrics(reg, RemoteModes, true, vs)
+	return vs
+}
+
+// checkSeedRemote is CheckSeedRemote's pure core (see checkSeed).
+func checkSeedRemote(seed int64, budget Budget) []Violation {
 	sh, cs := CheckShape()
 	sh.TierNodes = RemoteTierNodes
 	budget.TierFaults = true
 	sched := Generate(seed, budget, sh)
 	var vs []Violation
 	add := func(mode engine.Mode, invariant, detail string) {
-		reg.Counter("alm_chaos_violations_total", "invariant", invariant).Inc()
 		vs = append(vs, Violation{Seed: seed, Mode: mode, Invariant: invariant, Detail: detail, Remote: true})
 	}
 
 	for _, mode := range RemoteModes {
 		spec := remoteSpecFor(seed, mode, sh)
-		reg.Counter("alm_chaos_runs_total", "mode", mode.String()+"+remote").Add(3)
 
 		base, _, baseCons, err := runOne(spec, cs, nil)
 		if err != nil {
@@ -306,32 +321,76 @@ func healFastLimit(conf mr.Config) time.Duration {
 	return conf.NodeExpiry - 3*conf.HeartbeatInterval
 }
 
-// CheckSeeds sweeps n consecutive seeds starting at first, invoking
-// report after each seed (for progress output; may be nil). It returns
-// all violations. reg, when non-nil, accumulates sweep metrics.
-func CheckSeeds(first int64, n int, budget Budget, reg *metrics.Registry, report func(seed int64, bad []Violation)) []Violation {
-	var all []Violation
-	for seed := first; seed < first+int64(n); seed++ {
-		bad := CheckSeed(seed, budget, reg)
-		reg.Counter("alm_chaos_seeds_total").Inc()
-		if report != nil {
-			report(seed, bad)
+// applySeedMetrics replays one seed's sweep counters into reg. Counter
+// finals are sums and snapshots are key-sorted, so applying the
+// increments here — in seed order, on the sweep's delivery goroutine —
+// produces the same registry state as the historical serial loop that
+// interleaved them with the runs. reg may be nil (all handles are
+// nil-safe no-ops).
+func applySeedMetrics(reg *metrics.Registry, modes []engine.Mode, remote bool, bad []Violation) {
+	for _, mode := range modes {
+		name := mode.String()
+		if remote {
+			name += "+remote"
 		}
-		all = append(all, bad...)
+		reg.Counter("alm_chaos_runs_total", "mode", name).Add(3)
 	}
-	return all
+	for _, v := range bad {
+		reg.Counter("alm_chaos_violations_total", "invariant", v.Invariant).Inc()
+	}
+	reg.Counter("alm_chaos_seeds_total").Inc()
+}
+
+// CheckSeeds sweeps n consecutive seeds starting at first across
+// workers parallel engines (<= 0: one per CPU), invoking report after
+// each seed in seed order (for progress output; may be nil). It returns
+// all violations, in seed order. reg, when non-nil, accumulates sweep
+// metrics; its final snapshot does not depend on the worker count.
+func CheckSeeds(first int64, n int, budget Budget, workers int, reg *metrics.Registry, report func(seed int64, bad []Violation)) []Violation {
+	return sweepSeeds(first, n, workers, Modes, false, reg, report, func(seed int64) []Violation {
+		return checkSeed(seed, budget)
+	})
 }
 
 // CheckSeedsRemote is CheckSeeds over the remote-shuffle matrix.
-func CheckSeedsRemote(first int64, n int, budget Budget, reg *metrics.Registry, report func(seed int64, bad []Violation)) []Violation {
-	var all []Violation
-	for seed := first; seed < first+int64(n); seed++ {
-		bad := CheckSeedRemote(seed, budget, reg)
-		reg.Counter("alm_chaos_seeds_total").Inc()
-		if report != nil {
-			report(seed, bad)
+func CheckSeedsRemote(first int64, n int, budget Budget, workers int, reg *metrics.Registry, report func(seed int64, bad []Violation)) []Violation {
+	return sweepSeeds(first, n, workers, RemoteModes, true, reg, report, func(seed int64) []Violation {
+		return checkSeedRemote(seed, budget)
+	})
+}
+
+// sweepSeeds fans the per-seed checks over the shared sweep scheduler.
+// The invariant toggle is flipped once, before any worker spawns, so
+// engine goroutines only ever read it; violations land in per-seed
+// indexed slots and both metrics application and progress reporting
+// happen at ordered delivery time.
+func sweepSeeds(first int64, n, workers int, modes []engine.Mode, remote bool, reg *metrics.Registry, report func(seed int64, bad []Violation), check func(seed int64) []Violation) []Violation {
+	engine.EnableInvariantChecks()
+	if n < 0 {
+		n = 0
+	}
+	per := make([][]Violation, n)
+	sweep.Do(context.Background(), n, workers, func(i int) error {
+		per[i] = check(first + int64(i))
+		return nil
+	}, func(i int, err error) {
+		seed := first + int64(i)
+		if err != nil {
+			// A panic that escaped runOne's recovery (harness bug, not an
+			// engine fault) — surface it as a violation instead of dying.
+			per[i] = append(per[i], Violation{
+				Seed: seed, Mode: modes[0], Invariant: "sweep-harness",
+				Detail: err.Error(), Remote: remote,
+			})
 		}
-		all = append(all, bad...)
+		applySeedMetrics(reg, modes, remote, per[i])
+		if report != nil {
+			report(seed, per[i])
+		}
+	})
+	var all []Violation
+	for _, vs := range per {
+		all = append(all, vs...)
 	}
 	return all
 }

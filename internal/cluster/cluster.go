@@ -32,11 +32,29 @@ type Container struct {
 type Request struct {
 	MemMB     int
 	Preferred []topology.NodeID // locality hints, best effort
-	Priority  int               // higher is served first
-	Grant     func(*Container)
+	// Avoid lists nodes the RM must never grant this request. Unlike
+	// Preferred it is a hard constraint: if only avoided nodes have
+	// capacity the request waits in queue. The AM sets it on the
+	// re-request after a grant bounced off an avoided node (a reduce
+	// restarting away from the node it starved on) — without it, that
+	// bounce (release + re-request inside the same serve pass) repeats
+	// forever when the avoided node is the only one with free memory.
+	Avoid    []topology.NodeID
+	Priority int // higher is served first
+	Grant    func(*Container)
 
 	seq   uint64
 	index int
+}
+
+// avoids reports whether id is on the request's hard-avoid list.
+func (r *Request) avoids(id topology.NodeID) bool {
+	for _, a := range r.Avoid {
+		if a == id {
+			return true
+		}
+	}
+	return false
 }
 
 // requestQueue is a priority queue: higher Priority first, FIFO within a
@@ -99,12 +117,6 @@ type Cluster struct {
 	seq    uint64
 	nextID int
 	rrNext int // round-robin cursor for spreading allocations
-
-	// OnNodeLost is invoked once when the RM declares a node lost (after
-	// NodeExpiry without heartbeats). The MapReduce AppMaster subscribes.
-	// Deprecated in favour of AddNodeLostListener, kept for single-job
-	// call sites.
-	OnNodeLost func(id topology.NodeID)
 
 	lostListeners  []func(topology.NodeID)
 	reachListeners []func(topology.NodeID, bool)
@@ -206,9 +218,6 @@ func (c *Cluster) declareLost(n *nodeState) {
 	}
 	n.containers = make(map[*Container]struct{})
 	n.freeMemMB = c.Topo.Node(n.id).HW.MemoryMB
-	if c.OnNodeLost != nil {
-		c.OnNodeLost(n.id)
-	}
 	for _, fn := range c.lostListeners {
 		fn(n.id)
 	}
@@ -351,18 +360,18 @@ func (c *Cluster) serve() {
 	c.mQueueDepth.Set(float64(c.queue.Len()))
 }
 
-// pickNode chooses a usable node with capacity, honouring preferences,
-// then spreading round-robin.
+// pickNode chooses a usable node with capacity, honouring preferences
+// and hard Avoid constraints, then spreading round-robin.
 func (c *Cluster) pickNode(req *Request) (topology.NodeID, bool) {
 	for _, p := range req.Preferred {
-		if c.NodeUsable(p) && c.nodes[p].freeMemMB >= req.MemMB {
+		if !req.avoids(p) && c.NodeUsable(p) && c.nodes[p].freeMemMB >= req.MemMB {
 			return p, true
 		}
 	}
 	total := len(c.nodes)
 	for i := 0; i < total; i++ {
 		id := topology.NodeID((c.rrNext + i) % total)
-		if c.NodeUsable(id) && c.nodes[id].freeMemMB >= req.MemMB {
+		if !req.avoids(id) && c.NodeUsable(id) && c.nodes[id].freeMemMB >= req.MemMB {
 			c.rrNext = (int(id) + 1) % total
 			return id, true
 		}

@@ -113,7 +113,7 @@ func TestCancelRequest(t *testing.T) {
 func TestNodeExpiryDeclaresLost(t *testing.T) {
 	e, c := rig()
 	var lost []topology.NodeID
-	c.OnNodeLost = func(id topology.NodeID) { lost = append(lost, id) }
+	c.AddNodeLostListener(func(id topology.NodeID) { lost = append(lost, id) })
 	var ct *Container
 	killed := ""
 	c.Allocate(&Request{MemMB: 1024, Preferred: []topology.NodeID{2}, Grant: func(g *Container) {
@@ -145,7 +145,7 @@ func TestNodeExpiryDeclaresLost(t *testing.T) {
 func TestExpiryTiming(t *testing.T) {
 	e, c := rig()
 	var lostAt sim.Time = -1
-	c.OnNodeLost = func(topology.NodeID) { lostAt = e.Now() }
+	c.AddNodeLostListener(func(topology.NodeID) { lostAt = e.Now() })
 	e.Run(5 * time.Second)
 	c.StopNetwork(0)
 	e.Run(60 * time.Second)

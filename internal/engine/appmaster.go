@@ -3,7 +3,6 @@ package engine
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"alm/internal/cluster"
 	"alm/internal/dfs"
@@ -54,6 +53,12 @@ type attempt struct {
 	lastProgress sim.Time
 	exec         executor
 	cancelReq    func()
+	// launchedAt/launched replace the AM's old launchTimes map: a field
+	// read per attempt instead of a pointer-keyed map at thousand-task
+	// scale. launchedAt is zeroed on retirement so AttemptInfo reports
+	// the same zero value the map lookup used to.
+	launchedAt sim.Time
+	launched   bool
 
 	// Reduce results, filled by the executor on success. prefixOutput is
 	// the ALG-flushed prefix this attempt resumed from (already durable
@@ -145,7 +150,8 @@ type appMaster struct {
 	completedMaps   int
 	reducesLaunched bool
 
-	rerunScheduled map[int]bool
+	// rerunScheduled is dense by map index (sized with am.maps).
+	rerunScheduled []bool
 
 	// nodeFailures / lastNodeFailure record attempt-failure history per
 	// node (task faults and node loss alike) — the signal behind
@@ -159,8 +165,8 @@ type appMaster struct {
 	reduceExecs []mapAvailListener
 	fcmRunning  int
 
-	// Straggler-speculation bookkeeping (speculation.go).
-	launchTimes         map[*attempt]sim.Time
+	// Straggler-speculation bookkeeping (speculation.go) lives on the
+	// attempts themselves (launchedAt/launched).
 	speculativeLaunched int
 
 	jobDone bool
@@ -171,8 +177,6 @@ func newAppMaster(j *Job, inputName string) *appMaster {
 		job:             j,
 		conf:            j.Spec.Conf,
 		policy:          buildPolicy(j.Spec),
-		rerunScheduled:  make(map[int]bool),
-		launchTimes:     make(map[*attempt]sim.Time),
 		nodeFailures:    make([]int, j.Cluster.Topo.NumNodes()),
 		lastNodeFailure: make([]sim.Time, j.Cluster.Topo.NumNodes()),
 	}
@@ -184,6 +188,7 @@ func newAppMaster(j *Job, inputName string) *appMaster {
 		am.maps = append(am.maps, &taskState{typ: faults.Map, idx: i, block: b})
 	}
 	am.mofs = make([]*mofEntry, len(am.maps))
+	am.rerunScheduled = make([]bool, len(am.maps))
 	for i := 0; i < j.Spec.NumReduces; i++ {
 		am.reduces = append(am.reduces, &taskState{typ: faults.Reduce, idx: i})
 	}
@@ -258,7 +263,8 @@ func (am *appMaster) startMapAttempt(t *taskState, a *attempt, ct *cluster.Conta
 	a.node = ct.Node
 	a.container = ct
 	a.lastProgress = am.job.Eng.Now()
-	am.launchTimes[a] = am.job.Eng.Now()
+	a.launchedAt = am.job.Eng.Now()
+	a.launched = true
 	ct.OnKill = func(string) { /* handled via onNodeLost */ }
 	am.job.Tracer.Emit(am.job.Eng.Now(), trace.KindTaskLaunched, a.id, a.nodeName(am.job), "map")
 	ex := newMapExec(am.job, t, a)
@@ -288,6 +294,13 @@ func (am *appMaster) launchReduce(t *taskState, opt reduceLaunchOpts) {
 	if opt.fcm {
 		am.fcmRunning++
 	}
+	// The first request deliberately does NOT carry Request.Avoid: the
+	// historical contract is that a grant on the avoided node bounces in
+	// startReduceAttempt (release + re-request), and that bounce's side
+	// effects (round-robin advance, new queue position) are part of the
+	// deterministic placement order that golden traces pin. Only the
+	// re-request threads the avoid through as a hard RM-side constraint,
+	// which is what prevents the bounce from repeating forever.
 	a.cancelReq = am.job.Cluster.Allocate(&cluster.Request{
 		MemMB:     am.conf.ReduceMemoryMB,
 		Preferred: a.prefer,
@@ -305,11 +318,18 @@ func (am *appMaster) startReduceAttempt(t *taskState, a *attempt, ct *cluster.Co
 		return
 	}
 	if a.avoid != topology.Invalid && ct.Node == a.avoid {
-		// The RM handed us the node we must avoid (it may still look
-		// usable); re-request.
+		// The RM handed us the node we must avoid (the first request
+		// carries no Avoid on purpose — see launchReduce). Bounce once:
+		// release and re-request, now with the hard RM-side constraint.
+		// A bare re-request here would livelock the RM's serve loop when
+		// the avoided node is the only one with free memory (grant →
+		// release → re-grant of the same node, synchronously, forever);
+		// with Avoid threaded through, the re-request instead waits in
+		// queue until some other node has capacity.
 		am.job.Cluster.Release(ct)
 		a.cancelReq = am.job.Cluster.Allocate(&cluster.Request{
 			MemMB:    am.conf.ReduceMemoryMB,
+			Avoid:    []topology.NodeID{a.avoid},
 			Priority: 5,
 			Grant:    func(c2 *cluster.Container) { am.startReduceAttempt(t, a, c2) },
 		})
@@ -319,7 +339,8 @@ func (am *appMaster) startReduceAttempt(t *taskState, a *attempt, ct *cluster.Co
 	a.node = ct.Node
 	a.container = ct
 	a.lastProgress = am.job.Eng.Now()
-	am.launchTimes[a] = am.job.Eng.Now()
+	a.launchedAt = am.job.Eng.Now()
+	a.launched = true
 	ct.OnKill = func(string) { /* handled via onNodeLost */ }
 	kind := "reduce"
 	if a.fcm {
@@ -347,7 +368,8 @@ func (am *appMaster) dropAttempt(a *attempt) {
 	}
 	prev := a.state
 	a.state = attemptKilled
-	delete(am.launchTimes, a)
+	a.launched = false
+	a.launchedAt = 0
 	if a.cancelReq != nil {
 		a.cancelReq()
 	}
@@ -379,7 +401,8 @@ func (am *appMaster) mapFinishedISS(t *taskState, a *attempt, parts []*merge.Seg
 	}
 	a.state = attemptSucceeded
 	a.progress = 1
-	delete(am.launchTimes, a)
+	a.launched = false
+	a.launchedAt = 0
 	am.job.Cluster.Release(a.container)
 	am.job.Tracer.Emit(am.job.Eng.Now(), trace.KindTaskFinished, a.id, a.nodeName(am.job), "map")
 	prev := am.mofs[t.idx]
@@ -426,7 +449,8 @@ func (am *appMaster) reduceFinished(t *taskState, a *attempt, out reduceOutcome)
 	}
 	a.state = attemptSucceeded
 	a.progress = 1
-	delete(am.launchTimes, a)
+	a.launched = false
+	a.launchedAt = 0
 	a.output = out.output
 	a.outputLogical = out.outputLogical
 	a.prefixOutput = out.prefix
@@ -466,7 +490,8 @@ func (am *appMaster) attemptFailed(a *attempt, reason string) {
 	t := am.task(a.typ, a.taskIdx)
 	wasRunning := a.state == attemptRunning
 	a.state = attemptFailed
-	delete(am.launchTimes, a)
+	a.launched = false
+	a.launchedAt = 0
 	if a.cancelReq != nil {
 		a.cancelReq()
 	}
@@ -563,7 +588,8 @@ func (am *appMaster) markFailedNoRecover(a *attempt, reason string) {
 	t := am.task(a.typ, a.taskIdx)
 	wasRunning := a.state == attemptRunning
 	a.state = attemptFailed
-	delete(am.launchTimes, a)
+	a.launched = false
+	a.launchedAt = 0
 	if a.cancelReq != nil {
 		a.cancelReq()
 	}
@@ -769,7 +795,11 @@ func (am *appMaster) monitorTick() {
 // nodeWithMOFsButNoReduce picks the node hosting the most MOFs among
 // nodes with no running reduce attempt (Fig. 4 scenario).
 func (am *appMaster) nodeWithMOFsButNoReduce() topology.NodeID {
-	counts := make(map[topology.NodeID]int)
+	// Dense NodeID-indexed tables; the ascending scan with a strict ">"
+	// reproduces the old sorted-keys traversal (lowest node ID wins ties).
+	numNodes := am.job.Cluster.Topo.NumNodes()
+	counts := make([]int, numNodes)
+	excluded := make([]bool, numNodes)
 	for _, m := range am.mofs {
 		if m != nil {
 			counts[m.node]++
@@ -778,20 +808,15 @@ func (am *appMaster) nodeWithMOFsButNoReduce() topology.NodeID {
 	for _, t := range am.reduces {
 		for _, a := range t.attempts {
 			if a.state == attemptRunning {
-				delete(counts, a.node)
+				excluded[a.node] = true
 			}
 		}
 	}
-	nodes := make([]topology.NodeID, 0, len(counts))
-	for n := range counts {
-		nodes = append(nodes, n)
-	}
-	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
 	best := topology.Invalid
 	bestCount := 0
-	for _, n := range nodes {
-		if counts[n] > bestCount {
-			best, bestCount = n, counts[n]
+	for n := 0; n < numNodes; n++ {
+		if !excluded[n] && counts[n] > bestCount {
+			best, bestCount = topology.NodeID(n), counts[n]
 		}
 	}
 	return best

@@ -261,7 +261,10 @@ type localNode struct {
 	// node-local metadata a restored attempt reads alongside the segment
 	// (so an ALG log never claims data that only lived in lost memory).
 	segMaps map[string][]int
-	algLogs map[int][]byte // taskIdx -> latest serialized local log record
+	// algLogs holds the latest serialized local log record per reduce
+	// task, indexed densely by task idx (nil = no log); flat SoA layout
+	// so thousand-node runs pay a slice header per node, not a map.
+	algLogs [][]byte
 }
 
 // Job is one running MapReduce job.
@@ -283,15 +286,16 @@ type Job struct {
 	tier *shuffletier.Tier
 
 	// hdfsFlushed holds the real records of ALG-flushed partial reduce
-	// output, keyed by reduce task index (the data behind the HDFS flush
-	// files, which the DFS models only as bytes).
-	hdfsFlushed map[int]*flushedOutput
+	// output (the data behind the HDFS flush files, which the DFS models
+	// only as bytes). Like hdfsLogs and checkpoints below it is a dense
+	// slice indexed by reduce task idx — the nil entry is "no flush yet".
+	hdfsFlushed []*flushedOutput
 	// hdfsLogs is the latest reduce-stage log record stored on HDFS per
 	// reduce task.
-	hdfsLogs map[int]*core.LogRecord
+	hdfsLogs []*core.LogRecord
 	// checkpoints is the newest committed heavyweight snapshot per reduce
 	// task (checkpoint.go).
-	checkpoints map[int]*ckptImage
+	checkpoints []*ckptImage
 
 	onFinish func()
 }
@@ -322,15 +326,15 @@ func NewJob(spec JobSpec, cl *cluster.Cluster, plan *faults.Plan) (*Job, error) 
 		Cluster:     cl,
 		Tracer:      trace.New(),
 		plan:        plan,
-		hdfsFlushed: make(map[int]*flushedOutput),
-		hdfsLogs:    make(map[int]*core.LogRecord),
-		checkpoints: make(map[int]*ckptImage),
+		hdfsFlushed: make([]*flushedOutput, spec.NumReduces),
+		hdfsLogs:    make([]*core.LogRecord, spec.NumReduces),
+		checkpoints: make([]*ckptImage, spec.NumReduces),
 	}
 	for range cl.Topo.Nodes() {
 		j.locals = append(j.locals, &localNode{
 			segments: make(map[string]*merge.Segment),
 			segMaps:  make(map[string][]int),
-			algLogs:  make(map[int][]byte),
+			algLogs:  make([][]byte, spec.NumReduces),
 		})
 	}
 	j.result.Counters = mr.Counters{}
@@ -441,7 +445,7 @@ func (j *Job) crashWipe(id topology.NodeID) {
 	j.locals[id] = &localNode{
 		segments: make(map[string]*merge.Segment),
 		segMaps:  make(map[string][]int),
-		algLogs:  make(map[int][]byte),
+		algLogs:  make([][]byte, j.Spec.NumReduces),
 	}
 }
 

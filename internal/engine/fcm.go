@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"sort"
 	"strconv"
 
 	"alm/internal/core"
@@ -262,20 +261,19 @@ func (f *fcmExec) armMissingMOFReports() {
 			return
 		}
 		am := f.job.am
-		byHost := make(map[topology.NodeID][]int)
+		// Dense NodeID-indexed buckets; the ascending node scan below
+		// replaces the old sorted-map-keys traversal, same report order.
+		byHost := make([][]int, f.job.Cluster.Topo.NumNodes())
 		for m := range am.maps {
 			if mof := am.mofs[m]; mof != nil && !am.mofAvailable(m) {
 				byHost[mof.node] = append(byHost[mof.node], m)
 			}
 		}
 		if f.job.Cluster.NodeReachable(f.a.node) {
-			hosts := make([]topology.NodeID, 0, len(byHost))
-			for h := range byHost {
-				hosts = append(hosts, h)
-			}
-			sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
-			for _, h := range hosts {
-				am.onFetchFailureReport(f.t.idx, h, byHost[h])
+			for h, maps := range byHost {
+				if len(maps) > 0 {
+					am.onFetchFailureReport(f.t.idx, topology.NodeID(h), maps)
+				}
 			}
 		}
 		f.maybeBegin()

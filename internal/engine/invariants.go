@@ -21,35 +21,31 @@ var invariantsEnabled = false
 func EnableInvariantChecks() { invariantsEnabled = true }
 
 // assertLaunchTimes verifies (checked builds only) that the speculation
-// bookkeeping map holds entries for running attempts exclusively. Before
-// retirement pruning landed, entries of completed and killed attempts
-// accumulated for the life of the AM — harmless for one job, unbounded
-// growth across long multi-job runs.
+// bookkeeping — launchedAt/launched fields on the attempts — marks
+// running attempts exclusively. When the bookkeeping lived in a map,
+// entries of completed and killed attempts accumulated for the life of
+// the AM; the field form can't leak memory, but a stale flag would still
+// feed retired attempts into the speculation scan.
 func (am *appMaster) assertLaunchTimes() {
 	if !invariantsEnabled {
 		return
 	}
-	// Walk attempts in deterministic task order (never the map) so the
-	// first violation reported is stable across runs. Every launchTimes
-	// key is an attempt owned by some task, so a retired entry is always
-	// found this way; the count check catches anything else.
-	running := 0
+	// Walk attempts in deterministic task order so the first violation
+	// reported is stable across runs.
 	for _, lists := range [][]*taskState{am.maps, am.reduces} {
 		for _, t := range lists {
 			for _, a := range t.attempts {
 				if a.state == attemptRunning {
-					running++
+					if !a.launched {
+						panic(fmt.Sprintf("engine: running attempt %s has no launch record", a.id))
+					}
 					continue
 				}
-				if _, leaked := am.launchTimes[a]; leaked {
-					panic(fmt.Sprintf("engine: launchTimes entry for %s in state %d (retired attempt not pruned)", a.id, a.state))
+				if a.launched {
+					panic(fmt.Sprintf("engine: launch record for %s in state %d (retired attempt not pruned)", a.id, a.state))
 				}
 			}
 		}
-	}
-	if len(am.launchTimes) > running {
-		panic(fmt.Sprintf("engine: launchTimes holds %d entries for %d running attempts (retired attempts not pruned)",
-			len(am.launchTimes), running))
 	}
 }
 

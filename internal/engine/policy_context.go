@@ -76,7 +76,7 @@ func (am *appMaster) RunningAttemptInfo(typ faults.TaskType, idx int) (AttemptIn
 		Node:     a.node,
 		NodeName: a.nodeName(am.job),
 		Progress: a.progress,
-		Launched: am.launchTimes[a],
+		Launched: a.launchedAt,
 	}, true
 }
 

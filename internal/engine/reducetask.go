@@ -58,8 +58,12 @@ type reduceExec struct {
 	hostIdx          *hostIndex
 	candHosts        []topology.NodeID // pickHost scratch, reused per call
 	candMinIdx       []int
-	hostInSession    map[topology.NodeID]bool
-	hostFailures     map[topology.NodeID]int
+	// hostInSession/hostFailures are dense NodeID-indexed tables (like
+	// hostIndex.byHost): at thousand-node scale the per-reducer maps cost
+	// far more than two flat slices, and slice reads keep the fetch loop
+	// allocation-free.
+	hostInSession    []bool
+	hostFailures     []int
 	lastFetchSuccess sim.Time
 	sessions         int
 	inMem            []*merge.Segment
@@ -153,8 +157,8 @@ func newReduceExec(j *Job, t *taskState, a *attempt) *reduceExec {
 		job: j, t: t, a: a, conf: j.Spec.Conf,
 		copied:        make([]bool, len(j.am.maps)),
 		inMemMaps:     make(map[*merge.Segment][]int),
-		hostInSession: make(map[topology.NodeID]bool),
-		hostFailures:  make(map[topology.NodeID]int),
+		hostInSession: make([]bool, len(j.locals)),
+		hostFailures:  make([]int, len(j.locals)),
 		stage:         core.StageShuffle,
 	}
 	r.memoryLimit = int64(float64(r.conf.ReduceMemoryMB) * 1024 * 1024 * r.conf.ShuffleMemoryShare)
@@ -773,7 +777,7 @@ func (r *reduceExec) anyStrikeablePending() bool {
 
 func (r *reduceExec) endSession(host topology.NodeID) {
 	if r.hostInSession[host] {
-		delete(r.hostInSession, host)
+		r.hostInSession[host] = false
 		r.sessions--
 	}
 	r.fillFetchers()
@@ -1338,8 +1342,8 @@ func (r *reduceExec) committedReducePair() (*core.LogRecord, *flushedOutput) {
 // tryLocalRestore replays the latest local log record when this attempt
 // runs on the node that wrote it and the referenced segments survive.
 func (r *reduceExec) tryLocalRestore() bool {
-	data, ok := r.job.local(r.a.node).algLogs[r.t.idx]
-	if !ok {
+	data := r.job.local(r.a.node).algLogs[r.t.idx]
+	if data == nil {
 		return false
 	}
 	rec, err := core.UnmarshalRecord(data)

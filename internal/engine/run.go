@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -9,6 +11,17 @@ import (
 	"alm/internal/sim"
 	"alm/internal/topology"
 )
+
+// ErrCanceled is returned (wrapping ctx.Err()) when the context
+// installed with WithContext is canceled before the job finishes. The
+// event loop polls the context at event boundaries, so the run aborts
+// within a bounded number of events of the cancellation.
+var ErrCanceled = errors.New("engine: run canceled")
+
+// ctxPollEvents is how many fired events may elapse between context
+// polls — small enough that cancellation lands promptly, large enough
+// that the per-event cost is one modulo and a nil check.
+const ctxPollEvents = 256
 
 // ClusterSpec describes the simulated testbed. The default mirrors the
 // paper: 20 worker nodes (the paper's 21st node is the dedicated
@@ -56,6 +69,9 @@ type RunOptions struct {
 	// objects so callers can audit post-run state (the chaos harness
 	// checks cluster resource-conservation invariants).
 	Handles *Handles
+	// Ctx, when non-nil, is polled at event-loop boundaries; once it is
+	// canceled Run aborts and returns its error wrapped in ErrCanceled.
+	Ctx context.Context
 }
 
 // RunOption mutates RunOptions; pass them to Run.
@@ -90,6 +106,13 @@ func WithoutTrace() RunOption {
 // WithHandles fills h with the run's cluster, job and event engine.
 func WithHandles(h *Handles) RunOption {
 	return func(o *RunOptions) { o.Handles = h }
+}
+
+// WithContext bounds the run by ctx: the event loop polls it at event
+// boundaries and Run returns ctx.Err() wrapped in ErrCanceled once it
+// is canceled. A nil ctx means no bound.
+func WithContext(ctx context.Context) RunOption {
+	return func(o *RunOptions) { o.Ctx = ctx }
 }
 
 // Handles exposes a finished run's control-plane objects for audits.
@@ -135,6 +158,13 @@ func Run(spec JobSpec, cs ClusterSpec, opts ...RunOption) (Result, error) {
 	}
 	eng := sim.NewEngine(specD.Seed)
 	eng.SetMaxEvents(cs.MaxEvents)
+	if o.Ctx != nil {
+		if err := o.Ctx.Err(); err != nil {
+			return Result{}, fmt.Errorf("%w: %w", ErrCanceled, err)
+		}
+		ctx := o.Ctx
+		eng.SetInterrupt(ctxPollEvents, func() bool { return ctx.Err() != nil })
+	}
 	cl := cluster.New(eng, topo, cluster.Options{
 		HeartbeatInterval: specD.Conf.HeartbeatInterval,
 		NodeExpiry:        specD.Conf.NodeExpiry,
@@ -150,6 +180,11 @@ func Run(spec JobSpec, cs ClusterSpec, opts ...RunOption) (Result, error) {
 		return Result{}, err
 	}
 	eng.Run(sim.Time(cs.MaxVirtualTime))
+	if o.Ctx != nil {
+		if err := o.Ctx.Err(); err != nil {
+			return Result{}, fmt.Errorf("%w: %w", ErrCanceled, err)
+		}
+	}
 	job.finalizeMetrics(eng)
 	res := job.Result()
 	res.Events = EventStats{

@@ -1,6 +1,10 @@
 package experiments
 
-import "testing"
+import (
+	"testing"
+
+	"alm/internal/metrics"
+)
 
 // Two runs of the same experiment with the same options must render
 // byte-identically — the repo's reproducibility contract. fig3 (temporal
@@ -32,5 +36,49 @@ func TestExperimentsDeterministicAcrossRuns(t *testing.T) {
 				t.Errorf("RenderCSV differs between identical runs:\n--- first ---\n%s\n--- second ---\n%s", a, b)
 			}
 		})
+	}
+}
+
+// TestExperimentsWorkerParity requires an experiment's rendered table
+// and its MetricsSink stream to be byte-identical whether the case
+// fan-out runs serially or on 8 workers: the sweep scheduler delivers
+// results and metrics in case order regardless of completion order.
+func TestExperimentsWorkerParity(t *testing.T) {
+	f, ok := ByID("fig4")
+	if !ok {
+		t.Fatal("experiment fig4 not registered")
+	}
+	run := func(workers int) (string, string, []string) {
+		var sink []string
+		opt := quick()
+		opt.Workers = workers
+		opt.MetricsSink = func(caseKey string, snap *metrics.Snapshot) {
+			if snap == nil {
+				sink = append(sink, caseKey+": <nil>")
+				return
+			}
+			sink = append(sink, caseKey+":\n"+string(snap.Prometheus()))
+		}
+		tbl, err := f(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tbl.Render(), tbl.RenderCSV(), sink
+	}
+	text1, csv1, sink1 := run(1)
+	text8, csv8, sink8 := run(8)
+	if text1 != text8 {
+		t.Errorf("Render differs between 1 and 8 workers:\n--- serial ---\n%s\n--- parallel ---\n%s", text1, text8)
+	}
+	if csv1 != csv8 {
+		t.Errorf("RenderCSV differs between 1 and 8 workers")
+	}
+	if len(sink1) != len(sink8) {
+		t.Fatalf("metrics sink saw %d cases serial vs %d parallel", len(sink1), len(sink8))
+	}
+	for i := range sink1 {
+		if sink1[i] != sink8[i] {
+			t.Errorf("metrics sink entry %d differs between 1 and 8 workers:\n--- serial ---\n%s\n--- parallel ---\n%s", i, sink1[i], sink8[i])
+		}
 	}
 }

@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
@@ -12,12 +13,12 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
 	"alm/internal/engine"
 	"alm/internal/faults"
 	"alm/internal/metrics"
+	"alm/internal/sweep"
 	"alm/internal/workloads"
 )
 
@@ -28,7 +29,7 @@ type Options struct {
 	Scale float64
 	// Seed for the deterministic simulations. Zero means 11.
 	Seed int64
-	// Workers bounds parallel simulations; zero means GOMAXPROCS.
+	// Workers bounds parallel simulations; zero means runtime.NumCPU().
 	Workers int
 	// MetricsSink, when non-nil, receives each simulation's metrics
 	// snapshot keyed by case key ("<experiment>/<case>"). Delivery is
@@ -54,7 +55,7 @@ func (o Options) workers() int {
 	if o.Workers > 0 {
 		return o.Workers
 	}
-	return runtime.GOMAXPROCS(0)
+	return runtime.NumCPU()
 }
 
 // Row is one labelled result line.
@@ -243,65 +244,44 @@ func job(w *workloads.Workload, inputBytes int64, reduces int, mode engine.Mode,
 	}
 }
 
-// runCase is one simulation to execute.
+// runCase is one simulation to execute. needTrace keeps Result.Trace
+// attached for tables that read raw events (fig14's meanTaskRecovery);
+// every other case drops the trace at run end so a full-scale sweep
+// retains only Result scalars, not every event of every case.
 type runCase struct {
-	key  string
-	spec engine.JobSpec
-	plan *faults.Plan
+	key       string
+	spec      engine.JobSpec
+	plan      *faults.Plan
+	needTrace bool
 }
 
-// caseCollector gathers results from the fan-out workers. The guarded-by
-// comments are load-bearing: almvet's locksafe analyzer rejects any new
-// code path that touches these fields without going through mu.
-type caseCollector struct {
-	mu       sync.Mutex
-	results  map[string]engine.Result // guarded by mu
-	firstErr error                    // guarded by mu
-}
-
-func (cc *caseCollector) record(key string, res engine.Result, err error) {
-	cc.mu.Lock()
-	defer cc.mu.Unlock()
-	if err != nil {
-		if cc.firstErr == nil {
-			cc.firstErr = err
-		}
-		return
-	}
-	cc.results[key] = res
-}
-
-func (cc *caseCollector) done() (map[string]engine.Result, error) {
-	cc.mu.Lock()
-	defer cc.mu.Unlock()
-	return cc.results, cc.firstErr
-}
-
-// runAll executes cases on a worker pool; results are keyed by case key.
+// runAll executes cases on the shared sweep scheduler (one engine per
+// worker, indexed result slots, deterministic first-error selection);
+// results are keyed by case key.
 func runAll(cases []runCase, opt Options) (map[string]engine.Result, error) {
-	cc := &caseCollector{results: make(map[string]engine.Result, len(cases))}
-	sem := make(chan struct{}, opt.workers())
-	var wg sync.WaitGroup
-	for _, c := range cases {
-		c := c
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			opts := []engine.RunOption{engine.WithPlan(c.plan)}
-			if opt.MetricsSink != nil {
-				opts = append(opts, engine.WithMetrics())
-			}
-			res, err := engine.Run(c.spec, engine.DefaultClusterSpec(), opts...)
-			if err != nil {
-				err = fmt.Errorf("case %s: %w", c.key, err)
-			}
-			cc.record(c.key, res, err)
-		}()
+	slots := make([]engine.Result, len(cases))
+	err := sweep.Do(context.Background(), len(cases), opt.workers(), func(i int) error {
+		c := cases[i]
+		opts := []engine.RunOption{engine.WithPlan(c.plan)}
+		if !c.needTrace {
+			opts = append(opts, engine.WithoutTrace())
+		}
+		if opt.MetricsSink != nil {
+			opts = append(opts, engine.WithMetrics())
+		}
+		res, err := engine.Run(c.spec, engine.DefaultClusterSpec(), opts...)
+		if err != nil {
+			return fmt.Errorf("case %s: %w", c.key, err)
+		}
+		slots[i] = res
+		return nil
+	}, nil)
+	results := make(map[string]engine.Result, len(cases))
+	if err == nil {
+		for i, c := range cases {
+			results[c.key] = slots[i]
+		}
 	}
-	wg.Wait()
-	results, err := cc.done()
 	if err == nil && opt.MetricsSink != nil {
 		keys := make([]string, 0, len(results))
 		for k := range results {

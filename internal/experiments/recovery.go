@@ -172,9 +172,10 @@ func Fig14(opt Options) (*Table, error) {
 		for _, mode := range []engine.Mode{engine.ModeYARN, engine.ModeSFM} {
 			for _, n := range failures {
 				cases = append(cases, runCase{
-					key:  fmt.Sprintf("%v/%d/%d", mode, sz, n),
-					spec: spec(mode),
-					plan: faults.FailTasksAtProgress(faults.Reduce, n, 0.5),
+					key:       fmt.Sprintf("%v/%d/%d", mode, sz, n),
+					spec:      spec(mode),
+					plan:      faults.FailTasksAtProgress(faults.Reduce, n, 0.5),
+					needTrace: true, // meanTaskRecovery reads raw task events
 				})
 			}
 		}

@@ -12,6 +12,7 @@
 package perf
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -22,6 +23,8 @@ import (
 	"alm/internal/experiments"
 	"alm/internal/faults"
 	"alm/internal/sim"
+	"alm/internal/sweep"
+	"alm/internal/topology"
 	"alm/internal/workloads"
 )
 
@@ -100,6 +103,18 @@ func Benchmarks() []Bench {
 			Desc:   "remote shuffle tier under a MOF-node crash: push/commit, tier fetches, repair without map rerun",
 			Func:   benchRemoteShuffleCrash,
 			Budget: &Budget{AllocsPerOp: 87_000, BytesPerOp: 7_200_000, Tolerance: 0.20},
+		},
+		{
+			Name:   "sweep_parallel",
+			Desc:   "8 seeded jobs fanned through the sweep scheduler at NumCPU workers",
+			Func:   benchSweepParallel,
+			Budget: &Budget{AllocsPerOp: 70_000, BytesPerOp: 5_200_000, Tolerance: 0.20},
+		},
+		{
+			Name:   "engine_1000_nodes",
+			Desc:   "one job on a 1000-node cluster (2000 maps, 100 reducers): dense SoA state tables under thousand-node load",
+			Func:   benchEngine1000Nodes,
+			Budget: &Budget{AllocsPerOp: 2_100_000, BytesPerOp: 300_000_000, Tolerance: 0.20},
 		},
 	}
 }
@@ -188,6 +203,75 @@ func benchRemoteShuffleCrash(b *testing.B) {
 	}, func() *faults.Plan { return faults.CrashMOFNodeAtJobProgress(0.55) })
 }
 
+// benchSweepParallel measures the sweep scheduler itself: a fan of small
+// seeded jobs through sweep.Do at NumCPU workers, one engine per worker.
+// The per-op cost is the whole fan, so the allocation budget covers the
+// scheduler's bookkeeping plus the 8 engine runs.
+func benchSweepParallel(b *testing.B) {
+	const units = 8
+	base := engine.JobSpec{
+		Workload:   workloads.Terasort(),
+		InputBytes: 8 * 128 << 20, // 8 maps
+		NumReduces: 4,
+		Mode:       engine.ModeSFM,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := sweep.Do(context.Background(), units, runtime.NumCPU(), func(u int) error {
+			spec := base
+			spec.Seed = int64(11 + u)
+			res, err := engine.Run(spec, engine.DefaultClusterSpec(), engine.WithoutTrace())
+			if err != nil {
+				return err
+			}
+			if !res.Completed {
+				return fmt.Errorf("unit %d failed: %s", u, res.FailReason)
+			}
+			return nil
+		}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchEngine1000Nodes exercises the dense NodeID/task-indexed state
+// tables (hostIndex, hostFailures, per-node algLogs, nodeFailures) at a
+// scale where the old map-based tables dominated the profile: 1000
+// nodes, 2000 maps, 100 reducers.
+func benchEngine1000Nodes(b *testing.B) {
+	spec := engine.JobSpec{
+		Workload:   workloads.Terasort(),
+		InputBytes: 2000 * 128 << 20, // 2000 maps
+		NumReduces: 100,
+		Mode:       engine.ModeSFM,
+		Seed:       11,
+	}
+	cs := engine.ClusterSpec{
+		Racks:            50,
+		NodesPerRack:     20,
+		HW:               topology.DefaultHardware(),
+		Oversubscription: 5,
+	}
+	var res engine.Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = engine.Run(spec, cs, engine.WithoutTrace())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Completed {
+			b.Fatalf("job failed: %s", res.FailReason)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(res.Events.Processed), "events")
+	b.ReportMetric(float64(res.Events.MaxQueue), "max_event_queue")
+}
+
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
 	f, ok := experiments.ByID(id)
@@ -243,6 +327,28 @@ func RunAll(log io.Writer) []Result {
 				bm.Name, res.Iterations, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
 		}
 		out = append(out, res)
+	}
+	return out
+}
+
+// MergeResults overlays extra onto base by benchmark name: matching
+// entries are replaced in place, new names append in extra's order. Used
+// by `almbench -perf-sweep` to fold sweep wall-clock measurements into
+// an existing BENCH_engine.json without re-running the whole harness.
+func MergeResults(base, extra []Result) []Result {
+	out := make([]Result, len(base))
+	copy(out, base)
+	idx := make(map[string]int, len(out))
+	for i, r := range out {
+		idx[r.Name] = i
+	}
+	for _, r := range extra {
+		if i, ok := idx[r.Name]; ok {
+			out[i] = r
+			continue
+		}
+		idx[r.Name] = len(out)
+		out = append(out, r)
 	}
 	return out
 }

@@ -101,6 +101,12 @@ type Engine struct {
 	maxQueue int
 	// stopsRemoved counts events removed from the heap by Timer.Stop.
 	stopsRemoved uint64
+	// interruptFn, when set, is polled by Run every interruptEvery fired
+	// events; Run returns when it reports true. The poll is a plain
+	// branch per event — no allocation, no time source — so installing
+	// an interrupt cannot perturb event order or the alloc budgets.
+	interruptFn    func() bool
+	interruptEvery uint64
 }
 
 // NewEngine returns an engine whose random source is seeded with seed.
@@ -130,6 +136,19 @@ func (e *Engine) StoppedEvents() uint64 { return e.stopsRemoved }
 // SetMaxEvents sets an upper bound on fired events; Run panics when the
 // bound is exceeded. Zero disables the bound.
 func (e *Engine) SetMaxEvents(n uint64) { e.maxEvents = n }
+
+// SetInterrupt installs fn, polled by Run at event-loop boundaries —
+// after every `every` fired events (0 means every event). When fn
+// reports true the current Run call returns; the engine itself stays
+// usable. The engine layer uses this to honour context cancellation
+// without threading a context through every event handler.
+func (e *Engine) SetInterrupt(every uint64, fn func() bool) {
+	if every == 0 {
+		every = 1
+	}
+	e.interruptEvery = every
+	e.interruptFn = fn
+}
 
 // Schedule runs fn after delay of virtual time. A negative delay is
 // treated as zero. It returns a Timer that can cancel the event.
@@ -198,6 +217,9 @@ func (e *Engine) Run(until Time) {
 			return
 		}
 		e.Step()
+		if e.interruptFn != nil && e.processed%e.interruptEvery == 0 && e.interruptFn() {
+			return
+		}
 	}
 }
 

@@ -1,0 +1,159 @@
+// Package sweep is the repo's single fan-out implementation: a
+// deterministic parallel scheduler that runs N independent units on a
+// bounded worker pool and delivers their completions in unit order.
+//
+// The paper's whole evaluation is a sweep — seeds × configs × fault
+// plans — and every sweep in this repo (almbench's experiment tables,
+// the chaos invariant matrix, the policy tournament, and the public
+// alm.Sweep API) funnels through Do. The contract that makes parallel
+// sweeps safe to golden-pin:
+//
+//   - Units are dispatched to workers in increasing index order.
+//   - Results land in caller-owned indexed slots (the run closure writes
+//     slot i); channels carry only completion signals, never ordering.
+//   - deliver fires on the calling goroutine in strict unit order — unit
+//     i is delivered only after units 0..i-1 — regardless of the order
+//     units finish in. A progress transcript printed from deliver is
+//     therefore byte-identical at any worker count.
+//   - A panic inside one unit is isolated to that unit: it surfaces as
+//     that unit's error, and the rest of the sweep proceeds.
+//   - Cancellation stops the dispatch of new units; units already
+//     started still complete (promptly, when the unit honours ctx
+//     itself) and are delivered, so the caller always observes a
+//     deterministic prefix of the serial sweep.
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Do runs units 0..n-1 through run on a pool of workers goroutines
+// (workers <= 0 means runtime.NumCPU()), then reports each unit to
+// deliver (may be nil) in strict index order. run executes on a worker
+// goroutine; deliver executes on the calling goroutine.
+//
+// On cancellation Do returns ctx.Err() after every started unit has
+// completed and been delivered; units never started are not delivered.
+// Otherwise Do returns the first unit error in index order (nil when
+// every unit succeeded). Unit panics are recovered and reported as that
+// unit's error.
+func Do(ctx context.Context, n, workers int, run func(i int) error, deliver func(i int, err error)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+
+	if workers == 1 {
+		// Serial fast path: identical unit/delivery interleaving to the
+		// historical serial loops the call sites migrated from.
+		started := 0
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				break
+			}
+			errs[i] = runUnit(run, i)
+			started = i + 1
+			if deliver != nil {
+				deliver(i, errs[i])
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return firstErr(errs[:started])
+	}
+
+	var (
+		mu      sync.Mutex
+		next    int  // guarded by mu: units [0, next) have been claimed
+		stopped bool // guarded by mu: cancellation observed, stop dispatch
+	)
+	claim := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if stopped || next >= n {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	completions := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					mu.Lock()
+					stopped = true
+					mu.Unlock()
+					return
+				}
+				i, ok := claim()
+				if !ok {
+					return
+				}
+				errs[i] = runUnit(run, i)
+				completions <- i
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(completions)
+	}()
+
+	// Ordered delivery: release the contiguous completed prefix. Claimed
+	// units always form a prefix [0, next), and every claimed unit sends
+	// exactly one completion, so the cursor reaches next by close time.
+	done := make([]bool, n)
+	cursor := 0
+	for i := range completions {
+		done[i] = true
+		for cursor < n && done[cursor] {
+			if deliver != nil {
+				deliver(cursor, errs[cursor])
+			}
+			cursor++
+		}
+	}
+	started := next // workers have exited; no further claims
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return firstErr(errs[:started])
+}
+
+// runUnit executes one unit, converting a panic into that unit's error
+// so a poisoned unit cannot take down the sweep.
+func runUnit(run func(int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sweep: unit %d panicked: %v", i, r)
+		}
+	}()
+	return run(i)
+}
+
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

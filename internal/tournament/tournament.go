@@ -13,6 +13,7 @@
 package tournament
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -22,6 +23,7 @@ import (
 	"alm/internal/engine"
 	"alm/internal/faults"
 	"alm/internal/mr"
+	"alm/internal/sweep"
 	"alm/internal/workloads"
 )
 
@@ -76,6 +78,9 @@ type Options struct {
 	Seeds     int
 	// Budget bounds schedule hostility (default chaos.DefaultBudget).
 	Budget chaos.Budget
+	// Workers bounds the sweep's parallel engines (<= 0: one per CPU).
+	// The league tables are byte-identical at any worker count.
+	Workers int
 }
 
 // RunScore is one (policy, seed) outcome.
@@ -175,30 +180,47 @@ func Run(opts Options) (*Result, error) {
 
 	sh, cs := chaos.CheckShape()
 	res := &Result{FirstSeed: opts.FirstSeed, Seeds: opts.Seeds, Policies: policies, Budget: opts.Budget}
-	for seed := opts.FirstSeed; seed < opts.FirstSeed+int64(opts.Seeds); seed++ {
-		sched := chaos.Generate(seed, opts.Budget, sh)
-		class := Classify(&sched)
-		for _, policy := range policies {
-			run, err := engine.Run(specFor(seed, policy, sh), cs, engine.WithPlan(sched.Plan()))
-			if err != nil {
-				return nil, fmt.Errorf("tournament: seed %d policy %s: %w", seed, policy, err)
-			}
-			score := RunScore{
-				Policy:    policy,
-				Seed:      seed,
-				Class:     class,
-				Completed: run.Completed,
-				Duration:  time.Duration(run.Duration),
-				Decisions: len(run.Decisions),
-				Backups:   run.Counters["speculation.backups"],
-				CapHits:   run.Counters["speculation.cap_hit"],
-			}
-			for _, d := range run.Decisions {
-				score.TotalRegret += d.Regret
-			}
-			res.Scores = append(res.Scores, score)
-		}
+
+	// Generate every seed's schedule up front (pure and cheap), then fan
+	// the (seed, policy) matrix over the sweep scheduler: unit
+	// si*len(policies)+pi writes score slot si*len(policies)+pi, which is
+	// exactly the historical seed-major, policy-minor serial order.
+	scheds := make([]chaos.Schedule, opts.Seeds)
+	classes := make([]Class, opts.Seeds)
+	for si := range scheds {
+		seed := opts.FirstSeed + int64(si)
+		scheds[si] = chaos.Generate(seed, opts.Budget, sh)
+		classes[si] = Classify(&scheds[si])
 	}
+	scores := make([]RunScore, opts.Seeds*len(policies))
+	err := sweep.Do(context.Background(), len(scores), opts.Workers, func(i int) error {
+		si, pi := i/len(policies), i%len(policies)
+		seed := opts.FirstSeed + int64(si)
+		policy := policies[pi]
+		run, err := engine.Run(specFor(seed, policy, sh), cs, engine.WithPlan(scheds[si].Plan()))
+		if err != nil {
+			return fmt.Errorf("tournament: seed %d policy %s: %w", seed, policy, err)
+		}
+		score := RunScore{
+			Policy:    policy,
+			Seed:      seed,
+			Class:     classes[si],
+			Completed: run.Completed,
+			Duration:  time.Duration(run.Duration),
+			Decisions: len(run.Decisions),
+			Backups:   run.Counters["speculation.backups"],
+			CapHits:   run.Counters["speculation.cap_hit"],
+		}
+		for _, d := range run.Decisions {
+			score.TotalRegret += d.Regret
+		}
+		scores[i] = score
+		return nil
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	res.Scores = scores
 	res.Tables = buildTables(res.Scores, policies)
 	return res, nil
 }

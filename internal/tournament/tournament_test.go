@@ -164,3 +164,27 @@ func TestDeterminism(t *testing.T) {
 		t.Errorf("tournament not deterministic:\nfirst:\n%s\nsecond:\n%s", a.Format(), b.Format())
 	}
 }
+
+// TestWorkerParity requires the league table and the standings to be
+// byte-identical at any worker count — the contract that lets the
+// Makefile smoke diff and the checked-in goldens ignore -workers.
+func TestWorkerParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tournament sweep is not short")
+	}
+	run := func(workers int) *Result {
+		res, err := Run(Options{FirstSeed: 11, Seeds: 2, Workers: workers,
+			Policies: []string{"yarn", "alm", "binocular", "atlas"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial, parallel := run(1), run(8)
+	if a, b := serial.Format(), parallel.Format(); a != b {
+		t.Errorf("league table differs between 1 and 8 workers:\nserial:\n%s\nparallel:\n%s", a, b)
+	}
+	if a, b := serial.FormatStandings(), parallel.FormatStandings(); a != b {
+		t.Errorf("standings differ between 1 and 8 workers:\nserial:\n%s\nparallel:\n%s", a, b)
+	}
+}

@@ -120,20 +120,29 @@ func TestObserverOrdering(t *testing.T) {
 	}
 }
 
-// TestRunWithPlanShim checks the deprecated positional entry point is an
-// exact alias for Run(spec, cs, WithFaults(plan), WithTrace()).
-func TestRunWithPlanShim(t *testing.T) {
+// TestWithFaultsGolden pins the WithFaults path the deleted RunWithPlan
+// shim aliased: two identical Run(spec, cs, WithFaults(plan),
+// WithTrace()) calls must agree on every observable the shim test
+// compared — duration, event count, failure accounting, output and
+// trace length — and actually exercise the injected fault.
+func TestWithFaultsGolden(t *testing.T) {
 	plan := FailTaskAtProgress(ReduceTask, 0, 0.5)
-	old, err := RunWithPlan(obsSpec(), DefaultClusterSpec(), plan)
-	if err != nil {
-		t.Fatal(err)
+	run := func() Result {
+		res, err := Run(obsSpec(), DefaultClusterSpec(), WithFaults(plan), WithTrace())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Trace == nil {
+			t.Fatal("WithTrace did not attach the trace")
+		}
+		if !res.Completed {
+			t.Fatalf("job failed: %s", res.FailReason)
+		}
+		return res
 	}
-	niu, err := Run(obsSpec(), DefaultClusterSpec(), WithFaults(plan), WithTrace())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if old.Trace == nil || niu.Trace == nil {
-		t.Fatal("shim must keep the pre-options behaviour of attaching the trace")
+	old, niu := run(), run()
+	if old.ReduceAttemptFailures == 0 {
+		t.Fatal("injected reduce failure left no trace in the failure accounting")
 	}
 	if old.Duration != niu.Duration {
 		t.Fatalf("durations differ: %v vs %v", old.Duration, niu.Duration)

@@ -1,0 +1,117 @@
+package alm
+
+import (
+	"context"
+	"fmt"
+
+	"alm/internal/engine"
+	"alm/internal/sweep"
+)
+
+// ErrCanceled is returned by Run and Sweep (wrapping the context's
+// error) when a WithContext / Sweep context is canceled before the work
+// finishes. Test with errors.Is(err, alm.ErrCanceled).
+var ErrCanceled = engine.ErrCanceled
+
+// WithContext bounds a Run by ctx: the simulation's event loop polls it
+// at event boundaries, and Run returns ctx.Err() wrapped in ErrCanceled
+// once it is canceled.
+func WithContext(ctx context.Context) RunOption { return engine.WithContext(ctx) }
+
+// SweepUnit is one job of a sweep: a spec, the cluster to run it on,
+// and the unit's run options (the same options Run accepts).
+type SweepUnit struct {
+	Spec    JobSpec
+	Cluster ClusterSpec
+	Opts    []RunOption
+}
+
+// SweepResult is one unit's outcome. Unit is the index into the sweep's
+// unit slice; Err carries the unit's failure (a run error, a recovered
+// panic, or ErrCanceled for units the cancellation prevented from
+// starting).
+type SweepResult struct {
+	Unit   int
+	Result Result
+	Err    error
+}
+
+// SweepOptions collects everything optional about a sweep; build it
+// with SweepWorkers and SweepProgress.
+type SweepOptions struct {
+	workers  int
+	progress func(SweepResult)
+}
+
+// SweepOption configures a Sweep call.
+type SweepOption func(*SweepOptions)
+
+// SweepWorkers bounds the worker pool (one engine per worker at a
+// time). Zero or negative means runtime.NumCPU(). The worker count
+// changes only wall-clock time: results, progress order and every
+// exported artifact are byte-identical at any setting.
+func SweepWorkers(n int) SweepOption {
+	return func(o *SweepOptions) { o.workers = n }
+}
+
+// SweepProgress streams each unit's outcome as the sweep advances.
+// Like Observer callbacks, delivery is deterministic: fn runs on the
+// calling goroutine in strict unit order — unit i is reported only
+// after units 0..i-1 — regardless of which worker finished first.
+func SweepProgress(fn func(SweepResult)) SweepOption {
+	return func(o *SweepOptions) { o.progress = fn }
+}
+
+// Sweep runs the units on a parallel worker pool, one fresh simulated
+// cluster per unit, and returns the results in unit order. Determinism
+// contract: each unit's Result is identical to what Run would produce
+// for it, and the result slice, progress callbacks and first-error
+// selection do not depend on the worker count.
+//
+// A unit failure (including a panicked unit, isolated to that unit) is
+// reported in its SweepResult.Err and does not stop the sweep. Cancel
+// ctx to stop early: in-flight units abort at their next event-loop
+// boundary, never-started units get ErrCanceled, and Sweep returns
+// ctx.Err() wrapped in ErrCanceled alongside the deterministic prefix
+// of completed results.
+func Sweep(ctx context.Context, units []SweepUnit, opts ...SweepOption) ([]SweepResult, error) {
+	var o SweepOptions
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&o)
+		}
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]SweepResult, len(units))
+	ran := make([]bool, len(units))
+	sweep.Do(ctx, len(units), o.workers, func(i int) error {
+		u := units[i]
+		runOpts := make([]RunOption, 0, len(u.Opts)+2)
+		runOpts = append(runOpts, engine.WithoutTrace())
+		runOpts = append(runOpts, u.Opts...)
+		runOpts = append(runOpts, engine.WithContext(ctx))
+		res, err := engine.Run(u.Spec, u.Cluster, runOpts...)
+		out[i] = SweepResult{Unit: i, Result: res, Err: err}
+		return err
+	}, func(i int, err error) {
+		ran[i] = true
+		if err != nil && out[i].Err == nil {
+			out[i].Err = err // a recovered panic: the slot never got a run error
+		}
+		if o.progress != nil {
+			o.progress(out[i])
+		}
+	})
+	if err := ctx.Err(); err != nil {
+		werr := fmt.Errorf("%w: %w", ErrCanceled, err)
+		for i := range out {
+			if !ran[i] {
+				out[i] = SweepResult{Unit: i, Err: werr}
+			}
+		}
+		return out, werr
+	}
+	return out, nil
+}

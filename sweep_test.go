@@ -1,0 +1,143 @@
+package alm
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+)
+
+func sweepUnits(n int, opts ...RunOption) []SweepUnit {
+	units := make([]SweepUnit, n)
+	for i := range units {
+		units[i] = SweepUnit{
+			Spec: JobSpec{
+				Workload:   Terasort(),
+				InputBytes: 1 << 30,
+				NumReduces: 2,
+				Mode:       ModeSFM,
+				Seed:       int64(11 + i),
+			},
+			Cluster: DefaultClusterSpec(),
+			Opts:    opts,
+		}
+	}
+	return units
+}
+
+// TestSweepWorkerParity pins the API's determinism contract: the result
+// slice, the progress order and every per-unit artifact (down to the
+// metrics exports) are byte-identical at 1 and 8 workers.
+func TestSweepWorkerParity(t *testing.T) {
+	run := func(workers int) ([]SweepResult, []int) {
+		var order []int
+		out, err := Sweep(context.Background(), sweepUnits(6, WithMetrics()),
+			SweepWorkers(workers),
+			SweepProgress(func(r SweepResult) { order = append(order, r.Unit) }))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return out, order
+	}
+	serial, order1 := run(1)
+	parallel, order8 := run(8)
+	for i, got := range [][]int{order1, order8} {
+		for j, u := range got {
+			if u != j {
+				t.Fatalf("progress stream %d delivered unit %d at position %d", i, u, j)
+			}
+		}
+	}
+	for i := range serial {
+		s, p := serial[i], parallel[i]
+		if s.Err != nil || p.Err != nil {
+			t.Fatalf("unit %d failed: serial=%v parallel=%v", i, s.Err, p.Err)
+		}
+		if !s.Result.Completed || !p.Result.Completed {
+			t.Fatalf("unit %d did not complete", i)
+		}
+		if s.Result.Duration != p.Result.Duration {
+			t.Errorf("unit %d durations differ: %v vs %v", i, s.Result.Duration, p.Result.Duration)
+		}
+		if s.Result.Events.Processed != p.Result.Events.Processed {
+			t.Errorf("unit %d event counts differ: %d vs %d", i, s.Result.Events.Processed, p.Result.Events.Processed)
+		}
+		if s.Result.Metrics == nil || p.Result.Metrics == nil {
+			t.Fatalf("unit %d missing metrics snapshot", i)
+		}
+		if !bytes.Equal(s.Result.Metrics.Prometheus(), p.Result.Metrics.Prometheus()) {
+			t.Errorf("unit %d metrics exports differ between 1 and 8 workers", i)
+		}
+	}
+}
+
+// TestSweepCancellation cancels mid-sweep and requires a prompt return
+// with a deterministic partial prefix: completed units carry the same
+// result a standalone Run produces, never-started units carry
+// ErrCanceled, and the call itself reports ErrCanceled.
+func TestSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	units := sweepUnits(32)
+	out, err := Sweep(ctx, units, SweepWorkers(2),
+		SweepProgress(func(SweepResult) { cancel() }))
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Sweep returned %v, want ErrCanceled", err)
+	}
+	if len(out) != len(units) {
+		t.Fatalf("got %d results for %d units", len(out), len(units))
+	}
+	completed, canceled := 0, 0
+	for i, r := range out {
+		if r.Unit != i {
+			t.Fatalf("result %d labeled unit %d", i, r.Unit)
+		}
+		switch {
+		case r.Err == nil:
+			completed++
+			if !r.Result.Completed {
+				t.Errorf("unit %d delivered without error but job incomplete: %s", i, r.Result.FailReason)
+			}
+			// The partial prefix must be deterministic: identical to a
+			// standalone serial run of the same unit.
+			ref, err := Run(units[i].Spec, units[i].Cluster)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Result.Duration != ref.Duration || r.Result.Events.Processed != ref.Events.Processed {
+				t.Errorf("unit %d result differs from a standalone run", i)
+			}
+		case errors.Is(r.Err, ErrCanceled):
+			canceled++
+		default:
+			t.Errorf("unit %d: unexpected error %v", i, r.Err)
+		}
+	}
+	if completed == 0 {
+		t.Error("cancellation arrived before any unit completed; progress callback never fired")
+	}
+	if canceled == 0 {
+		t.Error("no unit was canceled; the sweep ran to completion despite cancel")
+	}
+}
+
+// TestRunWithContextCanceled pins the Run-level satellite: a canceled
+// WithContext context stops the event loop at a poll boundary and
+// surfaces as ErrCanceled.
+func TestRunWithContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(JobSpec{
+		Workload:   Terasort(),
+		InputBytes: 1 << 30,
+		NumReduces: 2,
+		Mode:       ModeSFM,
+		Seed:       11,
+	}, DefaultClusterSpec(), WithContext(ctx))
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Run returned %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run error %v does not wrap context.Canceled", err)
+	}
+}
