@@ -1,0 +1,55 @@
+package engine_test
+
+// Queue-parity suite: the timing-wheel event queue (the default sim
+// backend) and the binary-heap backend it replaced must produce
+// byte-identical runs — same trace bytes, same Result accounting, same
+// event-queue statistics — on every parity scenario. This is the
+// engine-level end of the determinism contract the sim-level
+// differential tester (internal/sim/differential_test.go) pins with
+// randomized scripts: here full jobs with fault plans, speculation and
+// shuffle churn go through both backends.
+
+import (
+	"testing"
+
+	"alm/internal/chaos"
+	"alm/internal/engine"
+	"alm/internal/faults"
+	"alm/internal/sim"
+)
+
+// runQueueParity executes one scenario on an explicit queue backend and
+// returns the byte-identity fingerprint plus the event-queue stats.
+func runQueueParity(t *testing.T, spec engine.JobSpec, plan *faults.Plan, mode engine.Mode, kind sim.QueueKind) (string, engine.EventStats) {
+	t.Helper()
+	spec.Mode = mode
+	_, cs := chaos.CheckShape()
+	res, err := engine.Run(spec, cs, engine.WithPlan(plan), engine.WithQueue(kind))
+	if err != nil {
+		t.Fatalf("run (%v backend): %v", kind, err)
+	}
+	return summarize(res), res.Events
+}
+
+func TestQueueParity(t *testing.T) {
+	scenarios := parityScenarios()
+	if testing.Short() {
+		scenarios = scenarios[:2] // fig3 + fig4 shapes
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			t.Parallel()
+			for _, mode := range []engine.Mode{engine.ModeYARN, engine.ModeALM} {
+				wheelSum, wheelEv := runQueueParity(t, sc.spec, sc.plan.Clone(), mode, sim.QueueWheel)
+				heapSum, heapEv := runQueueParity(t, sc.spec, sc.plan.Clone(), mode, sim.QueueHeap)
+				if wheelSum != heapSum {
+					t.Errorf("mode %v: wheel and heap runs diverge:\nwheel %s\nheap  %s", mode, wheelSum, heapSum)
+				}
+				if wheelEv != heapEv {
+					t.Errorf("mode %v: event stats diverge: wheel %+v, heap %+v", mode, wheelEv, heapEv)
+				}
+			}
+		})
+	}
+}

@@ -69,6 +69,23 @@ func Benchmarks() []Bench {
 			Budget: &Budget{AllocsPerOp: 1, BytesPerOp: 64, Tolerance: 0},
 		},
 		{
+			Name: "queue_churn_wheel",
+			Desc: "the timer_churn pattern pinned to the timing-wheel backend: O(1) schedule + O(1) unlink",
+			Func: benchQueueChurnWheel,
+			// Same deterministic profile as timer_churn: one 64-byte
+			// Timer per op, nothing else.
+			Budget: &Budget{AllocsPerOp: 1, BytesPerOp: 64, Tolerance: 0},
+		},
+		{
+			Name: "queue_cascade",
+			Desc: "drain 512 timers spread across every wheel level plus overflow: the advance/cascade path",
+			Func: benchQueueCascade,
+			// One Timer per scheduled event plus the engine and its
+			// warmed heap storage; cascading relinks timers in place and
+			// must not allocate per level crossed.
+			Budget: &Budget{AllocsPerOp: 540, BytesPerOp: 60_000, Tolerance: 0.20},
+		},
+		{
 			Name:   "fetch_session_churn",
 			Desc:   "shuffle-heavy terasort (20 reducers), fetch sessions dominate",
 			Func:   benchFetchSessionChurn,
@@ -140,6 +157,48 @@ func benchTimerChurn(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(eng.MaxQueueLen()), "max_event_queue")
+}
+
+// benchQueueChurnWheel is benchTimerChurn pinned to the wheel backend,
+// so the baseline keeps an explicit wheel entry even if the process-wide
+// default queue is ever flipped for an A/B run (almbench -queue).
+func benchQueueChurnWheel(b *testing.B) {
+	const window = 1024
+	eng := sim.NewEngine(1, sim.WithQueue(sim.QueueWheel))
+	ring := make([]*sim.Timer, window)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slot := i % window
+		if ring[slot] != nil {
+			ring[slot].Stop()
+		}
+		ring[slot] = eng.Schedule(sim.Time(1<<40), fn)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(eng.MaxQueueLen()), "max_event_queue")
+}
+
+// benchQueueCascade schedules a geometric spread of delays — sub-tick
+// through beyond-horizon — and drains them, so one op measures the
+// wheel's advance loop: overflow re-homing, bitmap scans and multi-level
+// cascades rather than Schedule itself.
+func benchQueueCascade(b *testing.B) {
+	delays := make([]sim.Time, 0, 512)
+	for i := 0; i < 512; i++ {
+		delays = append(delays, sim.Time(1)<<(10+uint(i)%44)+sim.Time(i))
+	}
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine(1, sim.WithQueue(sim.QueueWheel))
+		for _, d := range delays {
+			eng.Schedule(d, fn)
+		}
+		eng.RunAll()
+	}
 }
 
 func scaled(bytes int64) int64 { return int64(float64(bytes) * Scale) }

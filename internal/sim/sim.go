@@ -10,6 +10,12 @@
 // time, so simulated components need no locking. Parallelism across
 // experiments is achieved by running independent engines in separate
 // goroutines.
+//
+// Two event-queue backends implement the same strict (at, seq) firing
+// order: a hierarchical timing wheel (the default; O(1) Schedule and
+// Stop) and a binary min-heap (O(log n), kept as the differential-test
+// oracle). See queue.go for the contract and wheel.go/heap.go for the
+// implementations; DESIGN.md §16 has the architecture notes.
 package sim
 
 import (
@@ -21,74 +27,109 @@ import (
 // Time is a point in virtual time, measured from the start of the run.
 type Time = time.Duration
 
+// Timer location tags: which queue structure currently holds the timer.
+// locNone means the timer is not queued — it fired, was stopped, or was
+// never armed.
+const (
+	locNone     uint8 = iota
+	locHeap           // the heap backend's single timerHeap
+	locReady          // the wheel's imminent-events heap
+	locBucket         // linked into a wheel bucket list
+	locOverflow       // the wheel's beyond-horizon heap
+)
+
 // Timer is a scheduled callback and its cancellation handle in one
-// object: the heap stores *Timer directly, so scheduling an event costs a
-// single allocation, and Reschedule re-arms an existing timer with no
-// allocation at all. The zero value is not usable; timers are created by
-// Engine.Schedule and Engine.At.
+// object: the queue backends store *Timer directly, so scheduling an
+// event costs a single allocation, and Reschedule re-arms an existing
+// timer with no allocation at all. The zero value is not usable; timers
+// are created by Engine.Schedule and Engine.At.
+//
+// The struct is laid out to stay within one 64-byte allocation class —
+// the timer_churn benchmark budget (64 B/op, zero tolerance) pins that.
 type Timer struct {
 	eng *Engine
 	at  Time
 	seq uint64
 	fn  func()
-	// idx is the timer's position in the heap, maintained by the sift
-	// functions; -1 once the event fired or was removed by Stop.
-	idx int
+	// prev/next link the timer into a wheel bucket's intrusive
+	// doubly-linked list while loc == locBucket; nil otherwise.
+	prev, next *Timer
+	// idx is the timer's position inside a timerHeap while loc is
+	// locHeap, locReady or locOverflow; -1 otherwise.
+	idx int32
+	// loc tags the structure that currently holds the timer; the single
+	// source of truth for Active().
+	loc uint8
+	// lvl/slot address the wheel bucket while loc == locBucket, so
+	// unlinking can fix the bucket's head/tail and occupancy bit in O(1).
+	lvl  uint8
+	slot uint8
 }
 
 // Stop cancels the timer. It reports whether the call prevented the event
 // from firing (false when the event already fired or was stopped before).
 //
-// Stop removes the event from the heap immediately (an O(log n) sift),
-// so canceled timers cost nothing at pop time and never inflate the
-// queue. This matters at paper scale: watchFetch and completion timers
-// are stopped by the thousands, and retaining them until their deadline
-// made the heap grow quadratically under fetch-session churn.
+// Stop removes the event from its queue immediately — an O(1) bucket
+// unlink on the wheel backend, an O(log n) sift on the heap — so
+// canceled timers cost nothing at pop time and never inflate the queue.
+// This matters at paper scale: watchFetch and completion timers are
+// stopped by the thousands, and retaining them until their deadline made
+// the queue grow quadratically under fetch-session churn.
 func (t *Timer) Stop() bool {
-	if t == nil || t.idx < 0 {
+	if t == nil || t.loc == locNone {
 		return false
 	}
-	t.eng.removeAt(t.idx)
+	e := t.eng
+	e.q.remove(t)
 	t.fn = nil // release the closure for GC
-	t.eng.stopsRemoved++
+	e.stopsRemoved++
 	return true
 }
 
 // Active reports whether the timer is still pending (not yet fired and
 // not stopped).
-func (t *Timer) Active() bool { return t != nil && t.idx >= 0 }
+func (t *Timer) Active() bool { return t != nil && t.loc != locNone }
 
 // Reschedule re-arms the timer to run fn after delay of virtual time,
 // reusing the allocation. It is behaviourally identical to Stop()
 // followed by Engine.Schedule(delay, fn) — same sequence numbering, same
 // stop accounting, same queue profile — so swapping the two forms cannot
-// change event order. Hot paths that arm and re-arm one logical timer
-// (the fair-share completion event, liveness pings) use it to stay
-// allocation-free in the steady state.
+// change event order. In particular, re-arming a timer that already
+// fired or was stopped is legal and equivalent to a fresh Schedule: the
+// stopsRemoved counter moves only when a still-pending event is
+// displaced, exactly as Stop would have reported true. The contract is
+// pinned by TestRescheduleContract. Hot paths that arm and re-arm one
+// logical timer (the fair-share completion event, liveness pings) use it
+// to stay allocation-free in the steady state.
 func (t *Timer) Reschedule(delay Time, fn func()) {
 	if fn == nil {
 		panic("sim: Reschedule called with nil callback")
 	}
 	e := t.eng
-	if t.idx >= 0 {
-		e.removeAt(t.idx)
+	if t.loc != locNone {
+		e.q.remove(t)
 		e.stopsRemoved++
 	}
 	if delay < 0 {
 		delay = 0
 	}
+	at := e.now + delay
+	if at < e.now { // overflow clamp, mirroring Engine.At
+		at = e.now
+	}
 	e.seq++
-	t.at = e.now + delay
+	t.at = at
 	t.seq = e.seq
 	t.fn = fn
-	e.push(t)
+	e.enqueue(t)
 }
 
 // Engine is a discrete-event scheduler with a virtual clock.
 type Engine struct {
 	now     Time
 	seq     uint64
-	queue   []*Timer
+	q       eventQueue
+	kind    QueueKind
 	rng     *rand.Rand
 	stopped bool
 	// Processed counts events that have fired; useful for loop guards in
@@ -96,22 +137,53 @@ type Engine struct {
 	processed uint64
 	// maxEvents aborts runaway simulations. Zero means no limit.
 	maxEvents uint64
-	// maxQueue tracks the high-water mark of the event heap — the metric
-	// the heap-size microbenchmarks watch.
+	// maxQueue tracks the high-water mark of the event queue — the
+	// metric the queue-size microbenchmarks watch.
 	maxQueue int
-	// stopsRemoved counts events removed from the heap by Timer.Stop.
+	// stopsRemoved counts events removed from the queue by Timer.Stop.
 	stopsRemoved uint64
 	// interruptFn, when set, is polled by Run every interruptEvery fired
-	// events; Run returns when it reports true. The poll is a plain
-	// branch per event — no allocation, no time source — so installing
-	// an interrupt cannot perturb event order or the alloc budgets.
+	// events; Run returns when it reports true. interruptLeft counts down
+	// to the next poll, so the hot loop pays one decrement and one
+	// branch per event instead of the modulo it used before — no
+	// allocation, no time source, so installing an interrupt cannot
+	// perturb event order or the alloc budgets. BenchmarkRunInterrupt
+	// pins the overhead.
 	interruptFn    func() bool
 	interruptEvery uint64
+	interruptLeft  uint64
+}
+
+// Option configures an Engine at construction time.
+type Option func(*Engine)
+
+// WithQueue selects the event-queue backend. The default (QueueDefault)
+// resolves to the process-wide default — the timing wheel unless
+// SetDefaultQueue changed it.
+func WithQueue(k QueueKind) Option {
+	return func(e *Engine) { e.kind = k }
 }
 
 // NewEngine returns an engine whose random source is seeded with seed.
-func NewEngine(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+func NewEngine(seed int64, opts ...Option) *Engine {
+	e := &Engine{rng: rand.New(rand.NewSource(seed))}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(e)
+		}
+	}
+	if e.kind == QueueDefault {
+		e.kind = DefaultQueue()
+	}
+	switch e.kind {
+	case QueueHeap:
+		e.q = newHeapQueue()
+	case QueueWheel:
+		e.q = newWheelQueue()
+	default:
+		panic(fmt.Sprintf("sim: unknown queue kind %d", e.kind))
+	}
+	return e
 }
 
 // Now returns the current virtual time.
@@ -120,17 +192,20 @@ func (e *Engine) Now() Time { return e.now }
 // Rand returns the engine's deterministic random source.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
+// Queue returns the event-queue backend this engine was built with.
+func (e *Engine) Queue() QueueKind { return e.kind }
+
 // Processed returns the number of events fired so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
 // QueueLen returns the number of pending events.
-func (e *Engine) QueueLen() int { return len(e.queue) }
+func (e *Engine) QueueLen() int { return e.q.len() }
 
-// MaxQueueLen returns the high-water mark of the event heap.
+// MaxQueueLen returns the high-water mark of the event queue.
 func (e *Engine) MaxQueueLen() int { return e.maxQueue }
 
 // StoppedEvents returns how many scheduled events were removed from the
-// heap by Timer.Stop before firing.
+// queue by Timer.Stop before firing.
 func (e *Engine) StoppedEvents() uint64 { return e.stopsRemoved }
 
 // SetMaxEvents sets an upper bound on fired events; Run panics when the
@@ -147,6 +222,7 @@ func (e *Engine) SetInterrupt(every uint64, fn func() bool) {
 		every = 1
 	}
 	e.interruptEvery = every
+	e.interruptLeft = every
 	e.interruptFn = fn
 }
 
@@ -170,23 +246,31 @@ func (e *Engine) At(t Time, fn func()) *Timer {
 	}
 	e.seq++
 	tm := &Timer{eng: e, at: t, seq: e.seq, fn: fn}
-	e.push(tm)
+	e.enqueue(tm)
 	return tm
+}
+
+// enqueue hands a timer to the backend and tracks the high-water mark.
+func (e *Engine) enqueue(t *Timer) {
+	e.q.schedule(t)
+	if n := e.q.len(); n > e.maxQueue {
+		e.maxQueue = n
+	}
 }
 
 // Stop makes Run return after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
 // Pending reports whether any events remain. Stopped timers are removed
-// from the heap eagerly, so the queue holds only live events.
-func (e *Engine) Pending() bool { return len(e.queue) > 0 }
+// from the queue eagerly, so it counts only live events.
+func (e *Engine) Pending() bool { return e.q.len() > 0 }
 
 // Step fires the next event, if any, and reports whether one fired.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	tm := e.q.pop()
+	if tm == nil {
 		return false
 	}
-	tm := e.popMin()
 	if tm.at < e.now {
 		panic(fmt.Sprintf("sim: time went backwards: %v -> %v", e.now, tm.at))
 	}
@@ -207,120 +291,27 @@ func (e *Engine) Step() bool {
 func (e *Engine) Run(until Time) {
 	e.stopped = false
 	for !e.stopped {
-		if len(e.queue) == 0 {
+		// Peek without popping to honour the until bound.
+		next := e.q.peek()
+		if next == nil {
 			return
 		}
-		// Peek without popping to honour the until bound.
-		next := e.queue[0]
 		if until >= 0 && next.at > until {
 			e.now = until
 			return
 		}
 		e.Step()
-		if e.interruptFn != nil && e.processed%e.interruptEvery == 0 && e.interruptFn() {
-			return
+		if e.interruptFn != nil {
+			e.interruptLeft--
+			if e.interruptLeft == 0 {
+				e.interruptLeft = e.interruptEvery
+				if e.interruptFn() {
+					return
+				}
+			}
 		}
 	}
 }
 
 // RunAll fires events until none remain or Stop is called.
 func (e *Engine) RunAll() { e.Run(-1) }
-
-// Heap maintenance: a typed binary min-heap over (at, seq), equivalent to
-// container/heap but without the interface indirection. idx fields track
-// positions so Stop/Reschedule can sift-remove in O(log n).
-
-func timerLess(a, b *Timer) bool {
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
-}
-
-func (e *Engine) push(t *Timer) {
-	t.idx = len(e.queue)
-	e.queue = append(e.queue, t)
-	e.siftUp(t.idx)
-	if len(e.queue) > e.maxQueue {
-		e.maxQueue = len(e.queue)
-	}
-}
-
-func (e *Engine) popMin() *Timer {
-	q := e.queue
-	n := len(q) - 1
-	top := q[0]
-	q[0], q[n] = q[n], q[0]
-	q[0].idx = 0
-	q[n] = nil
-	e.queue = q[:n]
-	if n > 0 {
-		e.siftDown(0)
-	}
-	top.idx = -1
-	return top
-}
-
-// removeAt deletes the element at heap position i.
-func (e *Engine) removeAt(i int) {
-	q := e.queue
-	n := len(q) - 1
-	t := q[i]
-	if i != n {
-		q[i], q[n] = q[n], q[i]
-		q[i].idx = i
-		q[n] = nil
-		e.queue = q[:n]
-		if !e.siftDown(i) {
-			e.siftUp(i)
-		}
-	} else {
-		q[n] = nil
-		e.queue = q[:n]
-	}
-	t.idx = -1
-}
-
-func (e *Engine) siftUp(i int) {
-	q := e.queue
-	t := q[i]
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !timerLess(t, q[parent]) {
-			break
-		}
-		q[i] = q[parent]
-		q[i].idx = i
-		i = parent
-	}
-	q[i] = t
-	t.idx = i
-}
-
-// siftDown restores heap order below i; it reports whether the element
-// moved (mirrors container/heap's down, which Remove uses to decide
-// whether an up-sift is needed).
-func (e *Engine) siftDown(i int) bool {
-	q := e.queue
-	n := len(q)
-	t := q[i]
-	start := i
-	for {
-		child := 2*i + 1
-		if child >= n {
-			break
-		}
-		if r := child + 1; r < n && timerLess(q[r], q[child]) {
-			child = r
-		}
-		if !timerLess(q[child], t) {
-			break
-		}
-		q[i] = q[child]
-		q[i].idx = i
-		i = child
-	}
-	q[i] = t
-	t.idx = i
-	return i > start
-}
